@@ -1,0 +1,55 @@
+"""Shared benchmark infrastructure.
+
+Every figure/table benchmark computes its rows once (via
+``benchmark.pedantic(..., rounds=1)``), prints the regenerated table,
+records it to ``benchmarks/results/<name>.json`` and asserts the shape
+criteria from DESIGN.md.  Absolute numbers come from the calibrated DES
+(the paper's testbed is unavailable); EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The evaluation models of §6.1.
+MODELS = (
+    "efficientnet-b7",
+    "googlenet",
+    "inception-v3",
+    "mnasnet",
+    "mobilenet-v3",
+    "resnet-152",
+    "resnet-50",
+)
+
+
+def record_result(name: str, payload) -> None:
+    """Persist one experiment's regenerated rows for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.json", "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render one figure's data as an aligned text table."""
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print(f"\n=== {title}")
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def cost_model():
+    from repro.simulation import CostModel
+
+    return CostModel()

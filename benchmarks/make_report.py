@@ -1,0 +1,151 @@
+"""Consolidate benchmarks/results/*.json into a markdown report.
+
+Run after the benchmark suite::
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/make_report.py          # writes results/REPORT.md
+
+The report mirrors EXPERIMENTS.md's structure but with the *current*
+machine's regenerated numbers, so drift between code and documentation
+is visible at a glance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+__all__ = ["build_report", "main"]
+
+
+def _load(name: str) -> dict | list | None:
+    path = RESULTS / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _range(values) -> str:
+    values = list(values)
+    return f"{min(values):.2f}..{max(values):.2f}"
+
+
+def _pct_range(values) -> str:
+    values = [v * 100 for v in values]
+    return f"{min(values):.1f}%..{max(values):.1f}%"
+
+
+def build_report() -> str:
+    """Render the consolidated markdown report."""
+    lines = [
+        "# Regenerated evaluation report",
+        "",
+        "Produced by `python benchmarks/make_report.py` from the JSON",
+        "written by the latest `pytest benchmarks/ --benchmark-only` run.",
+        "",
+    ]
+
+    fig9 = _load("fig9_partitioning")
+    if fig9:
+        lines += ["## Figure 9 — random-balanced partitioning", ""]
+        lines += ["| model | parts | seq tput | seq lat | pipe tput | pipe lat |",
+                  "|---|---|---|---|---|---|"]
+        for model, per_model in sorted(fig9.items()):
+            for count, r in sorted(per_model.items(), key=lambda kv: int(kv[0])):
+                lines.append(
+                    f"| {model} | {count} | {r['seq_tput']:.2f}x | {r['seq_lat']:.2f}x "
+                    f"| {r['pipe_tput']:.2f}x | {r['pipe_lat']:.2f}x |"
+                )
+        lines.append("")
+
+    fig10 = _load("fig10_enc_checkpoint")
+    if fig10:
+        lines += ["## Figure 10 — encryption + checkpoint overhead", ""]
+        seq = [m["seq"]["overhead_enc_slow"] for m in fig10.values()]
+        pipe = [m["pipe"]["overhead_enc_slow"] for m in fig10.values()]
+        lines += [
+            f"- sequential slow-path overhead across models: {_pct_range(seq)}",
+            f"- pipelined slow-path overhead across models: {_pct_range(pipe)}",
+            "",
+        ]
+
+    for name, title, metric in (
+        ("fig11_horizontal", "Figure 11 — horizontal scaling (pipe tput)", "pipe_tput"),
+        ("fig12_vertical", "Figure 12 — vertical scaling (pipe tput)", "pipe_tput"),
+        ("fig14_real_setup", "Figure 14 — real setup (pipe tput)", "pipe_tput"),
+    ):
+        data = _load(name)
+        if not data:
+            continue
+        lines += [f"## {title}", ""]
+        configs = sorted({k for m in data.values() for k in m})
+        lines += ["| model | " + " | ".join(str(c) for c in configs) + " |",
+                  "|---" * (len(configs) + 1) + "|"]
+        for model, per_model in sorted(data.items()):
+            row = [model] + [
+                f"{per_model[c][metric]:.2f}x" if c in per_model else "-" for c in configs
+            ]
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+
+    fig13 = _load("fig13_async")
+    if fig13:
+        lines += ["## Figure 13 — async cross-validation gains", ""]
+        seq = [m["seq"]["tput_gain"] for m in fig13.values()]
+        pipe = [m["pipe"]["tput_gain"] for m in fig13.values()]
+        lines += [
+            f"- sequential throughput gain: {_pct_range(seq)}",
+            f"- pipelined throughput gain: {_pct_range(pipe)}",
+            "",
+        ]
+
+    table1 = _load("table1_cve_defense")
+    if table1:
+        triggered = [r for r in table1 if r["triggered"]]
+        detected = [r for r in triggered if r["detected"]]
+        lines += [
+            "## Table 1 — CVE defense",
+            "",
+            f"- catalogued CVEs: {len(table1)}; exercisable on the test model: "
+            f"{len(triggered)}; detected: {len(detected)}",
+            "",
+        ]
+
+    accuracy = _load("security_accuracy")
+    if accuracy:
+        lines += [
+            "## Accuracy depletion (FrameFlip)",
+            "",
+            f"- unprotected single TEE agreement: {accuracy['unprotected_agreement'] * 100:.1f}%",
+            f"- MVTEE agreement: {accuracy['protected_agreement'] * 100:.1f}%",
+            "",
+        ]
+
+    ext = _load("ext_transformer")
+    if ext:
+        lines += ["## Extension — transformer trunk", ""]
+        for count, r in sorted(ext["partitioning"].items(), key=lambda kv: int(kv[0])):
+            lines.append(
+                f"- {count} partitions: balance {r['balance']:.2f}, "
+                f"pipe {r['pipe_tput']:.2f}x"
+            )
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def main() -> int:
+    """Write results/REPORT.md."""
+    if not RESULTS.exists():
+        print("no results/ directory; run the benchmark suite first")
+        return 1
+    report = build_report()
+    (RESULTS / "REPORT.md").write_text(report)
+    print(f"wrote {RESULTS / 'REPORT.md'} ({len(report.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

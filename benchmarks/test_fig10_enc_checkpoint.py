@@ -1,0 +1,76 @@
+"""Figure 10: encryption and checkpoint overheads.
+
+Paper result (5 partitions; baseline = no encryption + full fast path):
+- encryption + checkpointing cost 13.6%..50.7% in sequential execution
+  and an even higher proportion -- 50.4%..93.6% -- in pipelined execution
+  (the monitor serves every checkpoint of every in-flight batch);
+- the fast path mitigates the overall overhead (up to 28.3% sequential /
+  86.5% pipelined in the paper's configurations);
+- overheads hit small models (MobileNet, MnasNet) hardest.
+"""
+
+from __future__ import annotations
+
+from conftest import MODELS, print_table, record_result
+
+from repro.mvx.config import MvxConfig
+from repro.simulation import simulate
+from repro.simulation.scenarios import cached_partition, plan_from_partition_set
+
+NUM_PARTITIONS = 5
+
+
+def compute_fig10(cost_model) -> dict:
+    results: dict = {}
+    fast_cfg = MvxConfig.uniform(NUM_PARTITIONS, 1, path_mode="fast")
+    slow_cfg = MvxConfig.uniform(NUM_PARTITIONS, 1, path_mode="slow")
+    for name in MODELS:
+        partition_set = cached_partition(name, NUM_PARTITIONS)
+        fast_plan = plan_from_partition_set(partition_set, fast_cfg)
+        slow_plan = plan_from_partition_set(partition_set, slow_cfg)
+        per_model = {}
+        for mode, pipelined in (("seq", False), ("pipe", True)):
+            base = simulate(fast_plan, cost_model, pipelined=pipelined, encrypted=False)
+            enc_fast = simulate(fast_plan, cost_model, pipelined=pipelined, encrypted=True)
+            enc_slow = simulate(slow_plan, cost_model, pipelined=pipelined, encrypted=True)
+            per_model[mode] = {
+                "overhead_enc_slow": base.throughput / enc_slow.throughput - 1,
+                "overhead_enc_fast": base.throughput / enc_fast.throughput - 1,
+            }
+        results[name] = per_model
+    return results
+
+
+def test_fig10_encryption_checkpointing(benchmark, cost_model):
+    results = benchmark.pedantic(lambda: compute_fig10(cost_model), rounds=1, iterations=1)
+    rows = []
+    for name, per_model in results.items():
+        for mode in ("seq", "pipe"):
+            slow = per_model[mode]["overhead_enc_slow"]
+            fast = per_model[mode]["overhead_enc_fast"]
+            mitigation = (slow - fast) / slow * 100 if slow > 0 else 0.0
+            rows.append(
+                [name, mode, f"{slow * 100:.1f}%", f"{fast * 100:.1f}%", f"{mitigation:.1f}%"]
+            )
+    print_table(
+        "Figure 10: enc+checkpoint overhead vs (no-enc, fast-path) baseline",
+        ["model", "mode", "slow-path overhead", "fast-path overhead", "fast mitigates"],
+        rows,
+    )
+    record_result("fig10_enc_checkpoint", results)
+
+    for name, per_model in results.items():
+        seq = per_model["seq"]
+        pipe = per_model["pipe"]
+        # Checkpointing costs something everywhere...
+        assert seq["overhead_enc_slow"] > 0
+        # ...more than encryption alone (fast path mitigates)...
+        assert seq["overhead_enc_fast"] < seq["overhead_enc_slow"]
+        assert pipe["overhead_enc_fast"] < pipe["overhead_enc_slow"]
+        # ...and proportionally more in pipelined execution (the paper's
+        # central observation for this figure).
+        assert pipe["overhead_enc_slow"] > seq["overhead_enc_slow"]
+    # Small models suffer the most.
+    small = results["mobilenet-v3"]["seq"]["overhead_enc_slow"]
+    large = results["resnet-152"]["seq"]["overhead_enc_slow"]
+    assert small > large

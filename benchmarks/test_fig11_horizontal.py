@@ -1,0 +1,82 @@
+"""Figure 11: horizontal variant scaling under selective MVX.
+
+Paper result (5 partitions, scaling the 3rd partition to 1/3/5 variants):
+- sequential: scaling overhead small next to the partitioning overhead;
+- pipelined: the 1->3 step (fast->slow path transition) costs visibly
+  more than the 3->5 step;
+- all pipelined settings still beat the original model (>=1.6x
+  throughput, <=0.7x latency in the paper).
+"""
+
+from __future__ import annotations
+
+from conftest import MODELS, print_table, record_result
+
+from repro.mvx.config import MvxConfig
+from repro.simulation import simulate
+from repro.simulation.scenarios import (
+    baseline_result,
+    cached_model,
+    cached_partition,
+    plan_from_partition_set,
+)
+
+NUM_PARTITIONS = 5
+SCALED_PARTITION = 2  # the 3rd partition
+VARIANT_COUNTS = (1, 3, 5)
+
+
+def compute_fig11(cost_model) -> dict:
+    results: dict = {}
+    for name in MODELS:
+        model = cached_model(name)
+        base = baseline_result(model, cost_model)
+        partition_set = cached_partition(name, NUM_PARTITIONS)
+        per_model = {}
+        for count in VARIANT_COUNTS:
+            config = MvxConfig.selective(NUM_PARTITIONS, {SCALED_PARTITION: count})
+            stages = plan_from_partition_set(partition_set, config)
+            seq = simulate(stages, cost_model, pipelined=False).normalized_to(base)
+            pipe = simulate(stages, cost_model, pipelined=True).normalized_to(base)
+            per_model[count] = {
+                "seq_tput": seq[0],
+                "seq_lat": seq[1],
+                "pipe_tput": pipe[0],
+                "pipe_lat": pipe[1],
+            }
+        results[name] = per_model
+    return results
+
+
+def test_fig11_horizontal_scaling(benchmark, cost_model):
+    results = benchmark.pedantic(lambda: compute_fig11(cost_model), rounds=1, iterations=1)
+    rows = []
+    for name, per_model in results.items():
+        for count, r in per_model.items():
+            rows.append(
+                [name, f"{count} var", f"{r['seq_tput']:.2f}x", f"{r['seq_lat']:.2f}x",
+                 f"{r['pipe_tput']:.2f}x", f"{r['pipe_lat']:.2f}x"]
+            )
+    print_table(
+        "Figure 11: horizontal scaling of partition 3 (normalized)",
+        ["model", "variants", "seq tput", "seq lat", "pipe tput", "pipe lat"],
+        rows,
+    )
+    record_result("fig11_horizontal", results)
+
+    for name, per_model in results.items():
+        # Sequential: the incremental cost of 1->5 variants is bounded by
+        # the partitioning overhead itself (paper: "negligible compared
+        # to the partitioning-caused overhead").
+        partitioning_overhead = 1 - per_model[1]["seq_tput"]
+        scaling_overhead = per_model[1]["seq_tput"] - per_model[5]["seq_tput"]
+        assert scaling_overhead < max(partitioning_overhead, 0.08) + 0.25, name
+        # Pipelined: the fast->slow transition (1->3) costs at least as
+        # much as adding more variants (3->5).
+        step_activation = per_model[1]["pipe_tput"] - per_model[3]["pipe_tput"]
+        step_widening = per_model[3]["pipe_tput"] - per_model[5]["pipe_tput"]
+        assert step_activation >= step_widening - 0.05, name
+        # Pipelined always beats the original model.
+        for count in VARIANT_COUNTS:
+            assert per_model[count]["pipe_tput"] > 1.2, (name, count)
+            assert per_model[count]["pipe_lat"] < 0.85, (name, count)

@@ -1,0 +1,86 @@
+"""Figure 12: vertical variant scaling under selective MVX.
+
+Paper result (5 partitions, 3 variants per MVX-enabled partition; MVX on
+the 3rd partition / the 3rd-5th partitions / all five):
+- sequential: >=0.4x throughput, <=2.5x latency for 1- and 3-MVX; the
+  full 5-MVX configuration drops further (paper ~0.3x, >3x for most);
+- pipelined: selective MVX (1/3 partitions) generally still beats the
+  original; retaining original performance under full MVX is hard
+  (paper 0.2x..1.0x throughput).
+"""
+
+from __future__ import annotations
+
+from conftest import MODELS, print_table, record_result
+
+from repro.mvx.config import MvxConfig
+from repro.simulation import simulate
+from repro.simulation.scenarios import (
+    baseline_result,
+    cached_model,
+    cached_partition,
+    plan_from_partition_set,
+)
+
+NUM_PARTITIONS = 5
+CONFIGS = {
+    "1-MVX": {2: 3},
+    "3-MVX": {2: 3, 3: 3, 4: 3},
+    "5-MVX": {i: 3 for i in range(NUM_PARTITIONS)},
+}
+
+
+def compute_fig12(cost_model) -> dict:
+    results: dict = {}
+    for name in MODELS:
+        model = cached_model(name)
+        base = baseline_result(model, cost_model)
+        partition_set = cached_partition(name, NUM_PARTITIONS)
+        per_model = {}
+        for label, mvx in CONFIGS.items():
+            config = MvxConfig.selective(NUM_PARTITIONS, mvx)
+            stages = plan_from_partition_set(partition_set, config)
+            seq = simulate(stages, cost_model, pipelined=False).normalized_to(base)
+            pipe = simulate(stages, cost_model, pipelined=True).normalized_to(base)
+            per_model[label] = {
+                "seq_tput": seq[0],
+                "seq_lat": seq[1],
+                "pipe_tput": pipe[0],
+                "pipe_lat": pipe[1],
+            }
+        results[name] = per_model
+    return results
+
+
+def test_fig12_vertical_scaling(benchmark, cost_model):
+    results = benchmark.pedantic(lambda: compute_fig12(cost_model), rounds=1, iterations=1)
+    rows = []
+    for name, per_model in results.items():
+        for label, r in per_model.items():
+            rows.append(
+                [name, label, f"{r['seq_tput']:.2f}x", f"{r['seq_lat']:.2f}x",
+                 f"{r['pipe_tput']:.2f}x", f"{r['pipe_lat']:.2f}x"]
+            )
+    print_table(
+        "Figure 12: vertical scaling, 3 variants per MVX partition (normalized)",
+        ["model", "config", "seq tput", "seq lat", "pipe tput", "pipe lat"],
+        rows,
+    )
+    record_result("fig12_vertical", results)
+
+    for name, per_model in results.items():
+        # Sequential bands for 1-/3-MVX (paper: >=0.4x tput, <=2.5x lat).
+        for label in ("1-MVX", "3-MVX"):
+            assert per_model[label]["seq_tput"] >= 0.38, (name, label)
+            assert per_model[label]["seq_lat"] <= 2.6, (name, label)
+        # Monotone degradation with MVX coverage.
+        assert (
+            per_model["1-MVX"]["seq_tput"]
+            >= per_model["3-MVX"]["seq_tput"]
+            >= per_model["5-MVX"]["seq_tput"]
+        ), name
+        # Pipelined: selective MVX beats the baseline; full MVX does not
+        # exceed it meaningfully (early synchronization stalls the pipe).
+        assert per_model["1-MVX"]["pipe_tput"] > 1.3, name
+        assert per_model["5-MVX"]["pipe_tput"] < per_model["3-MVX"]["pipe_tput"], name
+        assert per_model["5-MVX"]["pipe_tput"] <= 1.1, name

@@ -1,0 +1,99 @@
+"""Accuracy-depletion experiment (the FrameFlip paper's attack goal).
+
+"Yes, One-Bit-Flip Matters!" depletes inference accuracy for *all
+subsequent inputs* via one library bit flip.  This benchmark measures
+prediction agreement with the clean model over an input stream:
+
+- an unprotected single-TEE deployment with the corrupted library loses
+  most of its predictions;
+- the same fault inside one MVTEE variant costs nothing: the checkpoint
+  vote discards the corrupted variant and predictions stay intact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_table, record_result
+
+from repro.attacks import FrameFlipAttack
+from repro.mvx import MvteeSystem, ResponseAction
+from repro.runtime import RuntimeConfig, create_runtime
+from repro.runtime.faults import FaultInjector
+from repro.zoo import build_model
+
+NUM_INPUTS = 32
+
+
+def compute_accuracy_impact() -> dict:
+    model = build_model("small-resnet", input_size=16, blocks_per_stage=1)
+    rng = np.random.default_rng(0)
+    stream = [rng.normal(size=(1, 3, 16, 16)).astype(np.float32) for _ in range(NUM_INPUTS)]
+
+    reference = create_runtime(RuntimeConfig(optimization_level=0))
+    reference.prepare(model)
+    clean_predictions = [
+        int(np.argmax(next(iter(reference.run({"input": x}).values())))) for x in stream
+    ]
+
+    # Unprotected: one TEE, one runtime, corrupted library.
+    unprotected = create_runtime(
+        RuntimeConfig(blas_backend="openblas-sim", optimization_level=0)
+    )
+    unprotected.prepare(model)
+    FaultInjector(unprotected).arm_backend_bitflip(bit=30)
+    attacked_predictions = []
+    for x in stream:
+        out = next(iter(unprotected.run({"input": x}).values()))
+        attacked_predictions.append(
+            int(np.argmax(np.nan_to_num(out, nan=-np.inf))) if np.any(np.isfinite(out)) else -1
+        )
+    unprotected_agreement = float(
+        np.mean([a == b for a, b in zip(clean_predictions, attacked_predictions)])
+    )
+
+    # MVTEE: same fault lands in whichever variants link the target library.
+    system = MvteeSystem.deploy(
+        model,
+        num_partitions=3,
+        mvx_partitions={0: 3, 1: 3, 2: 3},
+        seed=1,
+        verify_partitions=False,
+        verify_variants=False,
+    )
+    system.monitor.response_action = ResponseAction.DROP_VARIANT
+    attack = FrameFlipAttack(target_backend="openblas-sim", bit=30)
+    affected = attack.launch(system.monitor)
+    protected_predictions = []
+    for x in stream:
+        out = next(iter(system.infer({"input": x}).values()))
+        protected_predictions.append(int(np.argmax(out)))
+    protected_agreement = float(
+        np.mean([a == b for a, b in zip(clean_predictions, protected_predictions)])
+    )
+    return {
+        "inputs": NUM_INPUTS,
+        "unprotected_agreement": unprotected_agreement,
+        "protected_agreement": protected_agreement,
+        "affected_variants": len(affected),
+        "detections": len(system.monitor.divergence_events())
+        + len(system.monitor.crash_events()),
+    }
+
+
+def test_accuracy_depletion(benchmark):
+    results = benchmark.pedantic(compute_accuracy_impact, rounds=1, iterations=1)
+    print_table(
+        "Accuracy under a FrameFlip library fault (agreement with clean model)",
+        ["deployment", "prediction agreement"],
+        [
+            ["unprotected single TEE", f"{results['unprotected_agreement'] * 100:.1f}%"],
+            ["MVTEE (diversified MVX)", f"{results['protected_agreement'] * 100:.1f}%"],
+        ],
+    )
+    record_result("security_accuracy", results)
+    # The attack works against the unprotected stack...
+    assert results["unprotected_agreement"] < 0.7
+    # ...and costs MVTEE nothing.
+    assert results["protected_agreement"] == 1.0
+    assert results["detections"] >= 1
+    assert results["affected_variants"] >= 1

@@ -1,0 +1,112 @@
+"""Voting-panel reliability study (§4.3: "panel sizes also involving
+reliability/resource trade-offs").
+
+Monte-Carlo over the *actual* voting implementation: each of N variants
+is independently corrupted with probability p.  Correlated-failure mode
+("homogeneous"): corrupted variants all produce the SAME wrong output
+(shared bug); diversified mode: each corrupted variant fails its own
+way.  Measures, per panel size and strategy, how often a wrong output
+is silently accepted -- quantifying why MVX needs both replication AND
+diversity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_table, record_result
+
+from repro.mvx.voting import VariantOutput, vote
+
+PANEL_SIZES = (2, 3, 5)
+CORRUPTION_P = 0.2
+TRIALS = 400
+
+
+def _outputs(rng, n, correlated: bool):
+    good = np.zeros(4, dtype=np.float32)
+    shared_bad = np.full(4, 99.0, dtype=np.float32)
+    outputs = []
+    corrupted = 0
+    for i in range(n):
+        if rng.random() < CORRUPTION_P:
+            corrupted += 1
+            bad = shared_bad if correlated else np.full(4, 50.0 + i, dtype=np.float32)
+            outputs.append(VariantOutput(f"v{i}", {"t": bad.copy()}))
+        else:
+            outputs.append(VariantOutput(f"v{i}", {"t": good.copy()}))
+    return outputs, corrupted
+
+
+def compute_reliability() -> list[dict]:
+    rows = []
+    for correlated in (False, True):
+        for n in PANEL_SIZES:
+            for strategy in ("unanimous", "majority"):
+                rng = np.random.default_rng(7)
+                silent = 0
+                halted = 0
+                correct = 0
+                for _ in range(TRIALS):
+                    outputs, corrupted = _outputs(rng, n, correlated)
+                    result = vote(outputs, strategy=strategy)
+                    if result.accepted is None:
+                        halted += 1
+                    elif float(result.accepted["t"][0]) == 0.0:
+                        correct += 1
+                    else:
+                        silent += 1
+                rows.append(
+                    {
+                        "mode": "correlated" if correlated else "diversified",
+                        "panel": n,
+                        "strategy": strategy,
+                        "silent_wrong": silent / TRIALS,
+                        "halted": halted / TRIALS,
+                        "correct": correct / TRIALS,
+                    }
+                )
+    return rows
+
+
+def test_voting_reliability(benchmark):
+    rows = benchmark.pedantic(compute_reliability, rounds=1, iterations=1)
+    print_table(
+        f"Voting reliability (p_corrupt={CORRUPTION_P}/variant, {TRIALS} trials)",
+        ["failure mode", "panel", "strategy", "silent wrong", "halted", "correct"],
+        [
+            [r["mode"], r["panel"], r["strategy"],
+             f"{r['silent_wrong'] * 100:.1f}%", f"{r['halted'] * 100:.1f}%",
+             f"{r['correct'] * 100:.1f}%"]
+            for r in rows
+        ],
+    )
+    record_result("voting_reliability", rows)
+    by_key = {(r["mode"], r["panel"], r["strategy"]): r for r in rows}
+
+    # Diversified failures: unanimity NEVER silently accepts a wrong
+    # output (a lone dissenting cluster always blocks), at any panel size.
+    for n in PANEL_SIZES:
+        assert by_key[("diversified", n, "unanimous")]["silent_wrong"] == 0.0
+    # Diversified + majority: silent acceptance requires a corrupted
+    # majority agreeing -- but they each fail differently, so never.
+    for n in PANEL_SIZES:
+        assert by_key[("diversified", n, "majority")]["silent_wrong"] == 0.0
+    # Correlated failures (the homogeneous trap): silent acceptance IS
+    # possible once the shared-bug cluster reaches the decision threshold,
+    # and majority suffers more than unanimity.
+    assert by_key[("correlated", 3, "majority")]["silent_wrong"] > 0.0
+    assert (
+        by_key[("correlated", 3, "unanimous")]["silent_wrong"]
+        <= by_key[("correlated", 3, "majority")]["silent_wrong"]
+    )
+    # Availability trade-off: majority completes more often than unanimity.
+    for n in (3, 5):
+        assert (
+            by_key[("diversified", n, "majority")]["correct"]
+            >= by_key[("diversified", n, "unanimous")]["correct"]
+        )
+    # Bigger panels help majority-voting availability.
+    assert (
+        by_key[("diversified", 5, "majority")]["correct"]
+        >= by_key[("diversified", 3, "majority")]["correct"] - 0.05
+    )

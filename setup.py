@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships no ``wheel`` package, so PEP-517 editable
+installs (``pip install -e .``) cannot build; ``python setup.py develop``
+installs the same editable egg-link instead.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

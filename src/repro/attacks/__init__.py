@@ -1,0 +1,33 @@
+"""Attack harness for the security analysis (§6.5, Table 1).
+
+Simulated attacks keyed to specific implementations, so diversified
+variant pools detect them while homogeneous replication does not:
+
+- :mod:`repro.attacks.cves` -- the Table 1 TensorFlow CVE catalog as
+  injectable vulnerability cases (OOB/UNP/FPE/IO/UAF/ACF classes);
+- :mod:`repro.attacks.frameflip` -- the FrameFlip-style library bit-flip
+  attack against a chosen BLAS backend;
+- :mod:`repro.attacks.weights` -- Terminal-Brain-Damage-style weight
+  bit flips against one variant's loaded model;
+- :mod:`repro.attacks.harness` -- drives attacks against a deployed
+  :class:`~repro.mvx.system.MvteeSystem` and reports detection outcomes.
+"""
+
+from repro.attacks.cves import TABLE1_CVES, CveCase, VulnClass
+from repro.attacks.frameflip import FrameFlipAttack
+from repro.attacks.harness import AttackOutcome, run_input_attack, run_persistent_attack
+from repro.attacks.storage import ForkAttack, RollbackAttack
+from repro.attacks.weights import WeightBitFlipAttack
+
+__all__ = [
+    "AttackOutcome",
+    "CveCase",
+    "ForkAttack",
+    "FrameFlipAttack",
+    "RollbackAttack",
+    "TABLE1_CVES",
+    "VulnClass",
+    "WeightBitFlipAttack",
+    "run_input_attack",
+    "run_persistent_attack",
+]

@@ -1,0 +1,148 @@
+"""Table 1: TensorFlow vulnerability classes as injectable cases.
+
+Each :class:`CveCase` models one published CVE: the vulnerability lives
+in one operator implementation of one runtime engine (real CVEs are
+kernel-specific), fires only on crafted inputs, and has the impact class
+of the table (DoS, data corruption, incorrect results, code execution).
+The "defending variants" column lists the diversification classes that
+neutralize it, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.node import Node
+from repro.runtime.base import InferenceRuntime
+from repro.runtime.faults import FaultInjector
+
+__all__ = ["CveCase", "Impact", "TABLE1_CVES", "VulnClass", "MALICIOUS_MARKER"]
+
+#: Magnitude marker carried by crafted inputs; vulnerable kernels treat
+#: any input above the threshold as having reached the buggy code path.
+#: The value propagates multiplicatively through the network without
+#: overflowing float32, so triggers fire at any depth.
+MALICIOUS_MARKER = 1.0e12
+MALICIOUS_THRESHOLD = 1.0e10
+
+
+class VulnClass(enum.Enum):
+    """Vulnerability classes of Table 1."""
+
+    OOB = "out-of-bound read/write"
+    UNP = "uninitialized/null pointer"
+    FPE = "floating point exception"
+    IO = "integer overflow"
+    UAF = "use after free"
+    ACF = "assertion check failure"
+
+
+class Impact(enum.Enum):
+    """Attack impact classes of Table 1."""
+
+    DOS = "denial of service"
+    DATA_CORRUPTION = "data corruption"
+    RW_PRIMITIVES = "read/write primitives"
+    CODE_EXECUTION = "code execution"
+    INCORRECT_RESULTS = "incorrect results"
+
+
+def _input_is_malicious(node: Node, inputs: list[np.ndarray]) -> bool:
+    return any(
+        np.issubdtype(arr.dtype, np.floating)
+        and bool(np.any(np.abs(arr) >= MALICIOUS_THRESHOLD))
+        for arr in inputs
+    )
+
+
+@dataclass(frozen=True)
+class CveCase:
+    """One row of Table 1, armed against a matching runtime."""
+
+    cve_id: str
+    vuln_class: VulnClass
+    impact: Impact
+    vulnerable_engine: str  # runtime engine containing the buggy kernel
+    vulnerable_op: str  # operator whose kernel is buggy
+    defending_variants: tuple[str, ...]
+
+    @property
+    def crashes(self) -> bool:
+        """DoS/code-execution CVEs kill the process when triggered."""
+        return self.impact in (Impact.DOS, Impact.CODE_EXECUTION, Impact.RW_PRIMITIVES)
+
+    def affects(self, runtime: InferenceRuntime) -> bool:
+        """Whether this runtime contains the vulnerable implementation."""
+        return runtime.config.engine == self.vulnerable_engine
+
+    def arm(self, runtime: InferenceRuntime) -> bool:
+        """Inject the vulnerability into a runtime if it is affected.
+
+        Returns True when armed.  Unaffected runtimes (different engine:
+        a "Different RT" defending variant) are left untouched.
+        """
+        if not self.affects(runtime):
+            return False
+        injector = FaultInjector(runtime)
+        if self.crashes:
+            injector.arm_op_crash(
+                self.vulnerable_op,
+                _input_is_malicious,
+                message=f"{self.cve_id} ({self.vuln_class.name}) triggered",
+            )
+        else:
+            # Silent corruption: the buggy kernel returns a deterministic
+            # wrong (but finite) result on the malicious path only -- the
+            # uninitialized-memory / overflowed-index read outcome.
+            def corrupt(node, inputs, outputs, _case=self):
+                if _input_is_malicious(node, inputs):
+                    return [np.full_like(out, 42.0) for out in outputs]
+                return outputs
+
+            assert runtime.kernel_context is not None
+            runtime.kernel_context.op_hooks[self.vulnerable_op] = corrupt
+        return True
+
+
+def craft_malicious_input(shape: tuple[int, ...], *, seed: int = 0) -> np.ndarray:
+    """An adversarial input embedding the malicious marker."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape).astype(np.float32)
+    flat = data.reshape(-1)
+    flat[0] = MALICIOUS_MARKER
+    return data
+
+
+#: The twelve CVEs of Table 1.  Vulnerable engine/op assignments model
+#: "the vulnerability is specific to one implementation": interpreter
+#: stands in for the TensorFlow/ORT kernel family, compiled for
+#: TVM-generated kernels.
+TABLE1_CVES: tuple[CveCase, ...] = (
+    CveCase("CVE-2021-41226", VulnClass.OOB, Impact.DOS,
+            "interpreter", "Conv", ("different-rt",)),
+    CveCase("CVE-2022-41883", VulnClass.OOB, Impact.DATA_CORRUPTION,
+            "interpreter", "Gemm", ("bounds-check", "different-rt")),
+    CveCase("CVE-2022-41900", VulnClass.OOB, Impact.RW_PRIMITIVES,
+            "interpreter", "MaxPool", ("asan", "different-rt")),
+    CveCase("CVE-2023-25668", VulnClass.OOB, Impact.CODE_EXECUTION,
+            "interpreter", "Softmax", ("aslr", "different-rt")),
+    CveCase("CVE-2022-21739", VulnClass.UNP, Impact.DOS,
+            "interpreter", "AveragePool", ("different-rt",)),
+    CveCase("CVE-2023-25672", VulnClass.UNP, Impact.INCORRECT_RESULTS,
+            "interpreter", "Mul", ("asan", "different-rt")),
+    CveCase("CVE-2022-21725", VulnClass.FPE, Impact.DOS,
+            "compiled", "BatchNormalization", ("different-rt", "error-handling")),
+    CveCase("CVE-2022-21727", VulnClass.IO, Impact.DOS,
+            "interpreter", "Reshape", ("different-rt", "compiler")),
+    CveCase("CVE-2022-21733", VulnClass.IO, Impact.INCORRECT_RESULTS,
+            "interpreter", "Concat", ("asan", "different-rt", "compiler")),
+    CveCase("CVE-2021-37652", VulnClass.UAF, Impact.CODE_EXECUTION,
+            "interpreter", "Add", ("different-rt", "asan")),
+    CveCase("CVE-2022-35935", VulnClass.ACF, Impact.DOS,
+            "compiled", "Relu", ("different-rt", "error-handling")),
+    CveCase("CVE-2022-29191", VulnClass.ACF, Impact.DOS,
+            "interpreter", "GlobalAveragePool", ("different-rt", "error-handling")),
+)

@@ -1,0 +1,62 @@
+"""FrameFlip-style runtime code fault injection (§6.5 "Faults in variants").
+
+The real attack flips one fault-vulnerable bit in the OpenBLAS library
+code shared by a victim's inference process, silently depleting model
+accuracy for all subsequent inputs.  Here, the attack corrupts every
+GEMM result of one *named BLAS backend*: variants linked against a
+different backend (Eigen/MKL analogs) are unaffected -- the exact
+defense the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mvx.monitor import Monitor
+from repro.runtime.faults import FaultInjector, backend_bitflip_fault
+
+__all__ = ["FrameFlipAttack"]
+
+
+@dataclass
+class FrameFlipAttack:
+    """Persistent library-level bit-flip against one BLAS backend."""
+
+    target_backend: str = "openblas-sim"
+    bit: int = 30
+    flat_index: int = 0
+    affected_variants: list[str] = field(default_factory=list)
+
+    def launch(self, monitor: Monitor) -> list[str]:
+        """Corrupt the target library in every variant that links it.
+
+        Returns the affected variant ids (empty if no variant uses the
+        targeted backend -- the attack simply fails, as against a
+        different-BLAS variant in the paper).
+        """
+        self.affected_variants.clear()
+        for connections in monitor.connections.values():
+            for connection in connections:
+                runtime = connection.host.runtime
+                if runtime is None:
+                    continue
+                if runtime.config.blas_backend != self.target_backend:
+                    continue
+                hook = backend_bitflip_fault(flat_index=self.flat_index, bit=self.bit)
+                install = getattr(runtime, "install_backend_fault", None)
+                if install is not None:
+                    install(hook)
+                else:
+                    assert runtime.kernel_context is not None
+                    runtime.kernel_context.blas.fault_hook = hook
+                self.affected_variants.append(connection.variant_id)
+        return list(self.affected_variants)
+
+    def lift(self, monitor: Monitor) -> None:
+        """Remove the injected fault (for repeated experiments)."""
+        for connections in monitor.connections.values():
+            for connection in connections:
+                runtime = connection.host.runtime
+                if runtime is not None and connection.variant_id in self.affected_variants:
+                    FaultInjector(runtime).disarm()
+        self.affected_variants.clear()

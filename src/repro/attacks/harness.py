@@ -1,0 +1,108 @@
+"""Attack execution harness: launch, infer, classify the outcome.
+
+An attack against MVTEE ends in one of three ways:
+
+- ``detected-crash``: a variant died; the checkpoint vote sees a missing
+  response and the monitor reacts;
+- ``detected-divergence``: variants disagree at a checkpoint;
+- ``undetected``: all (surviving) variants agreed -- either the attack
+  failed entirely (no variant was susceptible) or it corrupted *every*
+  variant identically (the homogeneous-replication failure mode MVX
+  diversification exists to rule out).
+
+``output_corrupted`` distinguishes those last two cases against a clean
+reference output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mvx.monitor import MonitorError
+from repro.mvx.system import MvteeSystem
+
+__all__ = ["AttackOutcome", "run_input_attack", "run_persistent_attack"]
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Classification of one attack run."""
+
+    detected: bool
+    mechanism: str  # "crash" | "divergence" | "halt" | "none"
+    crashes: int
+    divergences: int
+    output_corrupted: bool
+    completed: bool
+    detail: str = ""
+
+    @property
+    def silent_corruption(self) -> bool:
+        """The dangerous case: wrong output accepted without detection."""
+        return self.output_corrupted and not self.detected
+
+
+def _run_and_classify(
+    system: MvteeSystem,
+    feeds: dict[str, np.ndarray],
+    reference: dict[str, np.ndarray] | None,
+) -> AttackOutcome:
+    events_before_crash = len(system.monitor.crash_events())
+    events_before_div = len(system.monitor.divergence_events())
+    completed = True
+    outputs: dict[str, np.ndarray] | None = None
+    detail = ""
+    try:
+        outputs = system.infer(feeds)
+    except MonitorError as exc:
+        completed = False
+        detail = str(exc)
+    crashes = len(system.monitor.crash_events()) - events_before_crash
+    divergences = len(system.monitor.divergence_events()) - events_before_div
+    corrupted = False
+    if outputs is not None and reference is not None:
+        corrupted = any(
+            not np.allclose(outputs[k], reference[k], rtol=1e-2, atol=1e-3)
+            for k in reference
+        )
+    detected = crashes > 0 or divergences > 0 or not completed
+    if crashes:
+        mechanism = "crash"
+    elif divergences:
+        mechanism = "divergence"
+    elif not completed:
+        mechanism = "halt"
+    else:
+        mechanism = "none"
+    return AttackOutcome(
+        detected=detected,
+        mechanism=mechanism,
+        crashes=crashes,
+        divergences=divergences,
+        output_corrupted=corrupted,
+        completed=completed,
+        detail=detail,
+    )
+
+
+def run_input_attack(
+    system: MvteeSystem,
+    malicious_feeds: dict[str, np.ndarray],
+) -> AttackOutcome:
+    """Send crafted inputs through a deployment with armed CVE cases."""
+    return _run_and_classify(system, malicious_feeds, reference=None)
+
+
+def run_persistent_attack(
+    system: MvteeSystem,
+    benign_feeds: dict[str, np.ndarray],
+    reference: dict[str, np.ndarray],
+) -> AttackOutcome:
+    """Run benign inputs after a persistent fault (FrameFlip, weight flip).
+
+    ``reference`` is the clean deployment's output on the same feeds,
+    used to detect silent corruption.
+    """
+    return _run_and_classify(system, benign_feeds, reference=reference)

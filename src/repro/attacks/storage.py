@@ -1,0 +1,79 @@
+"""Storage- and identity-level attack drivers (§6.5).
+
+- :class:`RollbackAttack` -- the untrusted host reverts a sealed file to
+  an older (validly sealed) version; defeated by freshness metadata /
+  monotonic counters.
+- :class:`ForkAttack` -- the orchestrator starts a second TEE from the
+  same variant image and tries to bind it; defeated by the monitor's
+  one-live-binding rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.sealed import SealedBlob
+from repro.mvx.monitor import Monitor, MonitorError
+from repro.mvx.variant_host import VariantHost
+from repro.tee.filesystem import ProtectedFs, RollbackError
+from repro.variants.pool import VariantArtifact
+
+__all__ = ["ForkAttack", "RollbackAttack"]
+
+
+@dataclass
+class RollbackAttack:
+    """Capture-and-revert against a protected filesystem path."""
+
+    path: str
+    _captured: bytes | None = field(default=None, repr=False)
+
+    def capture(self, fs: ProtectedFs) -> None:
+        """Record the current (old) host-side version of the file."""
+        raw = fs.host_store.get(self.path)
+        if raw is None:
+            raise KeyError(f"no file at {self.path!r} to capture")
+        self._captured = raw
+
+    def launch(self, fs: ProtectedFs) -> bool:
+        """Revert the file and try to read it back through the TEE.
+
+        Returns True when the rollback was DETECTED (the expected
+        outcome), False if the stale data was silently accepted.
+        """
+        if self._captured is None:
+            raise RuntimeError("capture() the old version before launching")
+        fs.host_store[self.path] = self._captured
+        stale = SealedBlob.from_bytes(self._captured)
+        try:
+            fs.read(self.path)
+        except RollbackError:
+            return True
+        # Read succeeded: silent only if it really served the old version.
+        current = SealedBlob.from_bytes(fs.host_store[self.path])
+        return current.freshness != stale.freshness
+
+
+@dataclass
+class ForkAttack:
+    """Bind a second instance of an already-bound variant."""
+
+    artifact: VariantArtifact
+    clone: VariantHost | None = None
+
+    def launch(self, monitor: Monitor, cpu) -> bool:
+        """Place a clone TEE and request binding.
+
+        Returns True when the fork was REJECTED by the monitor (the
+        expected outcome), False if the clone got bound.
+        """
+        self.clone = VariantHost.place(
+            self.artifact, cpu, enclave_id=f"fork-{self.artifact.variant_id}"
+        )
+        try:
+            monitor._bootstrap_variant(
+                self.artifact.spec.partition_index, self.artifact, self.clone, "init"
+            )
+        except MonitorError:
+            return True
+        return self.artifact.variant_id not in monitor.ledger.active_bindings()

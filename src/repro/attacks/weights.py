@@ -1,0 +1,60 @@
+"""Weight bit-flip attacks (Terminal Brain Damage / Rowhammer class).
+
+Flips high-exponent bits of weight tensors *in one variant's loaded
+model* -- the in-memory corruption a Rowhammer-style attacker achieves
+against a single TEE's pages.  Graph-level-diversified variants hold
+different weight layouts, so a layout-targeted flip cannot hit all
+variants identically (the paper's §6.5 argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mvx.monitor import Monitor
+
+__all__ = ["WeightBitFlipAttack"]
+
+
+@dataclass
+class WeightBitFlipAttack:
+    """Flip bits in the prepared model of one deployed variant."""
+
+    target_variant: str
+    bit: int = 30
+    num_flips: int = 1
+    seed: int = 0
+    flipped: list[tuple[str, int]] = field(default_factory=list)
+
+    def launch(self, monitor: Monitor) -> list[tuple[str, int]]:
+        """Corrupt weights inside the target variant's runtime.
+
+        Returns (tensor, flat index) pairs flipped; empty if the variant
+        is not deployed or holds no weights.
+        """
+        self.flipped.clear()
+        rng = np.random.default_rng(self.seed)
+        for connections in monitor.connections.values():
+            for connection in connections:
+                if connection.variant_id != self.target_variant:
+                    continue
+                runtime = connection.host.runtime
+                if runtime is None or runtime.model is None:
+                    continue
+                names = [
+                    name
+                    for name, arr in runtime.model.initializers.items()
+                    if arr.dtype == np.float32 and arr.size > 0
+                ]
+                for _ in range(self.num_flips):
+                    if not names:
+                        break
+                    tensor = names[int(rng.integers(len(names)))]
+                    weights = runtime.model.initializers[tensor]
+                    index = int(rng.integers(weights.size))
+                    flat = weights.reshape(-1).view(np.uint32)
+                    flat[index] ^= np.uint32(1 << self.bit)
+                    self.flipped.append((tensor, index))
+        return list(self.flipped)

@@ -1,0 +1,203 @@
+"""AES block cipher (FIPS-197), implemented from first principles.
+
+The S-box and round tables are generated programmatically from the GF(2^8)
+field definition rather than transcribed, eliminating table-typo risk.  The
+encryption path uses the standard T-table formulation, which keeps the
+pure-Python implementation fast enough for the control-plane messages that
+use AES-GCM directly (bulk tensor records use the vectorized ChaCha20
+AEAD instead; see :mod:`repro.crypto.chacha`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["AesBlockCipher"]
+
+_AES_POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= _AES_POLY
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Generate the AES S-box and its inverse from the field definition."""
+    # Multiplicative inverses via exhaustive search (256 elements, done once).
+    inverse = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if _gf_mul(x, y) == 1:
+                inverse[x] = y
+                break
+    sbox = [0] * 256
+    for x in range(256):
+        b = inverse[x]
+        # Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+        value = b
+        for shift in range(1, 5):
+            value ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        sbox[x] = value ^ 0x63
+    inv_sbox = [0] * 256
+    for x, s in enumerate(sbox):
+        inv_sbox[s] = x
+    return sbox, inv_sbox
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+# T-tables: combined SubBytes + MixColumns for the encryption rounds.
+_TE0 = [0] * 256
+_TE1 = [0] * 256
+_TE2 = [0] * 256
+_TE3 = [0] * 256
+for _x in range(256):
+    _s = _SBOX[_x]
+    _t = (
+        (_gf_mul(_s, 2) << 24)
+        | (_s << 16)
+        | (_s << 8)
+        | _gf_mul(_s, 3)
+    )
+    _TE0[_x] = _t
+    _TE1[_x] = ((_t >> 8) | (_t << 24)) & 0xFFFFFFFF
+    _TE2[_x] = ((_t >> 16) | (_t << 16)) & 0xFFFFFFFF
+    _TE3[_x] = ((_t >> 24) | (_t << 8)) & 0xFFFFFFFF
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_gf_mul(_RCON[-1], 2))
+
+
+class AesBlockCipher:
+    """AES with a 128-, 192- or 256-bit key; encrypts one 16-byte block.
+
+    Only the forward (encryption) direction is implemented because every
+    mode used by MVTEE (CTR, GCM) needs only the forward permutation.
+    """
+
+    block_size = 16
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> list[int]:
+        nk = len(key) // 4
+        words = list(struct.unpack(f">{nk}I", key))
+        total = 4 * (self._rounds + 1)
+        for i in range(nk, total):
+            temp = words[i - 1]
+            if i % nk == 0:
+                temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF  # RotWord
+                temp = (  # SubWord
+                    (_SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (_SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (_SBOX[(temp >> 8) & 0xFF] << 8)
+                    | _SBOX[temp & 0xFF]
+                )
+                temp ^= _RCON[i // nk - 1] << 24
+            elif nk > 6 and i % nk == 4:
+                temp = (
+                    (_SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (_SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (_SBOX[(temp >> 8) & 0xFF] << 8)
+                    | _SBOX[temp & 0xFF]
+                )
+            words.append(words[i - nk] ^ temp)
+        return words
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 16-byte block."""
+        if len(block) != 16:
+            raise ValueError("AES block must be exactly 16 bytes")
+        rk = self._round_keys
+        s0, s1, s2, s3 = struct.unpack(">4I", block)
+        s0 ^= rk[0]
+        s1 ^= rk[1]
+        s2 ^= rk[2]
+        s3 ^= rk[3]
+        for rnd in range(1, self._rounds):
+            base = 4 * rnd
+            t0 = (
+                _TE0[(s0 >> 24) & 0xFF]
+                ^ _TE1[(s1 >> 16) & 0xFF]
+                ^ _TE2[(s2 >> 8) & 0xFF]
+                ^ _TE3[s3 & 0xFF]
+                ^ rk[base]
+            )
+            t1 = (
+                _TE0[(s1 >> 24) & 0xFF]
+                ^ _TE1[(s2 >> 16) & 0xFF]
+                ^ _TE2[(s3 >> 8) & 0xFF]
+                ^ _TE3[s0 & 0xFF]
+                ^ rk[base + 1]
+            )
+            t2 = (
+                _TE0[(s2 >> 24) & 0xFF]
+                ^ _TE1[(s3 >> 16) & 0xFF]
+                ^ _TE2[(s0 >> 8) & 0xFF]
+                ^ _TE3[s1 & 0xFF]
+                ^ rk[base + 2]
+            )
+            t3 = (
+                _TE0[(s3 >> 24) & 0xFF]
+                ^ _TE1[(s0 >> 16) & 0xFF]
+                ^ _TE2[(s1 >> 8) & 0xFF]
+                ^ _TE3[s2 & 0xFF]
+                ^ rk[base + 3]
+            )
+            s0, s1, s2, s3 = t0, t1, t2, t3
+        base = 4 * self._rounds
+        out0 = (
+            (_SBOX[(s0 >> 24) & 0xFF] << 24)
+            | (_SBOX[(s1 >> 16) & 0xFF] << 16)
+            | (_SBOX[(s2 >> 8) & 0xFF] << 8)
+            | _SBOX[s3 & 0xFF]
+        ) ^ rk[base]
+        out1 = (
+            (_SBOX[(s1 >> 24) & 0xFF] << 24)
+            | (_SBOX[(s2 >> 16) & 0xFF] << 16)
+            | (_SBOX[(s3 >> 8) & 0xFF] << 8)
+            | _SBOX[s0 & 0xFF]
+        ) ^ rk[base + 1]
+        out2 = (
+            (_SBOX[(s2 >> 24) & 0xFF] << 24)
+            | (_SBOX[(s3 >> 16) & 0xFF] << 16)
+            | (_SBOX[(s0 >> 8) & 0xFF] << 8)
+            | _SBOX[s1 & 0xFF]
+        ) ^ rk[base + 2]
+        out3 = (
+            (_SBOX[(s3 >> 24) & 0xFF] << 24)
+            | (_SBOX[(s0 >> 16) & 0xFF] << 16)
+            | (_SBOX[(s1 >> 8) & 0xFF] << 8)
+            | _SBOX[s2 & 0xFF]
+        ) ^ rk[base + 3]
+        return struct.pack(">4I", out0, out1, out2, out3)
+
+    def ctr_keystream(self, nonce16: bytes, n_bytes: int) -> bytes:
+        """Produce a CTR-mode keystream starting at the given 16-byte counter block.
+
+        The counter occupies the last 4 bytes (big-endian), matching GCM's
+        32-bit counter convention.
+        """
+        if len(nonce16) != 16:
+            raise ValueError("CTR start block must be 16 bytes")
+        prefix = nonce16[:12]
+        counter = struct.unpack(">I", nonce16[12:])[0]
+        blocks = []
+        for _ in range((n_bytes + 15) // 16):
+            blocks.append(self.encrypt_block(prefix + struct.pack(">I", counter)))
+            counter = (counter + 1) & 0xFFFFFFFF
+        return b"".join(blocks)[:n_bytes]

@@ -1,0 +1,45 @@
+"""HKDF-SHA256 key derivation (RFC 5869) and HMAC helpers.
+
+MVTEE derives per-purpose keys everywhere a secret is shared: channel
+record keys from the RA-TLS handshake secret, one-time file keys from a
+variant's key-derivation key, and report MACs from the simulated hardware
+root key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = ["hmac_sha256", "hkdf_extract", "hkdf_expand", "hkdf_sha256"]
+
+_HASH_LEN = 32
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 of ``data`` under ``key``."""
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract: compress input keying material into a pseudorandom key."""
+    return hmac_sha256(salt or bytes(_HASH_LEN), ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand: stretch a pseudorandom key to ``length`` output bytes."""
+    if length > 255 * _HASH_LEN:
+        raise ValueError("HKDF-Expand output too long")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac_sha256(prk, previous + info + bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf_sha256(ikm: bytes, *, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """Full HKDF (extract-then-expand) in one call."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

@@ -1,0 +1,111 @@
+"""Key management for MVTEE.
+
+The paper (§6.5, "Attacks on init-variant and initialization/updates")
+specifies that the variant-specific key acts as a *key-derivation key* for
+the TEE OS's encrypted filesystem, while actual file encryption uses
+one-time keys; this prolongs the time to reach NIST key-usage thresholds
+and lessens rotation burden.  :class:`KeyManager` implements exactly that
+scheme, plus usage accounting and rotation.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+
+from repro.crypto.kdf import hkdf_sha256
+
+__all__ = ["KeyManager", "KeyRecord", "KeyUsageExceeded"]
+
+#: Conservative stand-in for the NIST SP 800-38D invocation limit discussed
+#: in the paper.  Kept deliberately small-ish so tests can exercise rotation.
+DEFAULT_USAGE_LIMIT = 2**20
+
+
+class KeyUsageExceeded(Exception):
+    """Raised when a key-derivation key exceeds its configured usage limit."""
+
+
+@dataclass
+class KeyRecord:
+    """A managed key-derivation key with usage accounting."""
+
+    key_id: str
+    key: bytes
+    usage_limit: int = DEFAULT_USAGE_LIMIT
+    derivations: int = 0
+    generation: int = 0
+    retired: bool = False
+
+    def derive(self, purpose: str, context: bytes = b"", length: int = 32) -> bytes:
+        """Derive a one-time subordinate key for ``purpose``.
+
+        Every call consumes one usage unit and yields a distinct key (the
+        derivation counter is folded into the HKDF info string), so the
+        KDK itself never directly encrypts data.
+        """
+        if self.retired:
+            raise KeyUsageExceeded(f"key {self.key_id} (gen {self.generation}) is retired")
+        if self.derivations >= self.usage_limit:
+            raise KeyUsageExceeded(
+                f"key {self.key_id} reached its usage limit of {self.usage_limit}"
+            )
+        self.derivations += 1
+        info = b"|".join(
+            [b"mvtee-kdk", self.key_id.encode(), purpose.encode(), str(self.derivations).encode()]
+        )
+        return hkdf_sha256(self.key, info=info + b"|" + context, length=length)
+
+
+@dataclass
+class KeyManager:
+    """Creates, derives from, rotates and retires key-derivation keys."""
+
+    usage_limit: int = DEFAULT_USAGE_LIMIT
+    _records: dict[str, KeyRecord] = field(default_factory=dict)
+
+    def create_key(self, key_id: str, *, key: bytes | None = None) -> KeyRecord:
+        """Create (or install) a fresh KDK under ``key_id``."""
+        if key_id in self._records and not self._records[key_id].retired:
+            raise ValueError(f"key {key_id!r} already exists")
+        record = KeyRecord(
+            key_id=key_id,
+            key=key if key is not None else secrets.token_bytes(32),
+            usage_limit=self.usage_limit,
+            generation=self._records[key_id].generation + 1 if key_id in self._records else 0,
+        )
+        self._records[key_id] = record
+        return record
+
+    def get(self, key_id: str) -> KeyRecord:
+        """Look up an active KDK by id."""
+        record = self._records.get(key_id)
+        if record is None:
+            raise KeyError(f"no key {key_id!r}")
+        return record
+
+    def derive(self, key_id: str, purpose: str, context: bytes = b"", length: int = 32) -> bytes:
+        """Derive a one-time key from the named KDK."""
+        return self.get(key_id).derive(purpose, context, length)
+
+    def rotate(self, key_id: str) -> KeyRecord:
+        """Retire the current generation and install a fresh key."""
+        old = self.get(key_id)
+        old.retired = True
+        fresh = KeyRecord(
+            key_id=key_id,
+            key=secrets.token_bytes(32),
+            usage_limit=self.usage_limit,
+            generation=old.generation + 1,
+        )
+        self._records[key_id] = fresh
+        return fresh
+
+    def needs_rotation(self, key_id: str, *, headroom: float = 0.9) -> bool:
+        """True once a key has consumed ``headroom`` of its usage budget."""
+        record = self.get(key_id)
+        return record.derivations >= int(record.usage_limit * headroom)
+
+    def key_ids(self) -> list[str]:
+        """Ids of all managed (active) keys."""
+        return sorted(k for k, r in self._records.items() if not r.retired)

@@ -1,0 +1,31 @@
+"""The computational-graph IR substrate (ONNX equivalent).
+
+MVTEE's offline tool operates on ONNX graphs; no onnx package is
+available offline, so this package implements the subset of ONNX the
+paper relies on: a DAG of typed operator nodes with named tensor edges,
+initializers (weights), graph inputs/outputs, shape inference, cost
+annotation (FLOPs/bytes), subgraph extraction for partitioning, and a
+JSON+npz serialization format.
+"""
+
+from repro.graph.dtypes import DataType
+from repro.graph.tensor import TensorSpec
+from repro.graph.node import Node
+from repro.graph.model import GraphError, ModelGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.shapes import infer_shapes, ShapeInferenceError
+from repro.graph.flops import graph_flops, node_flops, tensor_nbytes
+
+__all__ = [
+    "DataType",
+    "GraphBuilder",
+    "GraphError",
+    "ModelGraph",
+    "Node",
+    "ShapeInferenceError",
+    "TensorSpec",
+    "graph_flops",
+    "infer_shapes",
+    "node_flops",
+    "tensor_nbytes",
+]

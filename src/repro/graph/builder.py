@@ -1,0 +1,408 @@
+"""Fluent construction of model graphs.
+
+The zoo models (ResNet, Inception, MobileNet, ...) are defined through
+this builder.  Each helper appends a node, registers randomly initialized
+weights (seeded, He-style), and returns the produced tensor name, so model
+definitions read like framework code:
+
+>>> b = GraphBuilder("tiny", seed=0)
+>>> x = b.input("x", (1, 3, 8, 8))
+>>> y = b.relu(b.conv(x, 4, kernel=3, pad=1))
+>>> b.set_output(b.fc(b.global_avg_pool(y), 10))
+>>> model = b.finish()
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.dtypes import DataType
+from repro.graph.model import ModelGraph
+from repro.graph.node import Node
+from repro.graph.shapes import _infer_node, infer_shapes
+from repro.graph.tensor import TensorSpec
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Incrementally builds a validated :class:`ModelGraph`."""
+
+    def __init__(self, name: str, *, seed: int = 0):
+        self._name = name
+        self._rng = np.random.default_rng(seed)
+        self._inputs: list[TensorSpec] = []
+        self._outputs: list[str] = []
+        self._nodes: list[Node] = []
+        self._initializers: dict[str, np.ndarray] = {}
+        self._counters: dict[str, int] = {}
+        # Incrementally maintained shape table so layer helpers can query
+        # shapes in O(1) instead of re-running whole-graph inference.
+        self._specs: dict[str, TensorSpec] = {}
+
+    # ------------------------------------------------------------------
+    # Core plumbing
+    # ------------------------------------------------------------------
+
+    def _fresh(self, kind: str) -> str:
+        index = self._counters.get(kind, 0)
+        self._counters[kind] = index + 1
+        return f"{kind}_{index}"
+
+    def add_node(
+        self,
+        op_type: str,
+        inputs: list[str],
+        *,
+        attrs: dict | None = None,
+        name: str | None = None,
+        n_outputs: int = 1,
+    ) -> str | list[str]:
+        """Append a raw node; returns its output name(s)."""
+        node_name = name or self._fresh(op_type.lower())
+        outputs = [f"{node_name}:{i}" if n_outputs > 1 else f"{node_name}:out" for i in range(n_outputs)]
+        node = Node(
+            name=node_name, op_type=op_type, inputs=inputs, outputs=outputs, attrs=attrs or {}
+        )
+        self._nodes.append(node)
+        _infer_node(node, self._specs)
+        return outputs if n_outputs > 1 else outputs[0]
+
+    def add_initializer(self, name: str, array: np.ndarray) -> str:
+        """Register a weight tensor."""
+        if name in self._initializers:
+            raise ValueError(f"initializer {name!r} already registered")
+        arr = np.asarray(array, dtype=np.float32)
+        self._initializers[name] = arr
+        self._specs[name] = TensorSpec(name, tuple(arr.shape), DataType.FLOAT32)
+        return name
+
+    def _he_weight(self, name: str, shape: tuple[int, ...], fan_in: int) -> str:
+        scale = np.sqrt(2.0 / max(fan_in, 1))
+        return self.add_initializer(
+            name, self._rng.normal(0.0, scale, size=shape).astype(np.float32)
+        )
+
+    def input(self, name: str, shape: tuple[int, ...], dtype: DataType = DataType.FLOAT32) -> str:
+        """Declare a graph input and return its tensor name."""
+        spec = TensorSpec(name, shape, dtype)
+        self._inputs.append(spec)
+        self._specs[name] = spec
+        return name
+
+    def set_output(self, *tensors: str) -> None:
+        """Declare graph outputs (call once per output tensor or with several)."""
+        self._outputs.extend(tensors)
+
+    def finish(self) -> ModelGraph:
+        """Validate and return the built model."""
+        draft = ModelGraph(
+            name=self._name,
+            inputs=list(self._inputs),
+            outputs=[self._specs[t] for t in self._outputs],
+            nodes=list(self._nodes),
+            initializers=dict(self._initializers),
+        )
+        draft.toposort_inplace()
+        draft.validate()
+        # Cross-check the incremental shape table against a from-scratch pass.
+        infer_shapes(draft)
+        return draft
+
+    # ------------------------------------------------------------------
+    # Layer helpers
+    # ------------------------------------------------------------------
+
+    def conv(
+        self,
+        x: str,
+        out_channels: int,
+        *,
+        kernel: int | tuple[int, int] = 3,
+        stride: int | tuple[int, int] = 1,
+        pad: int | tuple[int, int] | None = None,
+        group: int = 1,
+        dilation: int = 1,
+        bias: bool = False,
+        in_channels: int | None = None,
+        name: str | None = None,
+    ) -> str:
+        """2-D convolution.  ``pad=None`` means 'same' for odd kernels at stride 1."""
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        if in_channels is None:
+            in_channels = self._current_channels(x)
+        if in_channels % group:
+            raise ValueError(f"in_channels {in_channels} not divisible by group {group}")
+        if pad is None:
+            pad = (kh // 2, kw // 2)
+        ph, pw = (pad, pad) if isinstance(pad, int) else pad
+        node_name = name or self._fresh("conv")
+        weight = self._he_weight(
+            f"{node_name}.w",
+            (out_channels, in_channels // group, kh, kw),
+            fan_in=(in_channels // group) * kh * kw,
+        )
+        inputs = [x, weight]
+        if bias:
+            inputs.append(self.add_initializer(f"{node_name}.b", np.zeros(out_channels)))
+        sh, sw = (stride, stride) if isinstance(stride, int) else stride
+        return self.add_node(
+            "Conv",
+            inputs,
+            attrs={
+                "strides": [sh, sw],
+                "pads": [ph, pw, ph, pw],
+                "dilations": [dilation, dilation],
+                "group": group,
+                "kernel_shape": [kh, kw],
+            },
+            name=node_name,
+        )
+
+    def depthwise_conv(
+        self,
+        x: str,
+        *,
+        kernel: int = 3,
+        stride: int = 1,
+        pad: int | None = None,
+        name: str | None = None,
+    ) -> str:
+        """Depthwise convolution (group == channels)."""
+        channels = self._current_channels(x)
+        return self.conv(
+            x,
+            channels,
+            kernel=kernel,
+            stride=stride,
+            pad=pad,
+            group=channels,
+            name=name or self._fresh("dwconv"),
+        )
+
+    def batch_norm(self, x: str, *, eps: float = 1e-5, name: str | None = None) -> str:
+        """Batch normalization (inference mode: uses stored statistics)."""
+        channels = self._current_channels(x)
+        node_name = name or self._fresh("bn")
+        scale = self.add_initializer(
+            f"{node_name}.scale", np.abs(self._rng.normal(1.0, 0.1, channels)) + 0.1
+        )
+        shift = self.add_initializer(f"{node_name}.shift", self._rng.normal(0.0, 0.1, channels))
+        mean = self.add_initializer(f"{node_name}.mean", self._rng.normal(0.0, 0.2, channels))
+        var = self.add_initializer(
+            f"{node_name}.var", np.abs(self._rng.normal(1.0, 0.1, channels)) + 0.1
+        )
+        return self.add_node(
+            "BatchNormalization",
+            [x, scale, shift, mean, var],
+            attrs={"epsilon": eps},
+            name=node_name,
+        )
+
+    def _activation(self, op: str, x: str, name: str | None = None, **attrs) -> str:
+        return self.add_node(op, [x], attrs=attrs, name=name)
+
+    def relu(self, x: str, name: str | None = None) -> str:
+        """ReLU activation."""
+        return self._activation("Relu", x, name)
+
+    def sigmoid(self, x: str, name: str | None = None) -> str:
+        """Logistic sigmoid."""
+        return self._activation("Sigmoid", x, name)
+
+    def tanh(self, x: str, name: str | None = None) -> str:
+        """Hyperbolic tangent."""
+        return self._activation("Tanh", x, name)
+
+    def hard_sigmoid(self, x: str, name: str | None = None) -> str:
+        """Hard sigmoid: clip(x/6 + 0.5, 0, 1) (MobileNet-V3 convention)."""
+        return self._activation("HardSigmoid", x, name, alpha=1.0 / 6.0, beta=0.5)
+
+    def hard_swish(self, x: str, name: str | None = None) -> str:
+        """Hard swish: x * hard_sigmoid(x)."""
+        return self._activation("HardSwish", x, name)
+
+    def silu(self, x: str, name: str | None = None) -> str:
+        """SiLU / swish: x * sigmoid(x) (EfficientNet activation)."""
+        return self._activation("Silu", x, name)
+
+    def clip(self, x: str, *, lo: float = 0.0, hi: float = 6.0, name: str | None = None) -> str:
+        """Clip to [lo, hi] (ReLU6 as used by MnasNet)."""
+        return self._activation("Clip", x, name, min=lo, max=hi)
+
+    def softmax(self, x: str, *, axis: int = -1, name: str | None = None) -> str:
+        """Softmax along ``axis``."""
+        return self._activation("Softmax", x, name, axis=axis)
+
+    def max_pool(
+        self,
+        x: str,
+        *,
+        kernel: int = 2,
+        stride: int | None = None,
+        pad: int = 0,
+        ceil_mode: bool = False,
+        name: str | None = None,
+    ) -> str:
+        """Max pooling."""
+        stride = stride if stride is not None else kernel
+        return self.add_node(
+            "MaxPool",
+            [x],
+            attrs={
+                "kernel_shape": [kernel, kernel],
+                "strides": [stride, stride],
+                "pads": [pad, pad, pad, pad],
+                "ceil_mode": int(ceil_mode),
+            },
+            name=name,
+        )
+
+    def avg_pool(
+        self,
+        x: str,
+        *,
+        kernel: int = 2,
+        stride: int | None = None,
+        pad: int = 0,
+        name: str | None = None,
+    ) -> str:
+        """Average pooling."""
+        stride = stride if stride is not None else kernel
+        return self.add_node(
+            "AveragePool",
+            [x],
+            attrs={
+                "kernel_shape": [kernel, kernel],
+                "strides": [stride, stride],
+                "pads": [pad, pad, pad, pad],
+            },
+            name=name,
+        )
+
+    def global_avg_pool(self, x: str, name: str | None = None) -> str:
+        """Global average pooling to (N, C, 1, 1)."""
+        return self.add_node("GlobalAveragePool", [x], name=name)
+
+    def flatten(self, x: str, *, axis: int = 1, name: str | None = None) -> str:
+        """Flatten trailing dimensions from ``axis``."""
+        return self.add_node("Flatten", [x], attrs={"axis": axis}, name=name)
+
+    def fc(
+        self,
+        x: str,
+        out_features: int,
+        *,
+        bias: bool = True,
+        flatten: bool = True,
+        name: str | None = None,
+    ) -> str:
+        """Fully connected layer (optionally flattening a 4-D input first)."""
+        if flatten and len(self._current_shape(x)) > 2:
+            x = self.flatten(x)
+        in_features = self._current_shape(x)[-1]
+        node_name = name or self._fresh("fc")
+        weight = self._he_weight(
+            f"{node_name}.w", (out_features, in_features), fan_in=in_features
+        )
+        inputs = [x, weight]
+        if bias:
+            inputs.append(self.add_initializer(f"{node_name}.b", np.zeros(out_features)))
+        return self.add_node("Gemm", inputs, attrs={"transB": 1}, name=node_name)
+
+    def add(self, a: str, b: str, name: str | None = None) -> str:
+        """Elementwise addition (residual connections)."""
+        return self.add_node("Add", [a, b], name=name)
+
+    def mul(self, a: str, b: str, name: str | None = None) -> str:
+        """Elementwise multiplication (attention gating)."""
+        return self.add_node("Mul", [a, b], name=name)
+
+    def concat(self, tensors: list[str], *, axis: int = 1, name: str | None = None) -> str:
+        """Concatenate along ``axis`` (Inception branches)."""
+        return self.add_node("Concat", list(tensors), attrs={"axis": axis}, name=name)
+
+    def reshape(self, x: str, shape: list[int], name: str | None = None) -> str:
+        """Reshape to a static target (one -1 allowed)."""
+        return self.add_node("Reshape", [x], attrs={"shape": list(shape)}, name=name)
+
+    def identity(self, x: str, name: str | None = None) -> str:
+        """Pass-through node."""
+        return self.add_node("Identity", [x], name=name)
+
+    # ------------------------------------------------------------------
+    # Transformer layers (requires repro.ops imported for the op family)
+    # ------------------------------------------------------------------
+
+    def layer_norm(self, x: str, *, eps: float = 1e-5, name: str | None = None) -> str:
+        """Layer normalization over the last dimension."""
+        features = self._current_shape(x)[-1]
+        node_name = name or self._fresh("ln")
+        scale = self.add_initializer(
+            f"{node_name}.scale", np.abs(self._rng.normal(1.0, 0.05, features)) + 0.5
+        )
+        shift = self.add_initializer(f"{node_name}.shift", self._rng.normal(0.0, 0.05, features))
+        return self.add_node(
+            "LayerNormalization", [x, scale, shift], attrs={"epsilon": eps}, name=node_name
+        )
+
+    def gelu(self, x: str, name: str | None = None) -> str:
+        """GELU activation (tanh approximation)."""
+        return self.add_node("Gelu", [x], name=name)
+
+    def linear(self, x: str, out_features: int, *, name: str | None = None) -> str:
+        """Batched linear projection over the last dimension (no flatten)."""
+        in_features = self._current_shape(x)[-1]
+        node_name = name or self._fresh("linear")
+        weight = self._he_weight(
+            f"{node_name}.w", (in_features, out_features), fan_in=in_features
+        )
+        return self.add_node("BatchMatMul", [x, weight], name=node_name)
+
+    def batch_matmul(
+        self,
+        a: str,
+        b: str,
+        *,
+        trans_a: bool = False,
+        trans_b: bool = False,
+        scale: float = 1.0,
+        name: str | None = None,
+    ) -> str:
+        """Batched matrix product with optional transposes and scaling."""
+        return self.add_node(
+            "BatchMatMul",
+            [a, b],
+            attrs={"transA": int(trans_a), "transB": int(trans_b), "scale": scale},
+            name=name,
+        )
+
+    def split(self, x: str, parts: int, *, axis: int = -1, name: str | None = None) -> list[str]:
+        """Split a tensor into equal parts along ``axis``."""
+        return self.add_node(
+            "Split", [x], attrs={"axis": axis, "num_outputs": parts},
+            name=name, n_outputs=parts,
+        )
+
+    def causal_mask(self, x: str, name: str | None = None) -> str:
+        """Apply a causal (lower-triangular) mask to attention scores."""
+        return self.add_node("CausalMask", [x], name=name)
+
+    def transpose(self, x: str, perm: list[int], name: str | None = None) -> str:
+        """Permute tensor dimensions."""
+        return self.add_node("Transpose", [x], attrs={"perm": list(perm)}, name=name)
+
+    # ------------------------------------------------------------------
+    # Shape bookkeeping (incremental inference over built prefix)
+    # ------------------------------------------------------------------
+
+    def _current_shape(self, tensor: str) -> tuple[int, ...]:
+        if tensor not in self._specs:
+            raise KeyError(f"unknown tensor {tensor!r}")
+        return self._specs[tensor].shape
+
+    def _current_channels(self, tensor: str) -> int:
+        shape = self._current_shape(tensor)
+        if len(shape) < 2:
+            raise ValueError(f"tensor {tensor!r} has no channel dimension: {shape}")
+        return shape[1]

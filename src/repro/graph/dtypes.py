@@ -1,0 +1,41 @@
+"""Tensor element types, mirroring the ONNX TensorProto type subset we use."""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["DataType"]
+
+
+class DataType(enum.Enum):
+    """Element type of a tensor edge."""
+
+    FLOAT32 = "float32"
+    FLOAT64 = "float64"
+    FLOAT16 = "float16"
+    INT64 = "int64"
+    INT32 = "int32"
+    INT8 = "int8"
+    UINT8 = "uint8"
+    BOOL = "bool"
+
+    @property
+    def numpy(self) -> np.dtype:
+        """The numpy dtype this element type maps to."""
+        return np.dtype(self.value)
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return self.numpy.itemsize
+
+    @classmethod
+    def from_numpy(cls, dtype: np.dtype) -> "DataType":
+        """Map a numpy dtype back to a :class:`DataType`."""
+        name = np.dtype(dtype).name
+        try:
+            return cls(name)
+        except ValueError:
+            raise ValueError(f"unsupported tensor dtype {name!r}") from None

@@ -1,0 +1,108 @@
+"""Cost annotation: FLOPs and activation bytes per node.
+
+These numbers drive (i) the edge-weight function used by the
+random-balanced partitioner ("balanced" is measured in compute) and
+(ii) the discrete-event cost model that reproduces the paper's
+performance figures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.node import Node
+from repro.graph.tensor import TensorSpec
+
+__all__ = ["node_flops", "graph_flops", "tensor_nbytes"]
+
+
+def tensor_nbytes(spec: TensorSpec) -> int:
+    """Serialized size of one tensor in bytes."""
+    return spec.nbytes
+
+
+def node_flops(node: Node, specs: dict[str, TensorSpec]) -> int:
+    """Estimate multiply-accumulate-style FLOPs for one operator.
+
+    Conventions follow common profiler practice: a MAC counts as 2 FLOPs;
+    elementwise/normalization ops count a small constant per element.
+    """
+    op = node.op_type
+    out = specs[node.outputs[0]]
+    out_elems = out.num_elements
+    if op in ("Conv", "FusedConvRelu"):
+        weight = specs[node.inputs[1]]
+        # weight: (M, C/group, kH, kW); every output element costs
+        # C/group * kH * kW MACs.
+        macs_per_out = weight.shape[1] * weight.shape[2] * weight.shape[3]
+        return 2 * out_elems * macs_per_out
+    if op in ("Gemm", "MatMul", "BatchMatMul", "FusedGemmRelu"):
+        a = specs[node.inputs[0]]
+        if op in ("Gemm", "FusedGemmRelu"):
+            k = a.shape[0] if node.attrs.get("transA") else a.shape[-1]
+        else:
+            k = a.shape[-2] if node.attrs.get("transA") else a.shape[-1]
+        return 2 * out_elems * k
+    if op in ("BatchNormalization", "LayerNormalization"):
+        return 4 * out_elems
+    if op == "Gelu":
+        return 8 * out_elems
+    if op in ("Split", "CausalMask"):
+        return sum(specs[o].num_elements for o in node.outputs if o in specs)
+    if op in ("MaxPool", "AveragePool"):
+        kh, kw = node.attrs["kernel_shape"][:2] if not isinstance(
+            node.attrs["kernel_shape"], int
+        ) else (node.attrs["kernel_shape"], node.attrs["kernel_shape"])
+        return out_elems * int(kh) * int(kw)
+    if op == "GlobalAveragePool":
+        return specs[node.inputs[0]].num_elements
+    if op == "ReduceMean":
+        return specs[node.inputs[0]].num_elements
+    if op in ("Relu", "Identity", "Dropout", "ZeroAdd", "Neg"):
+        return out_elems
+    if op in ("Sigmoid", "Tanh", "Softmax", "Exp", "Erf", "Sqrt", "LRN"):
+        return 4 * out_elems
+    if op in ("HardSigmoid", "HardSwish", "Silu", "Clip"):
+        return 3 * out_elems
+    if op in ("Add", "Mul", "Sub", "Div"):
+        return out_elems
+    if op in ("Concat", "Flatten", "Reshape", "Squeeze", "Unsqueeze", "Transpose", "Pad"):
+        return out_elems  # memory movement, charged as 1 "FLOP"/element
+    return out_elems
+
+
+def graph_flops(model, specs: dict[str, TensorSpec] | None = None) -> int:
+    """Total FLOPs for one inference through ``model``."""
+    if specs is None:
+        from repro.graph.shapes import infer_shapes
+
+        specs = infer_shapes(model)
+    return sum(node_flops(node, specs) for node in model.nodes)
+
+
+def node_output_bytes(node: Node, specs: dict[str, TensorSpec]) -> int:
+    """Bytes of activation the node produces (checkpoint transfer size)."""
+    return sum(specs[out].nbytes for out in node.outputs if out in specs)
+
+
+def graph_activation_bytes(model, specs: dict[str, TensorSpec] | None = None) -> int:
+    """Total bytes of all intermediate activations for one inference."""
+    if specs is None:
+        from repro.graph.shapes import infer_shapes
+
+        specs = infer_shapes(model)
+    return sum(node_output_bytes(node, specs) for node in model.nodes)
+
+
+def parameter_bytes(model) -> int:
+    """Total bytes of model weights."""
+    return sum(arr.nbytes for arr in model.initializers.values())
+
+
+def humanize_flops(flops: int) -> str:
+    """Render a FLOP count as a human-readable string (e.g. '4.1 GFLOPs')."""
+    if flops <= 0:
+        return "0 FLOPs"
+    units = ["", "K", "M", "G", "T"]
+    scale = min(int(math.log10(flops) // 3), len(units) - 1)
+    return f"{flops / 10 ** (3 * scale):.1f} {units[scale]}FLOPs"

@@ -1,0 +1,359 @@
+"""The model graph: a validated DAG of operator nodes.
+
+Provides the structural operations MVTEE's offline tooling needs:
+validation, topological ordering, producer/consumer maps, subgraph
+extraction (the core of partitioning), and serialization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.dtypes import DataType
+from repro.graph.node import Node
+from repro.graph.tensor import TensorSpec
+
+__all__ = ["GraphError", "ModelGraph"]
+
+
+class GraphError(Exception):
+    """Raised when a graph is structurally invalid."""
+
+
+@dataclass
+class ModelGraph:
+    """A DNN model as a DAG of operator nodes with named tensor edges.
+
+    Invariants enforced by :meth:`validate` (and maintained by all library
+    transformations):
+
+    - node names and produced tensor names are unique;
+    - every node input resolves to a graph input, an initializer, or a
+      tensor produced by another node;
+    - the node dependency relation is acyclic;
+    - every declared graph output is produced.
+    """
+
+    name: str
+    inputs: list[TensorSpec]
+    outputs: list[TensorSpec]
+    nodes: list[Node] = field(default_factory=list)
+    initializers: dict[str, np.ndarray] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def producers(self) -> dict[str, Node]:
+        """Map from tensor name to the node that produces it."""
+        produced: dict[str, Node] = {}
+        for node in self.nodes:
+            for out in node.outputs:
+                if out in produced:
+                    raise GraphError(
+                        f"tensor {out!r} produced by both {produced[out].name!r} "
+                        f"and {node.name!r}"
+                    )
+                produced[out] = node
+        return produced
+
+    def consumers(self) -> dict[str, list[Node]]:
+        """Map from tensor name to the nodes that consume it."""
+        consumed: dict[str, list[Node]] = {}
+        for node in self.nodes:
+            for inp in node.inputs:
+                consumed.setdefault(inp, []).append(node)
+        return consumed
+
+    def node_by_name(self, name: str) -> Node:
+        """Look up a node by its unique name."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r} in graph {self.name!r}")
+
+    def input_names(self) -> set[str]:
+        """Names of the graph's data inputs."""
+        return {spec.name for spec in self.inputs}
+
+    def output_names(self) -> set[str]:
+        """Names of the graph's declared outputs."""
+        return {spec.name for spec in self.outputs}
+
+    # ------------------------------------------------------------------
+    # Validation and ordering
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check all structural invariants; raise :class:`GraphError` if broken."""
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise GraphError(f"duplicate node names: {dupes}")
+        produced = self.producers()  # raises on duplicate tensor producers
+        known = self.input_names() | set(self.initializers)
+        overlap = known & set(produced)
+        if overlap:
+            raise GraphError(f"tensors both provided and produced: {sorted(overlap)}")
+        available = known | set(produced)
+        for node in self.nodes:
+            for inp in node.inputs:
+                if inp not in available:
+                    raise GraphError(
+                        f"node {node.name!r} consumes unknown tensor {inp!r}"
+                    )
+        for spec in self.outputs:
+            if spec.name not in available:
+                raise GraphError(f"graph output {spec.name!r} is never produced")
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> list[Node]:
+        """Nodes in a deterministic topological order (Kahn, stable by position)."""
+        produced = self.producers()
+        index = {node.name: i for i, node in enumerate(self.nodes)}
+        in_degree: dict[str, int] = {}
+        dependents: dict[str, list[Node]] = {}
+        for node in self.nodes:
+            deps = {
+                produced[inp].name
+                for inp in node.inputs
+                if inp in produced
+            }
+            in_degree[node.name] = len(deps)
+            for dep in deps:
+                dependents.setdefault(dep, []).append(node)
+        ready = sorted(
+            (node for node in self.nodes if in_degree[node.name] == 0),
+            key=lambda n: index[n.name],
+        )
+        order: list[Node] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for dependent in dependents.get(node.name, []):
+                in_degree[dependent.name] -= 1
+                if in_degree[dependent.name] == 0:
+                    # Insert keeping the ready list sorted by original index
+                    # so the order is deterministic.
+                    pos = 0
+                    while pos < len(ready) and index[ready[pos].name] < index[dependent.name]:
+                        pos += 1
+                    ready.insert(pos, dependent)
+        if len(order) != len(self.nodes):
+            remaining = sorted(set(n.name for n in self.nodes) - {n.name for n in order})
+            raise GraphError(f"graph contains a cycle involving: {remaining}")
+        return order
+
+    def toposort_inplace(self) -> None:
+        """Reorder ``self.nodes`` into topological order."""
+        self.nodes = self.topological_order()
+
+    # ------------------------------------------------------------------
+    # Subgraph extraction (partitioning primitive)
+    # ------------------------------------------------------------------
+
+    def extract_subgraph(self, node_names: list[str], *, name: str | None = None) -> "ModelGraph":
+        """Build the sub-model induced by ``node_names``.
+
+        The subgraph's inputs are the tensors its nodes consume that are
+        produced outside (or are graph inputs); initializers referenced by
+        the chosen nodes are copied in.  Its outputs are tensors produced
+        inside and consumed outside or declared as graph outputs -- these
+        boundary tensors are exactly MVTEE's checkpoint tensors.
+        """
+        chosen = set(node_names)
+        missing = chosen - {n.name for n in self.nodes}
+        if missing:
+            raise GraphError(f"unknown nodes in subgraph request: {sorted(missing)}")
+        shapes = self._all_shapes()
+        sub_nodes = [n.copy() for n in self.nodes if n.name in chosen]
+        produced_inside = {out for n in sub_nodes for out in n.outputs}
+        sub_inits: dict[str, np.ndarray] = {}
+        boundary_inputs: list[str] = []
+        for node in sub_nodes:
+            for inp in node.inputs:
+                if inp in produced_inside:
+                    continue
+                if inp in self.initializers:
+                    sub_inits[inp] = self.initializers[inp]
+                elif inp not in boundary_inputs:
+                    boundary_inputs.append(inp)
+        graph_outputs = self.output_names()
+        consumed_outside = {
+            inp
+            for node in self.nodes
+            if node.name not in chosen
+            for inp in node.inputs
+        }
+        boundary_outputs = [
+            out
+            for node in sub_nodes
+            for out in node.outputs
+            if out in consumed_outside or out in graph_outputs
+        ]
+        def _spec(tensor: str) -> TensorSpec:
+            if tensor in shapes:
+                return shapes[tensor]
+            raise GraphError(f"cannot infer shape for boundary tensor {tensor!r}")
+
+        sub = ModelGraph(
+            name=name or f"{self.name}.sub",
+            inputs=[_spec(t) for t in boundary_inputs],
+            outputs=[_spec(t) for t in boundary_outputs],
+            nodes=sub_nodes,
+            initializers=sub_inits,
+        )
+        sub.toposort_inplace()
+        sub.validate()
+        return sub
+
+    def _all_shapes(self) -> dict[str, TensorSpec]:
+        # Local import: shapes.py imports nothing from model.py's runtime
+        # path, but keep the modules decoupled at import time.
+        from repro.graph.shapes import infer_shapes
+
+        return infer_shapes(self)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Topology-only JSON form (weights serialized separately)."""
+        return {
+            "name": self.name,
+            "inputs": [s.to_json() for s in self.inputs],
+            "outputs": [s.to_json() for s in self.outputs],
+            "nodes": [n.to_json() for n in self.nodes],
+            "initializer_specs": {
+                name: {"shape": list(arr.shape), "dtype": str(arr.dtype)}
+                for name, arr in self.initializers.items()
+            },
+        }
+
+    def to_bytes(self) -> bytes:
+        """Full serialized model: JSON topology + npz weight archive."""
+        topo = json.dumps(self.to_json(), sort_keys=True).encode()
+        buffer = io.BytesIO()
+        np.savez(buffer, **{name: arr for name, arr in self.initializers.items()})
+        weights = buffer.getvalue()
+        return (
+            len(topo).to_bytes(8, "big")
+            + topo
+            + len(weights).to_bytes(8, "big")
+            + weights
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ModelGraph":
+        """Inverse of :meth:`to_bytes`."""
+        topo_len = int.from_bytes(data[:8], "big")
+        topo = json.loads(data[8 : 8 + topo_len])
+        offset = 8 + topo_len
+        weights_len = int.from_bytes(data[offset : offset + 8], "big")
+        blob = data[offset + 8 : offset + 8 + weights_len]
+        initializers: dict[str, np.ndarray] = {}
+        if weights_len:
+            with np.load(io.BytesIO(blob)) as archive:
+                initializers = {name: archive[name] for name in archive.files}
+        model = cls(
+            name=topo["name"],
+            inputs=[TensorSpec.from_json(s) for s in topo["inputs"]],
+            outputs=[TensorSpec.from_json(s) for s in topo["outputs"]],
+            nodes=[Node.from_json(n) for n in topo["nodes"]],
+            initializers=initializers,
+        )
+        model.validate()
+        return model
+
+    def structural_hash(self) -> str:
+        """SHA-256 over topology and weight metadata (not weight values).
+
+        Used as the model *measurement* component in attestation: two
+        graph-level variants hash differently, replicas hash identically.
+        """
+        return hashlib.sha256(
+            json.dumps(self.to_json(), sort_keys=True).encode()
+        ).hexdigest()
+
+    def weights_hash(self) -> str:
+        """SHA-256 over all initializer values in name order."""
+        digest = hashlib.sha256()
+        for name in sorted(self.initializers):
+            arr = self.initializers[name]
+            digest.update(name.encode())
+            digest.update(str(arr.dtype).encode())
+            digest.update(np.ascontiguousarray(arr).tobytes())
+        return digest.hexdigest()
+
+    def copy(self) -> "ModelGraph":
+        """Independent copy (nodes deep-copied, weights shared read-only)."""
+        return ModelGraph(
+            name=self.name,
+            inputs=list(self.inputs),
+            outputs=list(self.outputs),
+            nodes=[n.copy() for n in self.nodes],
+            initializers=dict(self.initializers),
+        )
+
+    def to_dot(self, *, partition_of: dict[str, int] | None = None) -> str:
+        """Graphviz DOT rendering of the graph.
+
+        ``partition_of`` (node name -> partition index) colors nodes by
+        partition, visualizing a checkpoint configuration.
+        """
+        palette = (
+            "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3",
+            "#fdb462", "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd",
+        )
+        lines = [f'digraph "{self.name}" {{', "  rankdir=TB;",
+                 "  node [shape=box, style=filled, fillcolor=white];"]
+        for spec in self.inputs:
+            lines.append(
+                f'  "{spec.name}" [shape=ellipse, label="{spec.name}\\n{list(spec.shape)}"];'
+            )
+        for node in self.nodes:
+            color = "white"
+            suffix = ""
+            if partition_of and node.name in partition_of:
+                index = partition_of[node.name]
+                color = palette[index % len(palette)]
+                suffix = f"\\np{index}"
+            lines.append(
+                f'  "{node.name}" [label="{node.op_type}\\n{node.name}{suffix}", '
+                f'fillcolor="{color}"];'
+            )
+        producers = self.producers()
+        for node in self.nodes:
+            for inp in node.inputs:
+                if inp in producers:
+                    lines.append(f'  "{producers[inp].name}" -> "{node.name}";')
+                elif inp in self.input_names():
+                    lines.append(f'  "{inp}" -> "{node.name}";')
+        for spec in self.outputs:
+            if spec.name in producers:
+                lines.append(
+                    f'  "{spec.name}_out" [shape=ellipse, label="{spec.name}"];'
+                )
+                lines.append(f'  "{producers[spec.name].name}" -> "{spec.name}_out";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-node description (inspection module)."""
+        lines = [f"model {self.name}: {len(self.nodes)} nodes"]
+        for spec in self.inputs:
+            lines.append(f"  input  {spec.name} {list(spec.shape)} {spec.dtype.value}")
+        for node in self.topological_order():
+            lines.append(
+                f"  [{node.op_type}] {node.name}: "
+                f"{', '.join(node.inputs)} -> {', '.join(node.outputs)}"
+            )
+        for spec in self.outputs:
+            lines.append(f"  output {spec.name} {list(spec.shape)} {spec.dtype.value}")
+        return "\n".join(lines)

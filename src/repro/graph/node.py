@@ -1,0 +1,69 @@
+"""Operator nodes of the model graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Node"]
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_attr_value(name: str, value: Any) -> Any:
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_check_attr_value(name, v) for v in value]
+    raise TypeError(f"attribute {name!r} has non-serializable value {value!r}")
+
+
+@dataclass
+class Node:
+    """One operator application: ``outputs = op_type(inputs; attrs)``.
+
+    ``inputs`` and ``outputs`` are tensor names; weight tensors appear as
+    inputs whose names resolve to graph initializers, exactly as in ONNX.
+    """
+
+    name: str
+    op_type: str
+    inputs: list[str]
+    outputs: list[str]
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+        if not self.op_type:
+            raise ValueError(f"node {self.name!r} has empty op_type")
+        if not self.outputs:
+            raise ValueError(f"node {self.name!r} produces no outputs")
+        self.inputs = list(self.inputs)
+        self.outputs = list(self.outputs)
+        self.attrs = {k: _check_attr_value(k, v) for k, v in self.attrs.items()}
+
+    def to_json(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "name": self.name,
+            "op_type": self.op_type,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Node":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            name=data["name"],
+            op_type=data["op_type"],
+            inputs=list(data["inputs"]),
+            outputs=list(data["outputs"]),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+    def copy(self) -> "Node":
+        """Deep-enough copy (attrs re-validated, lists re-materialized)."""
+        return Node.from_json(self.to_json())

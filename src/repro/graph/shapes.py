@@ -1,0 +1,307 @@
+"""Static shape inference over a model graph.
+
+Every operator supported by the runtimes has a shape rule here.  Shape
+inference is used by partitioning (checkpoint tensor sizes feed the edge
+weight function), by the cost model (FLOPs need activation shapes), and
+by subgraph extraction (boundary tensor specs).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.dtypes import DataType
+from repro.graph.node import Node
+from repro.graph.tensor import TensorSpec
+
+__all__ = ["ShapeInferenceError", "infer_shapes", "register_shape_rule"]
+
+
+class ShapeInferenceError(Exception):
+    """Raised when shapes cannot be inferred or are inconsistent."""
+
+
+#: Extension point: op_type -> rule(node, specs).  Packages adding new
+#: operator families (e.g. the transformer ops) register rules here.
+_EXTRA_RULES: dict = {}
+
+
+def register_shape_rule(op_type: str, rule) -> None:
+    """Register a shape-inference rule for an extension operator."""
+    if op_type in _EXTRA_RULES:
+        raise ValueError(f"shape rule for {op_type!r} already registered")
+    _EXTRA_RULES[op_type] = rule
+
+
+def _pair(value, name: str) -> tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    if len(value) != 2:
+        raise ShapeInferenceError(f"{name} must have 2 entries, got {value}")
+    return (int(value[0]), int(value[1]))
+
+
+def _conv_output_hw(
+    h: int,
+    w: int,
+    kernel: tuple[int, int],
+    strides: tuple[int, int],
+    pads: tuple[int, int, int, int],
+    dilations: tuple[int, int],
+    *,
+    ceil_mode: bool = False,
+) -> tuple[int, int]:
+    rounding = math.ceil if ceil_mode else math.floor
+    effective_kh = dilations[0] * (kernel[0] - 1) + 1
+    effective_kw = dilations[1] * (kernel[1] - 1) + 1
+    out_h = rounding((h + pads[0] + pads[2] - effective_kh) / strides[0]) + 1
+    out_w = rounding((w + pads[1] + pads[3] - effective_kw) / strides[1]) + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeInferenceError(
+            f"conv/pool output collapsed to {out_h}x{out_w} "
+            f"(input {h}x{w}, kernel {kernel}, strides {strides}, pads {pads})"
+        )
+    return out_h, out_w
+
+
+def _node_pads(node: Node) -> tuple[int, int, int, int]:
+    pads = node.attrs.get("pads", [0, 0, 0, 0])
+    if len(pads) == 2:
+        pads = [pads[0], pads[1], pads[0], pads[1]]
+    if len(pads) != 4:
+        raise ShapeInferenceError(f"node {node.name!r}: pads must have 2 or 4 entries")
+    return tuple(int(p) for p in pads)
+
+
+def _broadcast(a: tuple[int, ...], b: tuple[int, ...], node: Node) -> tuple[int, ...]:
+    rank = max(len(a), len(b))
+    a = (1,) * (rank - len(a)) + a
+    b = (1,) * (rank - len(b)) + b
+    out = []
+    for da, db in zip(a, b):
+        if da == db or db == 1:
+            out.append(da)
+        elif da == 1:
+            out.append(db)
+        else:
+            raise ShapeInferenceError(
+                f"node {node.name!r}: shapes {a} and {b} are not broadcastable"
+            )
+    return tuple(out)
+
+
+def infer_shapes(model) -> dict[str, TensorSpec]:
+    """Infer a :class:`TensorSpec` for every tensor in the graph.
+
+    Returns a dict keyed by tensor name covering graph inputs,
+    initializers and every node output.
+    """
+    specs: dict[str, TensorSpec] = {}
+    for spec in model.inputs:
+        specs[spec.name] = spec
+    for name, arr in model.initializers.items():
+        specs[name] = TensorSpec(name, tuple(arr.shape), DataType.from_numpy(arr.dtype))
+    for node in model.topological_order():
+        _infer_node(node, specs)
+    return specs
+
+
+def _shape_of(specs: dict[str, TensorSpec], name: str, node: Node) -> tuple[int, ...]:
+    if name not in specs:
+        raise ShapeInferenceError(f"node {node.name!r}: unknown input tensor {name!r}")
+    return specs[name].shape
+
+
+def _dtype_of(specs: dict[str, TensorSpec], name: str) -> DataType:
+    return specs[name].dtype
+
+
+def _set(specs: dict[str, TensorSpec], name: str, shape: tuple[int, ...], dtype: DataType) -> None:
+    specs[name] = TensorSpec(name, shape, dtype)
+
+
+_ELEMENTWISE_UNARY = {
+    "Relu",
+    "Sigmoid",
+    "HardSigmoid",
+    "HardSwish",
+    "Silu",
+    "Tanh",
+    "Softmax",
+    "Identity",
+    "Clip",
+    "Dropout",
+    "Erf",
+    "Sqrt",
+    "Exp",
+    "Neg",
+    "LRN",
+    "ZeroAdd",
+}
+
+_ELEMENTWISE_BINARY = {"Add", "Mul", "Sub", "Div"}
+
+
+def _infer_node(node: Node, specs: dict[str, TensorSpec]) -> None:
+    op = node.op_type
+    if op in _EXTRA_RULES:
+        _EXTRA_RULES[op](node, specs)
+    elif op in _ELEMENTWISE_UNARY:
+        shape = _shape_of(specs, node.inputs[0], node)
+        _set(specs, node.outputs[0], shape, _dtype_of(specs, node.inputs[0]))
+    elif op in _ELEMENTWISE_BINARY:
+        a = _shape_of(specs, node.inputs[0], node)
+        b = _shape_of(specs, node.inputs[1], node)
+        _set(specs, node.outputs[0], _broadcast(a, b, node), _dtype_of(specs, node.inputs[0]))
+    elif op == "Conv":
+        _infer_conv(node, specs)
+    elif op == "Gemm":
+        _infer_gemm(node, specs)
+    elif op == "MatMul":
+        a = _shape_of(specs, node.inputs[0], node)
+        b = _shape_of(specs, node.inputs[1], node)
+        if a[-1] != b[-2 if len(b) > 1 else 0]:
+            raise ShapeInferenceError(f"node {node.name!r}: MatMul inner dims {a} x {b}")
+        _set(specs, node.outputs[0], a[:-1] + b[-1:], _dtype_of(specs, node.inputs[0]))
+    elif op == "BatchNormalization":
+        shape = _shape_of(specs, node.inputs[0], node)
+        _set(specs, node.outputs[0], shape, _dtype_of(specs, node.inputs[0]))
+    elif op in ("MaxPool", "AveragePool"):
+        _infer_pool(node, specs)
+    elif op == "GlobalAveragePool":
+        shape = _shape_of(specs, node.inputs[0], node)
+        _set(specs, node.outputs[0], shape[:2] + (1, 1), _dtype_of(specs, node.inputs[0]))
+    elif op == "Concat":
+        _infer_concat(node, specs)
+    elif op == "Flatten":
+        shape = _shape_of(specs, node.inputs[0], node)
+        axis = int(node.attrs.get("axis", 1))
+        lead = math.prod(shape[:axis]) if axis else 1
+        _set(
+            specs,
+            node.outputs[0],
+            (lead, math.prod(shape[axis:])),
+            _dtype_of(specs, node.inputs[0]),
+        )
+    elif op == "Reshape":
+        _infer_reshape(node, specs)
+    elif op == "Pad":
+        shape = _shape_of(specs, node.inputs[0], node)
+        pads = [int(p) for p in node.attrs["pads"]]
+        rank = len(shape)
+        if len(pads) != 2 * rank:
+            raise ShapeInferenceError(f"node {node.name!r}: Pad pads length must be 2*rank")
+        out = tuple(shape[i] + pads[i] + pads[rank + i] for i in range(rank))
+        _set(specs, node.outputs[0], out, _dtype_of(specs, node.inputs[0]))
+    elif op == "ReduceMean":
+        shape = _shape_of(specs, node.inputs[0], node)
+        axes = sorted({int(a) % len(shape) for a in node.attrs.get("axes", range(len(shape)))})
+        keepdims = bool(node.attrs.get("keepdims", 1))
+        if keepdims:
+            out = tuple(1 if i in axes else d for i, d in enumerate(shape))
+        else:
+            out = tuple(d for i, d in enumerate(shape) if i not in axes)
+        _set(specs, node.outputs[0], out, _dtype_of(specs, node.inputs[0]))
+    elif op == "Squeeze":
+        shape = _shape_of(specs, node.inputs[0], node)
+        axes = {a % len(shape) for a in node.attrs.get("axes", [])}
+        if axes:
+            out = tuple(d for i, d in enumerate(shape) if i not in axes)
+        else:
+            out = tuple(d for d in shape if d != 1)
+        _set(specs, node.outputs[0], out, _dtype_of(specs, node.inputs[0]))
+    elif op == "Unsqueeze":
+        shape = list(_shape_of(specs, node.inputs[0], node))
+        for axis in sorted(int(a) for a in node.attrs["axes"]):
+            shape.insert(axis, 1)
+        _set(specs, node.outputs[0], tuple(shape), _dtype_of(specs, node.inputs[0]))
+    elif op == "Transpose":
+        shape = _shape_of(specs, node.inputs[0], node)
+        perm = node.attrs.get("perm") or list(range(len(shape)))[::-1]
+        _set(
+            specs,
+            node.outputs[0],
+            tuple(shape[int(p)] for p in perm),
+            _dtype_of(specs, node.inputs[0]),
+        )
+    else:
+        raise ShapeInferenceError(f"node {node.name!r}: no shape rule for op {op!r}")
+
+
+def _infer_conv(node: Node, specs: dict[str, TensorSpec]) -> None:
+    x = _shape_of(specs, node.inputs[0], node)
+    w = _shape_of(specs, node.inputs[1], node)
+    if len(x) != 4 or len(w) != 4:
+        raise ShapeInferenceError(f"node {node.name!r}: Conv expects 4-D input and weight")
+    group = int(node.attrs.get("group", 1))
+    if x[1] != w[1] * group:
+        raise ShapeInferenceError(
+            f"node {node.name!r}: Conv channels {x[1]} != weight {w[1]} * group {group}"
+        )
+    strides = _pair(node.attrs.get("strides", [1, 1]), "strides")
+    dilations = _pair(node.attrs.get("dilations", [1, 1]), "dilations")
+    out_h, out_w = _conv_output_hw(
+        x[2], x[3], (w[2], w[3]), strides, _node_pads(node), dilations
+    )
+    _set(specs, node.outputs[0], (x[0], w[0], out_h, out_w), _dtype_of(specs, node.inputs[0]))
+
+
+def _infer_gemm(node: Node, specs: dict[str, TensorSpec]) -> None:
+    a = _shape_of(specs, node.inputs[0], node)
+    b = _shape_of(specs, node.inputs[1], node)
+    if len(a) != 2 or len(b) != 2:
+        raise ShapeInferenceError(f"node {node.name!r}: Gemm expects 2-D inputs")
+    trans_a = bool(node.attrs.get("transA", 0))
+    trans_b = bool(node.attrs.get("transB", 0))
+    m, k = (a[1], a[0]) if trans_a else (a[0], a[1])
+    kb, n = (b[1], b[0]) if trans_b else (b[0], b[1])
+    if k != kb:
+        raise ShapeInferenceError(f"node {node.name!r}: Gemm inner dims {k} != {kb}")
+    _set(specs, node.outputs[0], (m, n), _dtype_of(specs, node.inputs[0]))
+
+
+def _infer_pool(node: Node, specs: dict[str, TensorSpec]) -> None:
+    x = _shape_of(specs, node.inputs[0], node)
+    if len(x) != 4:
+        raise ShapeInferenceError(f"node {node.name!r}: pooling expects 4-D input")
+    kernel = _pair(node.attrs["kernel_shape"], "kernel_shape")
+    strides = _pair(node.attrs.get("strides", kernel), "strides")
+    ceil_mode = bool(node.attrs.get("ceil_mode", 0))
+    out_h, out_w = _conv_output_hw(
+        x[2], x[3], kernel, strides, _node_pads(node), (1, 1), ceil_mode=ceil_mode
+    )
+    _set(specs, node.outputs[0], (x[0], x[1], out_h, out_w), _dtype_of(specs, node.inputs[0]))
+
+
+def _infer_concat(node: Node, specs: dict[str, TensorSpec]) -> None:
+    shapes = [_shape_of(specs, inp, node) for inp in node.inputs]
+    axis = int(node.attrs.get("axis", 1))
+    base = list(shapes[0])
+    axis %= len(base)
+    for shape in shapes[1:]:
+        if len(shape) != len(base) or any(
+            i != axis and d != base[i] for i, d in enumerate(shape)
+        ):
+            raise ShapeInferenceError(
+                f"node {node.name!r}: concat shapes {shapes} mismatch off axis {axis}"
+            )
+        base[axis] += shape[axis]
+    _set(specs, node.outputs[0], tuple(base), _dtype_of(specs, node.inputs[0]))
+
+
+def _infer_reshape(node: Node, specs: dict[str, TensorSpec]) -> None:
+    shape = _shape_of(specs, node.inputs[0], node)
+    target = [int(d) for d in node.attrs["shape"]]
+    total = math.prod(shape)
+    if target.count(-1) > 1:
+        raise ShapeInferenceError(f"node {node.name!r}: multiple -1 dims in Reshape")
+    if -1 in target:
+        rest = math.prod(d for d in target if d != -1)
+        if rest == 0 or total % rest:
+            raise ShapeInferenceError(
+                f"node {node.name!r}: cannot reshape {shape} -> {target}"
+            )
+        target[target.index(-1)] = total // rest
+    if math.prod(target) != total:
+        raise ShapeInferenceError(f"node {node.name!r}: reshape {shape} -> {target} size mismatch")
+    _set(specs, node.outputs[0], tuple(target), _dtype_of(specs, node.inputs[0]))

@@ -1,0 +1,50 @@
+"""Tensor value specifications (name, dtype, static shape)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graph.dtypes import DataType
+
+__all__ = ["TensorSpec"]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A named tensor edge with a static shape.
+
+    MVTEE inference is shape-static (batch size fixed per deployment, the
+    paper uses batch 1 with 3x224x224 inputs), so shapes are concrete
+    integer tuples throughout.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: DataType = DataType.FLOAT32
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+        if any(d < 0 for d in self.shape):
+            raise ValueError(f"tensor {self.name!r} has negative dimension: {self.shape}")
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count (1 for a scalar)."""
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized payload size in bytes."""
+        return self.num_elements * self.dtype.itemsize
+
+    def to_json(self) -> dict:
+        """JSON-serializable form."""
+        return {"name": self.name, "shape": list(self.shape), "dtype": self.dtype.value}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TensorSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls(name=data["name"], shape=tuple(data["shape"]), dtype=DataType(data["dtype"]))

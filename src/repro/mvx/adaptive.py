@@ -1,0 +1,104 @@
+"""Adaptive selective-MVX control (§4.3).
+
+"These [vertical and horizontal scaling] can be configured to adapt to
+dynamic online environments, to meet varying security, Quality of
+Service (QoS), or resource demands."  The controller watches the
+monitor's event stream over a sliding window and adjusts the horizontal
+scale of each partition:
+
+- divergences or crashes on a partition raise its *threat score*; above
+  ``scale_up_threshold`` the controller adds variants (up to
+  ``max_variants``), widening the voting panel where attacks are
+  actually landing;
+- a long quiet period decays scores; below ``scale_down_threshold`` the
+  controller retires surplus variants (down to ``min_variants``),
+  returning resources -- the anti-"static full replication" knob.
+
+The controller never drops a partition below the deployment's
+configured protection floor: partitions the MVX plan marks as protected
+keep at least 2 variants so the slow path stays active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mvx.events import CrashEvent, DivergenceEvent
+from repro.mvx.system import MvteeSystem
+
+__all__ = ["AdaptiveController", "ScalingAction"]
+
+
+@dataclass(frozen=True)
+class ScalingAction:
+    """One decision taken by the controller."""
+
+    partition_index: int
+    action: str  # "scale-up" | "scale-down"
+    variants_before: int
+    variants_after: int
+    threat_score: float
+
+
+@dataclass
+class AdaptiveController:
+    """Event-driven horizontal scaling of a live deployment."""
+
+    system: MvteeSystem
+    scale_up_threshold: float = 1.0
+    scale_down_threshold: float = 0.25
+    decay: float = 0.5  # score multiplier applied per observation round
+    max_variants: int = 5
+    min_variants: int = 1
+    _scores: dict[int, float] = field(default_factory=dict)
+    _events_seen: int = 0
+    _spawn_seed: int = 1000
+    actions: list[ScalingAction] = field(default_factory=list)
+
+    def observe(self) -> list[ScalingAction]:
+        """Ingest new monitor events, decay scores, act; returns actions."""
+        events = self.system.monitor.events[self._events_seen :]
+        self._events_seen = len(self.system.monitor.events)
+        for index in list(self._scores):
+            self._scores[index] *= self.decay
+        for event in events:
+            if isinstance(event, (DivergenceEvent, CrashEvent)):
+                index = event.partition_index
+                self._scores[index] = self._scores.get(index, 0.0) + 1.0
+        taken: list[ScalingAction] = []
+        for index in range(len(self.system.partition_set)):
+            score = self._scores.get(index, 0.0)
+            live = len(self.system.monitor.stage_connections(index))
+            if score >= self.scale_up_threshold and live < self.max_variants:
+                taken.append(self._scale_up(index, live, score))
+            elif score <= self.scale_down_threshold and live > self._floor(index):
+                taken.append(self._scale_down(index, live, score))
+        self.actions.extend(taken)
+        return taken
+
+    def _floor(self, index: int) -> int:
+        claim = self.system.config.claim(index)
+        # Partitions the plan protects keep a working voting panel.
+        return max(self.min_variants, 2 if claim.mvx_enabled else self.min_variants)
+
+    def _scale_up(self, index: int, live: int, score: float) -> ScalingAction:
+        self._spawn_seed += 1
+        self.system.scale_up(index, 1, seed=self._spawn_seed)
+        return ScalingAction(
+            partition_index=index,
+            action="scale-up",
+            variants_before=live,
+            variants_after=live + 1,
+            threat_score=score,
+        )
+
+    def _scale_down(self, index: int, live: int, score: float) -> ScalingAction:
+        victim = self.system.monitor.stage_connections(index)[-1]
+        self.system.monitor.retire_variant(victim.variant_id)
+        return ScalingAction(
+            partition_index=index,
+            action="scale-down",
+            variants_before=live,
+            variants_after=live - 1,
+            threat_score=score,
+        )

@@ -1,0 +1,103 @@
+"""The monitor's append-only variant binding ledger.
+
+Figure 6 step 7: the monitor "verifies and binds each connection with
+the respective variant and meta data"; updates append new bindings
+"in an appending-only way for auditing purposes".  Each entry links a
+variant id to its enclave measurement, channel and partition; entries
+are hash-chained so silent mutation of history is detectable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Binding", "BindingLedger", "LedgerError"]
+
+
+class LedgerError(Exception):
+    """Raised on ledger integrity violations."""
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One binding entry."""
+
+    sequence: int
+    variant_id: str
+    partition_index: int
+    enclave_id: str
+    measurement: str
+    channel_id: str
+    event: str  # "init" | "update" | "retire"
+    previous_hash: str
+
+    def entry_hash(self) -> str:
+        """Hash of this entry, chaining ``previous_hash``."""
+        body = json.dumps(
+            {
+                "sequence": self.sequence,
+                "variant_id": self.variant_id,
+                "partition_index": self.partition_index,
+                "enclave_id": self.enclave_id,
+                "measurement": self.measurement,
+                "channel_id": self.channel_id,
+                "event": self.event,
+                "previous_hash": self.previous_hash,
+            },
+            sort_keys=True,
+        ).encode()
+        return hashlib.sha256(body).hexdigest()
+
+
+@dataclass
+class BindingLedger:
+    """Append-only, hash-chained log of variant bindings."""
+
+    entries: list[Binding] = field(default_factory=list)
+
+    def append(
+        self,
+        *,
+        variant_id: str,
+        partition_index: int,
+        enclave_id: str,
+        measurement: str,
+        channel_id: str,
+        event: str = "init",
+    ) -> Binding:
+        """Add a binding entry; returns it."""
+        previous = self.entries[-1].entry_hash() if self.entries else "0" * 64
+        binding = Binding(
+            sequence=len(self.entries),
+            variant_id=variant_id,
+            partition_index=partition_index,
+            enclave_id=enclave_id,
+            measurement=measurement,
+            channel_id=channel_id,
+            event=event,
+            previous_hash=previous,
+        )
+        self.entries.append(binding)
+        return binding
+
+    def verify_chain(self) -> None:
+        """Check the hash chain; raises :class:`LedgerError` on tampering."""
+        previous = "0" * 64
+        for index, entry in enumerate(self.entries):
+            if entry.sequence != index:
+                raise LedgerError(f"ledger entry {index} has sequence {entry.sequence}")
+            if entry.previous_hash != previous:
+                raise LedgerError(f"ledger chain broken at entry {index}")
+            previous = entry.entry_hash()
+
+    def active_bindings(self) -> dict[str, Binding]:
+        """Latest non-retired binding per variant id."""
+        latest: dict[str, Binding] = {}
+        for entry in self.entries:
+            if entry.event == "retire":
+                latest.pop(entry.variant_id, None)
+            else:
+                latest[entry.variant_id] = entry
+        return latest

@@ -1,0 +1,208 @@
+"""The deployment bootstrap: model owner, orchestrator, protocol wiring.
+
+Implements the Figure 6 workflow:
+
+1. the (untrusted) orchestrator schedules the monitor TEE and the
+   variant TEEs, each started from the public init-variant image;
+2. the model owner attests the monitor via challenge-response;
+3. the owner provisions the MVX configuration (nonce-protected);
+4-7. the monitor selects variants from the pool, establishes RA-TLS
+   channels, distributes keys, verifies installation evidence, binds;
+8. the initialization result plus nonce returns to the owner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.mvx.config import MvxConfig
+from repro.mvx.monitor import Monitor, MonitorError
+from repro.mvx.variant_host import VariantHost
+from repro.tee.attestation import AttestationError, Verifier, fresh_nonce
+from repro.tee.enclave import Enclave
+from repro.tee.hardware import SimulatedCpu, TeeType
+from repro.tee.manifest import Manifest
+from repro.variants.pool import VariantPool
+
+__all__ = ["ModelOwner", "Orchestrator", "bootstrap_deployment", "MONITOR_CODE"]
+
+#: Canonical monitor "binary" -- publicly measurable, minimal TCB.
+MONITOR_CODE = (
+    b"#!mvtee-monitor v1\n"
+    b"attest; provision-config; select-variants; ra-tls; distribute-keys;\n"
+    b"bind; synchronize-checkpoints; vote; respond\n"
+)
+
+
+def monitor_manifest() -> Manifest:
+    """The monitor TEE's manifest (integrity-protected, no encrypted state)."""
+    return Manifest(
+        entrypoint="/mvtee/monitor",
+        trusted_files={"/mvtee/monitor": hashlib.sha256(MONITOR_CODE).hexdigest()},
+        syscalls=frozenset(
+            {"read", "write", "socket", "connect", "send", "recv",
+             "clock_gettime", "exit", "exit_group", "futex"}
+        ),
+        extra={"role": "monitor"},
+    )
+
+
+@dataclass
+class Orchestrator:
+    """The untrusted resource manager (e.g. Kubernetes).
+
+    Places TEEs and moves public/sealed files around; never sees variant
+    plaintext or keys (two-stage bootstrap confidentiality).
+    """
+
+    cpus: list[SimulatedCpu]
+    _next_cpu: int = 0
+
+    def _pick_cpu(self) -> SimulatedCpu:
+        cpu = self.cpus[self._next_cpu % len(self.cpus)]
+        self._next_cpu += 1
+        return cpu
+
+    def place_monitor(self, *, tee_type: TeeType = TeeType.SGX1) -> Enclave:
+        """Schedule the monitor TEE.
+
+        §6.5: the monitor prefers a small integrity-enhanced TEE (SGX1)
+        for hardware memory-integrity protection.
+        """
+        return Enclave.launch(
+            self._pick_cpu(),
+            tee_type,
+            monitor_manifest(),
+            {"/mvtee/monitor": MONITOR_CODE},
+            enclave_id="monitor",
+            epc_bytes=16 << 20,
+        )
+
+    def place_variants(
+        self, pool: VariantPool, config: MvxConfig
+    ) -> dict[str, VariantHost]:
+        """Schedule one init-variant TEE per selected pool artifact."""
+        hosts: dict[str, VariantHost] = {}
+        for claim in config.claims:
+            for artifact in pool.select(
+                claim.partition_index, claim.num_variants, seed=claim.selection_seed
+            ):
+                hosts[artifact.variant_id] = VariantHost.place(artifact, self._pick_cpu())
+        return hosts
+
+
+@dataclass
+class ModelOwner:
+    """The remote party that owns the model and drives deployment."""
+
+    verifier: Verifier
+    provisioned: list[bytes] = field(default_factory=list)
+
+    def attest_monitor(self, monitor: Monitor, nonce: bytes) -> None:
+        """Challenge-response attestation of the monitor TEE (step 2)."""
+        quote = monitor.quote(nonce)
+        try:
+            self.verifier.verify(quote, expected_report_data=nonce)
+        except AttestationError as exc:
+            raise MonitorError(f"monitor attestation failed: {exc}") from exc
+
+    def deploy(
+        self,
+        monitor: Monitor,
+        orchestrator: Orchestrator,
+        config: MvxConfig,
+    ) -> dict[str, VariantHost]:
+        """Run the full initialization workflow; returns the placed hosts."""
+        nonce = fresh_nonce()
+        self.attest_monitor(monitor, nonce)
+        echo = monitor.provision_config(config, nonce)
+        hosts = orchestrator.place_variants(monitor.pool, config)
+        monitor.initialize_variants(hosts)
+        # Step 8: initialization results + nonce back to the owner.
+        if echo != nonce:
+            raise MonitorError("nonce echo mismatch: possible replayed session")
+        self.provisioned.append(nonce)
+        monitor.ledger.verify_chain()
+        return hosts
+
+
+@dataclass(frozen=True)
+class CombinedAttestation:
+    """The user-facing attestation of a whole deployment.
+
+    §4.3: "users perform a combined attestation of all TEEs through the
+    monitor".  The monitor's quote binds the challenge nonce *and* the
+    head of its binding ledger, so the verified ledger enumerates every
+    variant TEE (id, enclave, measurement) transitively attested by the
+    monitor at bootstrap/update time.
+    """
+
+    monitor_measurement: str
+    ledger_head: str
+    variants: tuple[tuple[str, str, str], ...]  # (variant_id, enclave_id, measurement)
+
+    def variant_ids(self) -> list[str]:
+        """Ids of all currently-bound variants."""
+        return [v[0] for v in self.variants]
+
+
+def combined_attestation(
+    monitor: Monitor, verifier: Verifier, nonce: bytes
+) -> CombinedAttestation:
+    """User-side combined attestation through the monitor.
+
+    Verifies the monitor's quote over (nonce || ledger head), checks the
+    ledger chain, and returns the attested variant inventory.  Raises
+    :class:`MonitorError` on any mismatch.
+    """
+    ledger = monitor.ledger
+    ledger.verify_chain()
+    head = ledger.entries[-1].entry_hash() if ledger.entries else "0" * 64
+    binding = nonce + bytes.fromhex(head)
+    quote = monitor.quote(binding)
+    try:
+        report = verifier.verify(quote, expected_report_data=binding)
+    except AttestationError as exc:
+        raise MonitorError(f"combined attestation failed: {exc}") from exc
+    active = ledger.active_bindings()
+    return CombinedAttestation(
+        monitor_measurement=report.measurement,
+        ledger_head=head,
+        variants=tuple(
+            (vid, b.enclave_id, b.measurement) for vid, b in sorted(active.items())
+        ),
+    )
+
+
+def bootstrap_deployment(
+    pool: VariantPool,
+    config: MvxConfig,
+    *,
+    num_platforms: int = 2,
+    transport=None,
+) -> tuple[ModelOwner, Monitor, Orchestrator, dict[str, VariantHost]]:
+    """One-call deployment: platforms, orchestrator, monitor, variants.
+
+    ``transport`` selects the record path (None = co-located direct
+    handover; a :class:`repro.mvx.transport.FabricTransport` = records
+    through the untrusted network).  Returns (owner, monitor,
+    orchestrator, hosts) fully initialized and ready for
+    :func:`repro.mvx.scheduler.run_sequential` /
+    :func:`~repro.mvx.scheduler.run_pipelined`.
+    """
+    cpus = [SimulatedCpu(f"platform-{i}") for i in range(num_platforms)]
+    orchestrator = Orchestrator(cpus=cpus)
+    monitor_enclave = orchestrator.place_monitor()
+
+    verifier = Verifier()
+    for cpu in cpus:
+        verifier.register_platform(cpu)
+    verifier.trust_measurement(monitor_enclave.measurement)
+
+    monitor = Monitor(
+        enclave=monitor_enclave, verifier=verifier, pool=pool, transport=transport
+    )
+    owner = ModelOwner(verifier=verifier)
+    hosts = owner.deploy(monitor, orchestrator, config)
+    return owner, monitor, orchestrator, hosts

@@ -1,0 +1,144 @@
+"""The MVX configuration provisioned to the monitor (Figure 6 step 3).
+
+Specifies "the partition set (number and sizes of partitions) and the
+variant claims (type and number of variants per partition)" plus the
+selective-MVX, voting and execution-mode knobs of §4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MvxConfig", "PartitionClaim"]
+
+
+@dataclass(frozen=True)
+class PartitionClaim:
+    """Variant claim for one partition (horizontal scaling knob)."""
+
+    partition_index: int
+    num_variants: int = 1
+    selection_seed: int | None = None  # None = deterministic pool order
+
+    def __post_init__(self) -> None:
+        if self.num_variants < 1:
+            raise ValueError("num_variants must be >= 1")
+
+    @property
+    def mvx_enabled(self) -> bool:
+        """Slow-path trigger: MVX is active when more than one variant runs."""
+        return self.num_variants > 1
+
+    def to_json(self) -> dict:
+        """JSON form."""
+        return {
+            "partition_index": self.partition_index,
+            "num_variants": self.num_variants,
+            "selection_seed": self.selection_seed,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PartitionClaim":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            partition_index=int(data["partition_index"]),
+            num_variants=int(data.get("num_variants", 1)),
+            selection_seed=data.get("selection_seed"),
+        )
+
+
+@dataclass(frozen=True)
+class MvxConfig:
+    """The full runtime MVX plan maintained by the monitor."""
+
+    claims: tuple[PartitionClaim, ...]
+    voting: str = "unanimous"  # "unanimous" | "majority" | "plurality"
+    execution_mode: str = "sync"  # "sync" | "async"
+    path_mode: str = "hybrid"  # "fast" | "slow" | "hybrid"
+    consistency: dict = field(default_factory=dict)  # ConsistencyPolicy kwargs
+
+    def __post_init__(self) -> None:
+        indices = [c.partition_index for c in self.claims]
+        if sorted(indices) != list(range(len(indices))):
+            raise ValueError(f"claims must cover partitions 0..n-1 exactly once, got {indices}")
+        if self.voting not in ("unanimous", "majority", "plurality"):
+            raise ValueError(f"unknown voting policy {self.voting!r}")
+        if self.execution_mode not in ("sync", "async"):
+            raise ValueError(f"unknown execution mode {self.execution_mode!r}")
+        if self.path_mode not in ("fast", "slow", "hybrid"):
+            raise ValueError(f"unknown path mode {self.path_mode!r}")
+
+    @classmethod
+    def uniform(
+        cls,
+        num_partitions: int,
+        num_variants: int = 1,
+        **kwargs,
+    ) -> "MvxConfig":
+        """Same claim on every partition (full MVX when num_variants > 1)."""
+        return cls(
+            claims=tuple(
+                PartitionClaim(partition_index=i, num_variants=num_variants)
+                for i in range(num_partitions)
+            ),
+            **kwargs,
+        )
+
+    @classmethod
+    def selective(
+        cls,
+        num_partitions: int,
+        mvx_partitions: dict[int, int],
+        **kwargs,
+    ) -> "MvxConfig":
+        """Selective MVX: ``mvx_partitions`` maps index -> variant count."""
+        return cls(
+            claims=tuple(
+                PartitionClaim(
+                    partition_index=i, num_variants=mvx_partitions.get(i, 1)
+                )
+                for i in range(num_partitions)
+            ),
+            **kwargs,
+        )
+
+    def claim(self, index: int) -> PartitionClaim:
+        """The claim for one partition."""
+        return self.claims[index]
+
+    def uses_slow_path(self, index: int) -> bool:
+        """Hybrid-mode slow/fast decision for a partition (Figure 7)."""
+        if self.path_mode == "slow":
+            return True
+        if self.path_mode == "fast":
+            return False
+        return self.claim(index).mvx_enabled
+
+    def mvx_partition_indices(self) -> list[int]:
+        """Partitions with MVX enabled (>= 2 variants)."""
+        return [c.partition_index for c in self.claims if c.mvx_enabled]
+
+    def total_variants(self) -> int:
+        """Total variant TEEs the plan requires."""
+        return sum(c.num_variants for c in self.claims)
+
+    def to_json(self) -> dict:
+        """JSON form (what the model owner provisions)."""
+        return {
+            "claims": [c.to_json() for c in self.claims],
+            "voting": self.voting,
+            "execution_mode": self.execution_mode,
+            "path_mode": self.path_mode,
+            "consistency": dict(self.consistency),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "MvxConfig":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            claims=tuple(PartitionClaim.from_json(c) for c in data["claims"]),
+            voting=data.get("voting", "unanimous"),
+            execution_mode=data.get("execution_mode", "sync"),
+            path_mode=data.get("path_mode", "hybrid"),
+            consistency=dict(data.get("consistency", {})),
+        )

@@ -1,0 +1,50 @@
+"""Divergence/crash events and the monitor's response actions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.mvx.consistency import ConsistencyReport
+
+__all__ = ["CrashEvent", "DivergenceEvent", "ResponseAction"]
+
+
+class ResponseAction(enum.Enum):
+    """Protective measures the monitor can take after a detection."""
+
+    HALT = "halt"  # stop the inference pipeline entirely
+    DROP_VARIANT = "drop-variant"  # terminate the dissenting variant, continue
+    REPLACE_VARIANT = "replace-variant"  # partial update from the pool
+    RESTART_BATCH = "restart-batch"  # re-run the batch on surviving variants
+
+
+@dataclass(frozen=True)
+class DivergenceEvent:
+    """A checkpoint-level inconsistency between variants."""
+
+    batch_id: int
+    partition_index: int
+    dissenting_variants: tuple[str, ...]
+    agreeing_variants: tuple[str, ...]
+    reports: tuple[ConsistencyReport, ...] = field(default=())
+    detected_async: bool = False
+
+    def summary(self) -> str:
+        """One-line description for logs."""
+        mode = "async cross-validation" if self.detected_async else "checkpoint"
+        return (
+            f"batch {self.batch_id}, partition {self.partition_index}: "
+            f"{mode} divergence; dissent={list(self.dissenting_variants)}, "
+            f"agree={list(self.agreeing_variants)}"
+        )
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """A variant died (RuntimeCrash / missing response) during a stage."""
+
+    batch_id: int
+    partition_index: int
+    variant_id: str
+    error: str

@@ -1,0 +1,487 @@
+"""The MVTEE monitor: security manager of the deployment (§4.3).
+
+The monitor runs in its own TEE (cross-process user-space design) and
+owns: the provisioned MVX configuration, variant attestation and key
+distribution, the binding ledger, input distribution, checkpoint
+synchronization with voting, output replication, and the protective
+response to divergences and crashes.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.keys import KeyManager
+from repro.mvx.binding import BindingLedger
+from repro.mvx.config import MvxConfig
+from repro.mvx.consistency import ConsistencyPolicy
+from repro.mvx.events import CrashEvent, DivergenceEvent, ResponseAction
+from repro.mvx.variant_host import VariantHost, VariantUnavailable
+from repro.mvx.voting import VariantOutput, VoteResult, vote
+from repro.mvx.wire import decode_message, encode_message
+from repro.partition.partition import PartitionSet
+from repro.mvx.transport import Transport
+from repro.tee.attestation import AttestationError, Verifier
+from repro.tee.channel import ChannelError, SecureChannel, establish_channel
+from repro.tee.enclave import Enclave
+from repro.variants.pool import VariantPool
+
+__all__ = ["Monitor", "MonitorError", "VariantConnection"]
+
+
+class MonitorError(Exception):
+    """Raised on protocol violations or unrecoverable detection outcomes."""
+
+
+@dataclass
+class VariantConnection:
+    """A bound, attested variant: channel + transport route + metadata."""
+
+    variant_id: str
+    partition_index: int
+    channel: SecureChannel
+    host: VariantHost
+    measurement: str
+    transport: "Transport | None" = None
+
+    def request(self, msg_type: str, meta: dict, tensors: dict | None = None) -> tuple[str, dict, dict]:
+        """Round-trip one protected request to the variant."""
+        record = self.channel.protect(encode_message(msg_type, meta, tensors))
+        if self.transport is not None:
+            response = self.transport.exchange(self.variant_id, record)
+        else:
+            response = self.host.handle_record(record)
+        return decode_message(self.channel.open(response))
+
+
+@dataclass
+class Monitor:
+    """The monitor TEE."""
+
+    enclave: Enclave
+    verifier: Verifier
+    pool: VariantPool
+    config: MvxConfig | None = None
+    response_action: ResponseAction = ResponseAction.HALT
+    #: Record transport; None means direct in-process handover.  A
+    #: :class:`repro.mvx.transport.FabricTransport` models distributed
+    #: deployment across an untrusted network.
+    transport: "Transport | None" = None
+    #: Dispatch slow-path variant requests concurrently (thread pool).
+    #: Functionally identical to serial dispatch; numpy kernels release
+    #: the GIL, so replicated variants of a stage genuinely overlap.
+    parallel_dispatch: bool = False
+    ledger: BindingLedger = field(default_factory=BindingLedger)
+    connections: dict[int, list[VariantConnection]] = field(default_factory=dict)
+    events: list[object] = field(default_factory=list)
+    _policy: ConsistencyPolicy = field(default_factory=ConsistencyPolicy)
+    _provision_nonces: set[bytes] = field(default_factory=set)
+    #: Deferred async cross-validation checks: (batch, partition,
+    #: accepted outputs, laggard connections, stage feeds).
+    _deferred: list[tuple[int, int, dict, list[VariantConnection], dict]] = field(
+        default_factory=list
+    )
+
+    @property
+    def partition_set(self) -> PartitionSet:
+        """The partition set underlying the pool."""
+        return self.pool.partition_set
+
+    # ------------------------------------------------------------------
+    # Provisioning (Figure 6 step 3)
+    # ------------------------------------------------------------------
+
+    def provision_config(self, config: MvxConfig, nonce: bytes) -> bytes:
+        """Accept an MVX configuration from the attested model owner.
+
+        The nonce defends replay: re-provisioning with a seen nonce is
+        rejected.  Returns the nonce echo the owner verifies in step 8.
+        """
+        if nonce in self._provision_nonces:
+            raise MonitorError("replayed provisioning nonce rejected")
+        if len(config.claims) != len(self.partition_set):
+            raise MonitorError(
+                f"config covers {len(config.claims)} partitions, "
+                f"deployment has {len(self.partition_set)}"
+            )
+        self._provision_nonces.add(nonce)
+        self.config = config
+        self._install_policies(config)
+        return nonce
+
+    def _install_policies(self, config: MvxConfig) -> None:
+        """Build the default + per-partition consistency policies.
+
+        §4.3: thresholds are adjusted "based on variant noise levels to
+        balance the precision and recall of attack identification" --
+        a partition running heavily diversified (noisier) variants can
+        carry looser thresholds than the rest.  The config's
+        ``consistency`` dict takes the default kwargs plus an optional
+        ``per_partition`` map of index -> kwarg overrides.
+        """
+        base = {k: v for k, v in config.consistency.items() if k != "per_partition"}
+        self._policy = ConsistencyPolicy.from_kwargs(base)
+        self._partition_policies = {}
+        for index, overrides in config.consistency.get("per_partition", {}).items():
+            merged = dict(base)
+            merged.update(overrides)
+            self._partition_policies[int(index)] = ConsistencyPolicy.from_kwargs(merged)
+
+    def policy_for(self, index: int) -> ConsistencyPolicy:
+        """The consistency policy governing one partition's checkpoint."""
+        return getattr(self, "_partition_policies", {}).get(index, self._policy)
+
+    # ------------------------------------------------------------------
+    # Variant initialization (Figure 6 steps 4-7)
+    # ------------------------------------------------------------------
+
+    def initialize_variants(
+        self, hosts: dict[str, VariantHost], *, event: str = "init"
+    ) -> None:
+        """Attest, key and bind every selected variant.
+
+        ``hosts`` maps variant_id -> placed host (the orchestrator started
+        them from the public init-variant images).  For each claim the
+        monitor selects variants from the pool, establishes an RA-TLS
+        channel, distributes the variant-specific key, and verifies the
+        second-stage installation evidence before binding.
+        """
+        if self.config is None:
+            raise MonitorError("no MVX configuration provisioned")
+        for claim in self.config.claims:
+            selected = self.pool.select(
+                claim.partition_index, claim.num_variants, seed=claim.selection_seed
+            )
+            for artifact in selected:
+                host = hosts.get(artifact.variant_id)
+                if host is None:
+                    raise MonitorError(
+                        f"orchestrator did not place variant {artifact.variant_id!r}"
+                    )
+                self._bootstrap_variant(claim.partition_index, artifact, host, event)
+
+    def _bootstrap_variant(self, partition_index, artifact, host, event) -> None:
+        # Fork-attack prevention (§6.5): a variant identity may be bound
+        # to at most one live TEE; a second instance of the same variant
+        # is rejected before any key leaves the monitor.
+        active = self.ledger.active_bindings()
+        if artifact.variant_id in active:
+            raise MonitorError(
+                f"variant {artifact.variant_id!r} is already bound to enclave "
+                f"{active[artifact.variant_id].enclave_id!r} (fork attack?)"
+            )
+        # The init-variant's measurement must be trusted before any key
+        # leaves the monitor.
+        self.verifier.trust_measurement(host.enclave.measurement)
+        channel_id = f"mon-{artifact.variant_id}-{secrets.token_hex(3)}"
+        try:
+            monitor_end, variant_end = establish_channel(
+                initiator_quote_fn=lambda rd: self.quote(rd),
+                responder_quote_fn=host.quote,
+                verifier=self.verifier,
+                channel_id=channel_id,
+            )
+        except ChannelError as exc:
+            raise MonitorError(f"RA-TLS with {artifact.variant_id} failed: {exc}") from exc
+        host.attach_channel(variant_end)
+        if self.transport is not None:
+            self.transport.register(host)
+        connection = VariantConnection(
+            variant_id=artifact.variant_id,
+            partition_index=partition_index,
+            channel=monitor_end,
+            host=host,
+            measurement=host.enclave.measurement,
+            transport=self.transport,
+        )
+        msg_type, meta, _ = connection.request(
+            "install-key",
+            {"key_id": artifact.key_record.key_id, "kdk": artifact.key_record.key.hex()},
+        )
+        if msg_type != "init-done":
+            raise MonitorError(
+                f"variant {artifact.variant_id} failed init: {meta.get('reason')}"
+            )
+        # Verify the installation evidence: a fresh quote whose report
+        # data binds the post-exec extension register.
+        from repro.tee.attestation import Quote
+
+        evidence = Quote.from_bytes(bytes.fromhex(meta["evidence"]))
+        try:
+            report = self.verifier.verify(
+                evidence,
+                expected_report_data=meta["extension_register"].encode(),
+                require_trusted_measurement=False,
+            )
+        except AttestationError as exc:
+            raise MonitorError(
+                f"variant {artifact.variant_id} installation evidence invalid: {exc}"
+            ) from exc
+        if report.enclave_id != host.enclave.enclave_id:
+            raise MonitorError("installation evidence from wrong enclave")
+        self.ledger.append(
+            variant_id=artifact.variant_id,
+            partition_index=partition_index,
+            enclave_id=host.enclave.enclave_id,
+            measurement=host.enclave.measurement,
+            channel_id=channel_id,
+            event=event,
+        )
+        self.connections.setdefault(partition_index, []).append(connection)
+
+    def quote(self, report_data: bytes):
+        """The monitor's own attestation (used by RA-TLS and the owner)."""
+        from repro.tee.attestation import make_quote
+
+        return make_quote(self.enclave, report_data)
+
+    # ------------------------------------------------------------------
+    # Checkpoint execution
+    # ------------------------------------------------------------------
+
+    def stage_connections(self, index: int) -> list[VariantConnection]:
+        """Live connections of one partition."""
+        return [c for c in self.connections.get(index, []) if not c.host.crashed]
+
+    def execute_stage(
+        self,
+        batch_id: int,
+        index: int,
+        feeds: dict[str, np.ndarray],
+    ) -> dict[str, np.ndarray]:
+        """Run one pipeline stage for one batch through its variants.
+
+        Fast path: single variant, output falls through.  Slow path:
+        replicate the input to all variants, synchronize at the
+        checkpoint, evaluate consistency, vote, respond to dissent.
+        Async mode: proceed on majority quorum, cross-validate laggards
+        at the next checkpoint.
+        """
+        if self.config is None:
+            raise MonitorError("no MVX configuration provisioned")
+        self._resolve_deferred(upto_partition=index, batch_id=batch_id)
+        connections = self.stage_connections(index)
+        if not connections:
+            raise MonitorError(f"no live variants remain for partition {index}")
+        if not self.config.uses_slow_path(index) or len(connections) == 1:
+            return self._fast_path(batch_id, index, connections, feeds)
+        if self.config.execution_mode == "async" and len(connections) >= 3:
+            return self._slow_path_async(batch_id, index, connections, feeds)
+        return self._slow_path_sync(batch_id, index, connections, feeds)
+
+    def _fast_path(self, batch_id, index, connections, feeds):
+        connection = connections[0]
+        result = self._request_inference(connection, batch_id, feeds)
+        if result.outputs is None:
+            self._record_crash(batch_id, index, connection, result.error)
+            raise MonitorError(
+                f"fast-path variant {connection.variant_id} failed: {result.error}"
+            )
+        return result.outputs
+
+    def _slow_path_sync(self, batch_id, index, connections, feeds):
+        outputs = self._dispatch(connections, batch_id, feeds)
+        return self._evaluate_checkpoint(batch_id, index, connections, outputs, feeds)
+
+    def _dispatch(self, connections, batch_id, feeds) -> list[VariantOutput]:
+        """Send one request to every connection, optionally in parallel."""
+        if self.parallel_dispatch and len(connections) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=len(connections)) as pool:
+                return list(
+                    pool.map(
+                        lambda c: self._request_inference(c, batch_id, feeds),
+                        connections,
+                    )
+                )
+        return [self._request_inference(c, batch_id, feeds) for c in connections]
+
+    def _slow_path_async(self, batch_id, index, connections, feeds):
+        # Query in ascending simulated latency: the quorum of fastest
+        # variants decides; laggards are validated at the next checkpoint.
+        ordered = sorted(connections, key=lambda c: c.host.simulated_latency)
+        quorum = len(connections) // 2 + 1
+        quorum_conns = ordered[:quorum]
+        laggards = ordered[quorum:]
+        early = [self._request_inference(c, batch_id, feeds) for c in quorum_conns]
+        result = vote(early, policy=self.policy_for(index), strategy="majority")
+        if not result.passed:
+            # No early consensus: fall back to full synchronization.
+            late = [self._request_inference(c, batch_id, feeds) for c in laggards]
+            return self._evaluate_checkpoint(
+                batch_id, index, quorum_conns + laggards, early + late, feeds
+            )
+        self._handle_vote_outcome(batch_id, index, quorum_conns, result, async_stage=True)
+        if laggards:
+            self._deferred.append((batch_id, index, result.accepted, laggards, feeds))
+        return result.accepted
+
+    def _resolve_deferred(self, *, upto_partition: int, batch_id: int) -> None:
+        """Cross-validate laggard results before the pipeline advances.
+
+        "When results from delayed variants are received, and if any
+        dissent is noted, we react to the execution at the earliest next
+        checkpoint."
+        """
+        if not self._deferred:
+            return
+        pending = self._deferred
+        self._deferred = []
+        for d_batch, d_index, accepted, laggards, feeds in pending:
+            for connection in laggards:
+                result = self._request_inference(connection, d_batch, feeds)
+                if result.outputs is None:
+                    self._record_crash(d_batch, d_index, connection, result.error)
+                    self._respond(connection, d_batch, d_index)
+                    continue
+                if not self.policy_for(d_index).consistent(accepted, result.outputs):
+                    event = DivergenceEvent(
+                        batch_id=d_batch,
+                        partition_index=d_index,
+                        dissenting_variants=(connection.variant_id,),
+                        agreeing_variants=(),
+                        detected_async=True,
+                    )
+                    self.events.append(event)
+                    self._respond(connection, d_batch, d_index)
+
+    def _request_inference(
+        self, connection: VariantConnection, batch_id: int, feeds: dict
+    ) -> VariantOutput:
+        try:
+            msg_type, meta, tensors = connection.request(
+                "infer", {"batch_id": batch_id}, feeds
+            )
+        except (VariantUnavailable, ChannelError) as exc:
+            return VariantOutput(
+                variant_id=connection.variant_id, outputs=None, error=str(exc)
+            )
+        if msg_type != "result":
+            return VariantOutput(
+                variant_id=connection.variant_id,
+                outputs=None,
+                error=str(meta.get("reason", msg_type)),
+            )
+        return VariantOutput(variant_id=connection.variant_id, outputs=tensors)
+
+    def _evaluate_checkpoint(self, batch_id, index, connections, outputs, feeds) -> dict:
+        result = vote(outputs, policy=self.policy_for(index), strategy=self.config.voting)
+        self._handle_vote_outcome(batch_id, index, connections, result, async_stage=False)
+        if result.accepted is not None:
+            return result.accepted
+        if self.response_action is ResponseAction.RESTART_BATCH and result.agreeing:
+            # Re-execute the stage on the surviving variants and re-vote:
+            # the paper's "restart from a saved state" response.  The
+            # dissenters were dropped by _handle_vote_outcome above.
+            survivors = self.stage_connections(index)
+            if survivors:
+                retries = [
+                    self._request_inference(c, batch_id, feeds) for c in survivors
+                ]
+                retry = vote(retries, policy=self.policy_for(index), strategy=self.config.voting)
+                if retry.accepted is not None:
+                    return retry.accepted
+        elif self.response_action is not ResponseAction.HALT and result.agreeing:
+            # Dissenters/crashes were dropped (or scheduled for replacement);
+            # the surviving agreement cluster's output stands.
+            by_id = {o.variant_id: o for o in outputs}
+            return by_id[result.agreeing[0]].outputs
+        raise MonitorError(
+            f"checkpoint vote failed at batch {batch_id}, partition {index}: "
+            f"dissent={list(result.dissenting)}, crashed={list(result.crashed)}"
+        )
+
+    def _handle_vote_outcome(
+        self, batch_id, index, connections, result: VoteResult, *, async_stage: bool
+    ) -> None:
+        by_id = {c.variant_id: c for c in connections}
+        for variant_id in result.crashed:
+            connection = by_id[variant_id]
+            self._record_crash(batch_id, index, connection, connection.host.crash_reason)
+        if result.dissenting:
+            event = DivergenceEvent(
+                batch_id=batch_id,
+                partition_index=index,
+                dissenting_variants=result.dissenting,
+                agreeing_variants=result.agreeing,
+                reports=result.reports,
+                detected_async=async_stage,
+            )
+            self.events.append(event)
+            for variant_id in result.dissenting:
+                self._respond(by_id[variant_id], batch_id, index)
+        for variant_id in result.crashed:
+            self._respond(by_id[variant_id], batch_id, index)
+
+    def _record_crash(self, batch_id, index, connection, error) -> None:
+        self.events.append(
+            CrashEvent(
+                batch_id=batch_id,
+                partition_index=index,
+                variant_id=connection.variant_id,
+                error=str(error),
+            )
+        )
+
+    def _respond(self, connection: VariantConnection, batch_id: int, index: int) -> None:
+        """Apply the configured protective measure to a bad variant."""
+        if self.response_action is ResponseAction.HALT:
+            return  # the raised MonitorError at the vote halts execution
+        if self.response_action in (
+            ResponseAction.DROP_VARIANT,
+            ResponseAction.RESTART_BATCH,
+            ResponseAction.REPLACE_VARIANT,
+        ):
+            if not connection.host.crashed:
+                connection.host.terminate()
+            self.ledger.append(
+                variant_id=connection.variant_id,
+                partition_index=index,
+                enclave_id=connection.host.enclave.enclave_id,
+                measurement=connection.measurement,
+                channel_id=connection.channel.channel_id,
+                event="retire",
+            )
+            self.connections[index] = [
+                c
+                for c in self.connections.get(index, [])
+                if c.variant_id != connection.variant_id
+            ]
+
+    def retire_variant(self, variant_id: str) -> None:
+        """Terminate and unbind one variant (scale-down / operator action)."""
+        for index, connections in self.connections.items():
+            for connection in connections:
+                if connection.variant_id != variant_id:
+                    continue
+                if not connection.host.crashed:
+                    connection.host.terminate()
+                self.ledger.append(
+                    variant_id=variant_id,
+                    partition_index=index,
+                    enclave_id=connection.host.enclave.enclave_id,
+                    measurement=connection.measurement,
+                    channel_id=connection.channel.channel_id,
+                    event="retire",
+                )
+                self.connections[index] = [
+                    c for c in connections if c.variant_id != variant_id
+                ]
+                return
+        raise MonitorError(f"no bound variant {variant_id!r} to retire")
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def divergence_events(self) -> list[DivergenceEvent]:
+        """All recorded divergence detections."""
+        return [e for e in self.events if isinstance(e, DivergenceEvent)]
+
+    def crash_events(self) -> list[CrashEvent]:
+        """All recorded variant crashes."""
+        return [e for e in self.events if isinstance(e, CrashEvent)]

@@ -1,0 +1,194 @@
+"""Monitor state persistence and recovery.
+
+The monitor is the deployment's trust anchor; if its TEE restarts (host
+reboot, migration) the deployment must resume *without* weakening any
+guarantee.  The monitor seals a snapshot of its security-relevant state
+-- the provisioned MVX configuration, consumed provisioning nonces and
+the full binding ledger -- into the protected filesystem, guarded by a
+monotonic counter so the untrusted host cannot roll the monitor back to
+a state with fewer retired variants (§6.5's rollback discussion applies
+to the monitor itself).
+
+Recovery re-attests every recorded live variant against its *recorded*
+measurement before re-establishing channels: a variant swapped while
+the monitor was down fails re-binding.  Keys are never re-distributed
+(stage-2 TEEs refuse key installation anyway); only fresh RA-TLS
+channels are built.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyRecord
+from repro.crypto.sealed import SealedBlob, seal_bytes, unseal_bytes
+from repro.mvx.binding import Binding, BindingLedger
+from repro.mvx.config import MvxConfig
+from repro.mvx.monitor import Monitor, MonitorError, VariantConnection
+from repro.mvx.variant_host import VariantHost
+from repro.tee.attestation import AttestationError
+from repro.tee.channel import ChannelError, establish_channel
+from repro.tee.enclave import Enclave
+from repro.tee.filesystem import MonotonicCounterService, RollbackError
+from repro.variants.pool import VariantPool
+
+__all__ = ["MonitorStateStore", "recover_monitor", "snapshot_monitor"]
+
+STATE_PATH = "/mvtee/monitor/state.enc"
+
+
+@dataclass
+class MonitorStateStore:
+    """Host-side persistence for the monitor's sealed snapshots."""
+
+    key_record: KeyRecord
+    counters: MonotonicCounterService
+    host_store: dict[str, bytes] | None = None
+    _version: int = 0
+
+    def __post_init__(self) -> None:
+        if self.host_store is None:
+            self.host_store = {}
+
+    def save(self, blob: bytes) -> None:
+        """Seal and persist one snapshot, advancing the counter."""
+        self._version += 1
+        sealed = seal_bytes(self.key_record, STATE_PATH, blob, freshness=self._version)
+        self.host_store[STATE_PATH] = sealed.to_bytes()
+        self.counters.advance(f"monitor:{STATE_PATH}", self._version)
+
+    def load(self) -> bytes:
+        """Load, authenticate and freshness-check the latest snapshot."""
+        raw = self.host_store.get(STATE_PATH)
+        if raw is None:
+            raise MonitorError("no monitor snapshot persisted")
+        sealed = SealedBlob.from_bytes(raw)
+        expected = self.counters.latest(f"monitor:{STATE_PATH}")
+        if sealed.freshness != expected:
+            raise RollbackError(
+                f"monitor snapshot freshness {sealed.freshness} != counter {expected} "
+                "(rollback attack on the monitor state)"
+            )
+        return unseal_bytes(self.key_record.key, self.key_record.key_id, sealed)
+
+
+def snapshot_monitor(monitor: Monitor, store: MonitorStateStore) -> None:
+    """Serialize and seal the monitor's security state."""
+    if monitor.config is None:
+        raise MonitorError("cannot snapshot an unprovisioned monitor")
+    state = {
+        "config": monitor.config.to_json(),
+        "nonces": sorted(n.hex() for n in monitor._provision_nonces),
+        "ledger": [
+            {
+                "sequence": e.sequence,
+                "variant_id": e.variant_id,
+                "partition_index": e.partition_index,
+                "enclave_id": e.enclave_id,
+                "measurement": e.measurement,
+                "channel_id": e.channel_id,
+                "event": e.event,
+                "previous_hash": e.previous_hash,
+            }
+            for e in monitor.ledger.entries
+        ],
+    }
+    store.save(json.dumps(state, sort_keys=True).encode())
+
+
+def recover_monitor(
+    *,
+    enclave: Enclave,
+    verifier,
+    pool: VariantPool,
+    store: MonitorStateStore,
+    hosts: dict[str, VariantHost],
+    transport=None,
+) -> Monitor:
+    """Rebuild a monitor from its sealed snapshot and re-bind live variants.
+
+    ``hosts`` maps variant_id to the still-running variant TEEs.  Every
+    live binding in the recovered ledger must re-attest with its recorded
+    measurement; mismatches (or missing hosts) are retired rather than
+    trusted.
+    """
+    state = json.loads(store.load())
+    ledger = BindingLedger(
+        entries=[Binding(**entry) for entry in state["ledger"]]
+    )
+    ledger.verify_chain()
+    config = MvxConfig.from_json(state["config"])
+    monitor = Monitor(
+        enclave=enclave,
+        verifier=verifier,
+        pool=pool,
+        config=config,
+        ledger=ledger,
+        transport=transport,
+    )
+    monitor._install_policies(config)
+    monitor._provision_nonces = {bytes.fromhex(n) for n in state["nonces"]}
+
+    for variant_id, binding in ledger.active_bindings().items():
+        host = hosts.get(variant_id)
+        if host is None or host.crashed:
+            monitor.ledger.append(
+                variant_id=variant_id,
+                partition_index=binding.partition_index,
+                enclave_id=binding.enclave_id,
+                measurement=binding.measurement,
+                channel_id=binding.channel_id,
+                event="retire",
+            )
+            continue
+        _rebind(monitor, binding, host)
+    monitor.ledger.verify_chain()
+    return monitor
+
+
+def _rebind(monitor: Monitor, binding: Binding, host: VariantHost) -> None:
+    if host.enclave.measurement != binding.measurement:
+        raise MonitorError(
+            f"variant {binding.variant_id!r}: measurement changed across monitor "
+            "restart (expected "
+            f"{binding.measurement[:12]}..., got {host.enclave.measurement[:12]}...)"
+        )
+    if host.enclave.enclave_id != binding.enclave_id:
+        raise MonitorError(
+            f"variant {binding.variant_id!r}: enclave identity changed across "
+            "monitor restart (possible variant substitution)"
+        )
+    channel_id = f"{binding.channel_id}-rebind"
+    try:
+        monitor_end, variant_end = establish_channel(
+            initiator_quote_fn=monitor.quote,
+            responder_quote_fn=host.quote,
+            verifier=monitor.verifier,
+            channel_id=channel_id,
+        )
+    except ChannelError as exc:
+        raise MonitorError(
+            f"re-binding {binding.variant_id} failed: {exc}"
+        ) from exc
+    host.attach_channel(variant_end)
+    if monitor.transport is not None:
+        monitor.transport.register(host)
+    monitor.connections.setdefault(binding.partition_index, []).append(
+        VariantConnection(
+            variant_id=binding.variant_id,
+            partition_index=binding.partition_index,
+            channel=monitor_end,
+            host=host,
+            measurement=binding.measurement,
+            transport=monitor.transport,
+        )
+    )
+    monitor.ledger.append(
+        variant_id=binding.variant_id,
+        partition_index=binding.partition_index,
+        enclave_id=host.enclave.enclave_id,
+        measurement=binding.measurement,
+        channel_id=channel_id,
+        event="update",
+    )

@@ -1,0 +1,154 @@
+"""Execution scheduling: sequential and pipelined, sync and async.
+
+The execution model of §4.3: variant TEEs form a DAG mirroring the
+partition topology and process private user data "in a pipelined
+manner".  Sequential execution completes all stages of a batch before
+the next batch begins; pipelined execution keeps every stage busy with a
+different batch.  This module drives the *functional* execution through
+the monitor (correctness, detection); wall-clock performance of the two
+modes is reproduced by :mod:`repro.simulation`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mvx.monitor import Monitor
+
+__all__ = ["ExecutionMode", "PathMode", "RunStats", "run_pipelined", "run_sequential"]
+
+
+class ExecutionMode(enum.Enum):
+    """Checkpoint synchronization discipline."""
+
+    SYNC = "sync"
+    ASYNC = "async"
+
+
+class PathMode(enum.Enum):
+    """Checkpoint evaluation path (Figure 7)."""
+
+    FAST = "fast"
+    SLOW = "slow"
+    HYBRID = "hybrid"
+
+
+@dataclass
+class RunStats:
+    """Counters of one run."""
+
+    batches: int = 0
+    stage_executions: int = 0
+    checkpoints_evaluated: int = 0
+    divergences: int = 0
+    crashes: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def validate_feeds(monitor: Monitor, feeds: dict[str, np.ndarray]) -> None:
+    """Reject malformed user inputs before they reach any variant TEE.
+
+    The monitor "is also hardened against any untrusted inputs" (§6.5):
+    missing tensors, wrong shapes and wrong dtypes are rejected at the
+    trust boundary instead of propagating into variant kernels.
+    """
+    expected = {spec.name: spec for spec in monitor.partition_set.model.inputs}
+    missing = set(expected) - set(feeds)
+    if missing:
+        raise ValueError(f"missing input tensors: {sorted(missing)}")
+    unexpected = set(feeds) - set(expected)
+    if unexpected:
+        raise ValueError(f"unexpected input tensors: {sorted(unexpected)}")
+    for name, spec in expected.items():
+        value = feeds[name]
+        if not isinstance(value, np.ndarray):
+            raise ValueError(f"input {name!r} is not an ndarray")
+        if tuple(value.shape) != spec.shape:
+            raise ValueError(
+                f"input {name!r} has shape {tuple(value.shape)}, expected {spec.shape}"
+            )
+        if value.dtype != spec.dtype.numpy:
+            raise ValueError(
+                f"input {name!r} has dtype {value.dtype}, expected {spec.dtype.value}"
+            )
+
+
+def _stage_once(monitor: Monitor, env: dict, batch_id: int, index: int, stats: RunStats) -> None:
+    import time
+
+    partition_set = monitor.partition_set
+    feeds = partition_set.stage_feeds(index, env)
+    start = time.perf_counter()
+    outputs = monitor.execute_stage(batch_id, index, feeds)
+    elapsed = time.perf_counter() - start
+    env.update(outputs)
+    stats.stage_executions += 1
+    timings = stats.extra.setdefault("stage_seconds", {})
+    timings[index] = timings.get(index, 0.0) + elapsed
+    if monitor.config is not None and monitor.config.uses_slow_path(index):
+        stats.checkpoints_evaluated += 1
+
+
+def _finalize(monitor: Monitor, env: dict) -> dict[str, np.ndarray]:
+    return {spec.name: env[spec.name] for spec in monitor.partition_set.model.outputs}
+
+
+def run_sequential(
+    monitor: Monitor, batches: list[dict[str, np.ndarray]]
+) -> tuple[list[dict[str, np.ndarray]], RunStats]:
+    """Process batches one after another through all stages."""
+    stats = RunStats()
+    results = []
+    num_stages = len(monitor.partition_set)
+    for feeds in batches:
+        validate_feeds(monitor, feeds)
+    for batch_id, feeds in enumerate(batches):
+        env = dict(feeds)
+        for index in range(num_stages):
+            _stage_once(monitor, env, batch_id, index, stats)
+        results.append(_finalize(monitor, env))
+        stats.batches += 1
+    stats.divergences = len(monitor.divergence_events())
+    stats.crashes = len(monitor.crash_events())
+    return results, stats
+
+
+def run_pipelined(
+    monitor: Monitor, batches: list[dict[str, np.ndarray]]
+) -> tuple[list[dict[str, np.ndarray]], RunStats]:
+    """Process a batch stream with overlapping pipeline stages.
+
+    At pipeline tick ``t``, stage ``i`` handles batch ``t - i``; the
+    functional outcome matches sequential execution, but checkpoint
+    evaluation interleaves across batches -- which is exactly the regime
+    in which asynchronous cross-validation defers laggard checks across
+    stage boundaries.
+    """
+    stats = RunStats()
+    num_stages = len(monitor.partition_set)
+    for feeds in batches:
+        validate_feeds(monitor, feeds)
+    envs: dict[int, dict] = {}
+    results: dict[int, dict] = {}
+    total_ticks = len(batches) + num_stages - 1
+    for tick in range(total_ticks):
+        # Later stages first within a tick: drain the pipe end before
+        # admitting new work, as a hardware pipeline would.
+        for index in reversed(range(num_stages)):
+            batch_id = tick - index
+            if not 0 <= batch_id < len(batches):
+                continue
+            if index == 0:
+                envs[batch_id] = dict(batches[batch_id])
+            env = envs[batch_id]
+            _stage_once(monitor, env, batch_id, index, stats)
+            if index == num_stages - 1:
+                results[batch_id] = _finalize(monitor, env)
+                del envs[batch_id]
+                stats.batches += 1
+    stats.divergences = len(monitor.divergence_events())
+    stats.crashes = len(monitor.crash_events())
+    return [results[i] for i in range(len(batches))], stats

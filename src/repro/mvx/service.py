@@ -1,0 +1,195 @@
+"""A streaming inference service on top of a deployment.
+
+The paper motivates pipelined execution with "mainstream managed cloud
+inference platforms ... provide built-in support for streaming inference
+targeting real-time scenarios and continuous large-volume data
+analysis" (§6.4).  :class:`InferenceService` is that serving surface:
+requests are queued, executed through the pipeline in arrival order,
+optionally supervised by the adaptive controller, with per-request
+status, deployment metrics and graceful degradation on detections.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mvx.adaptive import AdaptiveController
+from repro.mvx.monitor import MonitorError
+from repro.mvx.scheduler import run_pipelined, run_sequential
+from repro.mvx.system import MvteeSystem
+
+__all__ = ["InferenceService", "RequestState", "ServiceMetrics"]
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of one submitted request."""
+
+    QUEUED = "queued"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class _Request:
+    request_id: int
+    feeds: dict[str, np.ndarray]
+    state: RequestState = RequestState.QUEUED
+    result: dict[str, np.ndarray] | None = None
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Aggregated deployment health counters."""
+
+    requests_served: int
+    requests_failed: int
+    batches_executed: int
+    checkpoints_evaluated: int
+    divergences_detected: int
+    crashes_detected: int
+    live_variants: dict[int, int]
+    bytes_protected: int
+    scaling_actions: int
+
+    def to_prometheus(self, *, prefix: str = "mvtee") -> str:
+        """Prometheus text-exposition rendering of the counters."""
+        lines = []
+        scalars = {
+            "requests_served_total": self.requests_served,
+            "requests_failed_total": self.requests_failed,
+            "batches_executed_total": self.batches_executed,
+            "checkpoints_evaluated_total": self.checkpoints_evaluated,
+            "divergences_detected_total": self.divergences_detected,
+            "crashes_detected_total": self.crashes_detected,
+            "bytes_protected_total": self.bytes_protected,
+            "scaling_actions_total": self.scaling_actions,
+        }
+        for name, value in scalars.items():
+            lines.append(f"# TYPE {prefix}_{name} counter")
+            lines.append(f"{prefix}_{name} {value}")
+        lines.append(f"# TYPE {prefix}_live_variants gauge")
+        for index, count in sorted(self.live_variants.items()):
+            lines.append(f'{prefix}_live_variants{{partition="{index}"}} {count}')
+        return "\n".join(lines) + "\n"
+
+
+class InferenceService:
+    """Queue-and-drain serving over a deployed :class:`MvteeSystem`."""
+
+    def __init__(
+        self,
+        system: MvteeSystem,
+        *,
+        pipelined: bool = True,
+        controller: AdaptiveController | None = None,
+    ):
+        self.system = system
+        self.pipelined = pipelined
+        self.controller = controller
+        self._queue: OrderedDict[int, _Request] = OrderedDict()
+        self._done: dict[int, _Request] = {}
+        self._next_id = 0
+        self._served = 0
+        self._failed = 0
+        self._batches = 0
+        self._checkpoints = 0
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    def submit(self, feeds: dict[str, np.ndarray]) -> int:
+        """Enqueue one request; returns its id."""
+        request = _Request(request_id=self._next_id, feeds=dict(feeds))
+        self._next_id += 1
+        self._queue[request.request_id] = request
+        return request.request_id
+
+    def status(self, request_id: int) -> RequestState:
+        """State of a submitted request."""
+        request = self._queue.get(request_id) or self._done.get(request_id)
+        if request is None:
+            raise KeyError(f"unknown request {request_id}")
+        return request.state
+
+    def result(self, request_id: int) -> dict[str, np.ndarray]:
+        """Result of a DONE request; raises for queued/failed ones."""
+        request = self._done.get(request_id)
+        if request is None:
+            raise KeyError(f"request {request_id} is not finished")
+        if request.state is RequestState.FAILED:
+            raise MonitorError(f"request {request_id} failed: {request.error}")
+        assert request.result is not None
+        return request.result
+
+    # ------------------------------------------------------------------
+    # Serving loop
+    # ------------------------------------------------------------------
+
+    def drain(self, *, max_batch: int | None = None) -> int:
+        """Run queued requests through the pipeline; returns #completed.
+
+        On a detection that halts the pipeline (HALT response policy) the
+        in-flight requests are marked FAILED and the queue keeps the
+        rest; the operator decides how to proceed.
+        """
+        pending = list(self._queue.values())[: max_batch or None]
+        if not pending:
+            return 0
+        runner = run_pipelined if self.pipelined else run_sequential
+        batches = [r.feeds for r in pending]
+        try:
+            results, stats = runner(self.system.monitor, batches)
+        except MonitorError as exc:
+            for request in pending:
+                request.state = RequestState.FAILED
+                request.error = str(exc)
+                self._done[request.request_id] = request
+                self._queue.pop(request.request_id, None)
+                self._failed += 1
+            if self.controller is not None:
+                self.controller.observe()
+            return 0
+        self._batches += stats.batches
+        self._checkpoints += stats.checkpoints_evaluated
+        for request, result in zip(pending, results):
+            request.state = RequestState.DONE
+            request.result = result
+            self._done[request.request_id] = request
+            self._queue.pop(request.request_id, None)
+            self._served += 1
+        if self.controller is not None:
+            self.controller.observe()
+        return len(pending)
+
+    # ------------------------------------------------------------------
+    # Operations surface
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> ServiceMetrics:
+        """Current deployment health snapshot."""
+        monitor = self.system.monitor
+        bytes_protected = sum(
+            connection.channel.bytes_protected
+            for connections in monitor.connections.values()
+            for connection in connections
+        )
+        return ServiceMetrics(
+            requests_served=self._served,
+            requests_failed=self._failed,
+            batches_executed=self._batches,
+            checkpoints_evaluated=self._checkpoints,
+            divergences_detected=len(monitor.divergence_events()),
+            crashes_detected=len(monitor.crash_events()),
+            live_variants={
+                index: len(monitor.stage_connections(index))
+                for index in range(len(self.system.partition_set))
+            },
+            bytes_protected=bytes_protected,
+            scaling_actions=len(self.controller.actions) if self.controller else 0,
+        )

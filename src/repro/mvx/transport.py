@@ -1,0 +1,95 @@
+"""Monitor <-> variant record transports.
+
+The CP/US architecture "naturally supports execution in a distributed
+setting" (§4.3): the monitor and variant TEEs may be co-located (records
+handed over in memory) or distributed (records cross an untrusted
+network).  Both transports move the *same protected records* -- the
+security of the exchange comes from the RA-TLS channel layer, so a
+tampering network adversary causes a detected :class:`ChannelError`,
+never silent corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.mvx.variant_host import VariantHost, VariantUnavailable
+from repro.tee.network import Fabric, NetworkError
+
+__all__ = ["DirectTransport", "FabricTransport", "Transport"]
+
+MONITOR_ENDPOINT = "mvtee-monitor"
+
+
+class Transport(Protocol):
+    """Moves one protected request record and returns the response record."""
+
+    def exchange(self, variant_id: str, record: bytes) -> bytes: ...
+
+    def register(self, host: VariantHost) -> None: ...
+
+
+@dataclass
+class DirectTransport:
+    """Co-located deployment: records handed to the variant in-process."""
+
+    hosts: dict[str, VariantHost] = field(default_factory=dict)
+
+    def register(self, host: VariantHost) -> None:
+        """Attach a placed variant host."""
+        self.hosts[host.variant_id] = host
+
+    def exchange(self, variant_id: str, record: bytes) -> bytes:
+        host = self.hosts.get(variant_id)
+        if host is None:
+            raise VariantUnavailable(f"no transport route to variant {variant_id!r}")
+        return host.handle_record(record)
+
+
+@dataclass
+class FabricTransport:
+    """Distributed deployment: records cross the (untrusted) fabric.
+
+    Each exchange is one request/response round trip through per-variant
+    endpoints; the fabric's adversary hook can tamper with, drop or
+    duplicate records in either direction.
+    """
+
+    fabric: Fabric = field(default_factory=Fabric)
+    hosts: dict[str, VariantHost] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.fabric.register(MONITOR_ENDPOINT)
+
+    def register(self, host: VariantHost) -> None:
+        """Attach a placed variant host behind its own endpoint."""
+        self.hosts[host.variant_id] = host
+        self.fabric.register(self._endpoint(host.variant_id))
+
+    @staticmethod
+    def _endpoint(variant_id: str) -> str:
+        return f"mvtee-variant-{variant_id}"
+
+    def exchange(self, variant_id: str, record: bytes) -> bytes:
+        host = self.hosts.get(variant_id)
+        if host is None:
+            raise VariantUnavailable(f"no transport route to variant {variant_id!r}")
+        endpoint = self._endpoint(variant_id)
+        self.fabric.send(MONITOR_ENDPOINT, endpoint, record)
+        try:
+            delivered = self.fabric.recv(MONITOR_ENDPOINT, endpoint)
+        except NetworkError as exc:
+            # The adversary dropped the request: to the monitor this is a
+            # missing response.
+            raise VariantUnavailable(
+                f"variant {variant_id}: request lost in transit ({exc})"
+            ) from exc
+        response = host.handle_record(delivered)
+        self.fabric.send(endpoint, MONITOR_ENDPOINT, response)
+        try:
+            return self.fabric.recv(endpoint, MONITOR_ENDPOINT)
+        except NetworkError as exc:
+            raise VariantUnavailable(
+                f"variant {variant_id}: response lost in transit ({exc})"
+            ) from exc

@@ -1,0 +1,86 @@
+"""Runtime variant updates (Figure 6, "Updates" flow).
+
+Full updates reshuffle the partition set and rebuild every binding;
+partial updates replace or scale the variants of selected partitions,
+appending to the binding ledger for auditability.  TEEs are never
+reused: old enclaves are terminated and fresh ones placed (§4.3 argues
+software-level cleanup is unsound and loading costs are unavoidable
+anyway).
+"""
+
+from __future__ import annotations
+
+from repro.mvx.bootstrap import Orchestrator
+from repro.mvx.monitor import Monitor, MonitorError
+from repro.mvx.variant_host import VariantHost
+from repro.variants.pool import VariantArtifact
+
+__all__ = ["partial_update", "scale_partition"]
+
+
+def partial_update(
+    monitor: Monitor,
+    orchestrator: Orchestrator,
+    partition_index: int,
+    new_artifacts: list[VariantArtifact],
+) -> list[VariantHost]:
+    """Replace the variants of one partition with fresh pool artifacts.
+
+    Old variant TEEs are retired (terminated + ledger "retire" entries);
+    new ones go through the full attestation/key/bind flow with ledger
+    event "update".
+    """
+    if monitor.config is None:
+        raise MonitorError("cannot update an unprovisioned deployment")
+    for artifact in new_artifacts:
+        if artifact.spec.partition_index != partition_index:
+            raise MonitorError(
+                f"artifact {artifact.variant_id} targets partition "
+                f"{artifact.spec.partition_index}, not {partition_index}"
+            )
+    old_connections = list(monitor.connections.get(partition_index, ()))
+    new_hosts = []
+    for artifact in new_artifacts:
+        host = VariantHost.place(artifact, orchestrator._pick_cpu())
+        monitor._bootstrap_variant(partition_index, artifact, host, event="update")
+        new_hosts.append(host)
+    for connection in old_connections:
+        connection.host.terminate()
+        monitor.ledger.append(
+            variant_id=connection.variant_id,
+            partition_index=partition_index,
+            enclave_id=connection.host.enclave.enclave_id,
+            measurement=connection.measurement,
+            channel_id=connection.channel.channel_id,
+            event="retire",
+        )
+    monitor.connections[partition_index] = [
+        c
+        for c in monitor.connections.get(partition_index, [])
+        if not c.host.crashed
+    ]
+    monitor.ledger.verify_chain()
+    return new_hosts
+
+
+def scale_partition(
+    monitor: Monitor,
+    orchestrator: Orchestrator,
+    partition_index: int,
+    extra_artifacts: list[VariantArtifact],
+) -> list[VariantHost]:
+    """Horizontal scaling: add variants to a partition without retiring."""
+    if monitor.config is None:
+        raise MonitorError("cannot scale an unprovisioned deployment")
+    new_hosts = []
+    for artifact in extra_artifacts:
+        if artifact.spec.partition_index != partition_index:
+            raise MonitorError(
+                f"artifact {artifact.variant_id} targets partition "
+                f"{artifact.spec.partition_index}, not {partition_index}"
+            )
+        host = VariantHost.place(artifact, orchestrator._pick_cpu())
+        monitor._bootstrap_variant(partition_index, artifact, host, event="update")
+        new_hosts.append(host)
+    monitor.ledger.verify_chain()
+    return new_hosts

@@ -1,0 +1,119 @@
+"""Cross-process voting over variant checkpoint outputs.
+
+Variants' outputs are clustered by pairwise consistency (a variant joins
+the first cluster whose representative it agrees with); the configured
+policy then decides whether a cluster wins:
+
+- ``unanimous`` (default, security-first): every live variant must agree;
+- ``majority``: a strict majority of live variants suffices;
+- ``plurality``: the largest cluster wins ties broken by variant order.
+
+Crashed variants never join a cluster; under unanimity a crash alone
+constitutes dissent (the paper: variants "will either crash or yield
+inconsistent execution results").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mvx.consistency import ConsistencyPolicy, ConsistencyReport
+
+__all__ = ["VariantOutput", "VoteResult", "vote"]
+
+
+@dataclass
+class VariantOutput:
+    """One variant's contribution at a checkpoint."""
+
+    variant_id: str
+    outputs: dict[str, np.ndarray] | None  # None = crashed / no response
+    error: str = ""
+
+    @property
+    def alive(self) -> bool:
+        """Whether the variant produced outputs."""
+        return self.outputs is not None
+
+
+@dataclass
+class VoteResult:
+    """Outcome of one checkpoint vote."""
+
+    accepted: dict[str, np.ndarray] | None
+    agreeing: tuple[str, ...]
+    dissenting: tuple[str, ...]
+    crashed: tuple[str, ...]
+    unanimous: bool
+    reports: tuple[ConsistencyReport, ...] = field(default=())
+
+    @property
+    def passed(self) -> bool:
+        """True when some output was accepted."""
+        return self.accepted is not None
+
+
+def _cluster(
+    outputs: list[VariantOutput], policy: ConsistencyPolicy
+) -> tuple[list[list[VariantOutput]], list[ConsistencyReport]]:
+    clusters: list[list[VariantOutput]] = []
+    reports: list[ConsistencyReport] = []
+    for item in outputs:
+        placed = False
+        for cluster in clusters:
+            pair_reports = policy.check_outputs(cluster[0].outputs, item.outputs)
+            reports.extend(r for r in pair_reports if not r.consistent)
+            if all(r.consistent for r in pair_reports):
+                cluster.append(item)
+                placed = True
+                break
+        if not placed:
+            clusters.append([item])
+    return clusters, reports
+
+
+def vote(
+    outputs: list[VariantOutput],
+    *,
+    policy: ConsistencyPolicy | None = None,
+    strategy: str = "unanimous",
+) -> VoteResult:
+    """Run one checkpoint vote and return the decision."""
+    policy = policy or ConsistencyPolicy()
+    crashed = tuple(o.variant_id for o in outputs if not o.alive)
+    live = [o for o in outputs if o.alive]
+    if not live:
+        return VoteResult(
+            accepted=None,
+            agreeing=(),
+            dissenting=(),
+            crashed=crashed,
+            unanimous=False,
+        )
+    clusters, fail_reports = _cluster(live, policy)
+    clusters.sort(key=len, reverse=True)
+    winner = clusters[0]
+    losers = [o for cluster in clusters[1:] for o in cluster]
+    unanimous = len(clusters) == 1 and not crashed
+    accepted: dict[str, np.ndarray] | None = None
+    if strategy == "unanimous":
+        if unanimous:
+            accepted = winner[0].outputs
+    elif strategy == "majority":
+        if len(winner) * 2 > len(outputs):
+            accepted = winner[0].outputs
+    elif strategy == "plurality":
+        if len(clusters) == 1 or len(winner) > len(clusters[1]):
+            accepted = winner[0].outputs
+    else:
+        raise ValueError(f"unknown voting strategy {strategy!r}")
+    return VoteResult(
+        accepted=accepted,
+        agreeing=tuple(o.variant_id for o in winner),
+        dissenting=tuple(o.variant_id for o in losers),
+        crashed=crashed,
+        unanimous=unanimous,
+        reports=tuple(fail_reports),
+    )

@@ -1,0 +1,40 @@
+"""Wire format for monitor <-> variant messages.
+
+Every message is a JSON envelope (type + metadata) followed by an
+optional npz tensor payload; the whole message travels inside one AEAD
+record on a secure channel, so confidentiality/integrity/freshness come
+from the channel layer.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+__all__ = ["decode_message", "encode_message"]
+
+
+def encode_message(msg_type: str, meta: dict | None = None, tensors: dict | None = None) -> bytes:
+    """Serialize one protocol message."""
+    envelope = json.dumps({"type": msg_type, "meta": meta or {}}, sort_keys=True).encode()
+    if tensors:
+        buffer = io.BytesIO()
+        np.savez(buffer, **tensors)
+        payload = buffer.getvalue()
+    else:
+        payload = b""
+    return len(envelope).to_bytes(4, "big") + envelope + payload
+
+
+def decode_message(data: bytes) -> tuple[str, dict, dict]:
+    """Parse a message into (type, meta, tensors)."""
+    env_len = int.from_bytes(data[:4], "big")
+    envelope = json.loads(data[4 : 4 + env_len])
+    payload = data[4 + env_len :]
+    tensors: dict[str, np.ndarray] = {}
+    if payload:
+        with np.load(io.BytesIO(payload)) as archive:
+            tensors = {name: archive[name] for name in archive.files}
+    return envelope["type"], envelope["meta"], tensors

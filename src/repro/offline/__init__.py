@@ -1,0 +1,25 @@
+"""The offline ML MVX tool (Figure 2, §5.1).
+
+Streamlines model inspection, partitioning and variant construction:
+
+- :mod:`repro.offline.inspect` -- the model inspection module;
+- :mod:`repro.offline.tool` -- the end-to-end tool driving partitioning
+  (manual or automatic mode) and variant-pool construction from JSON
+  configuration;
+- :mod:`repro.offline.images` -- monitor/variant "container image"
+  packaging (Gramine TEE OS + public executables and manifests).
+"""
+
+from repro.offline.inspect import ModelReport, inspect_model
+from repro.offline.images import ContainerImage, build_monitor_image, build_variant_image
+from repro.offline.tool import OfflineTool, ToolConfig
+
+__all__ = [
+    "ContainerImage",
+    "ModelReport",
+    "OfflineTool",
+    "ToolConfig",
+    "build_monitor_image",
+    "build_variant_image",
+    "inspect_model",
+]

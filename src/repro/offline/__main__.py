@@ -1,0 +1,5 @@
+"""``python -m repro.offline`` runs the offline tool CLI."""
+
+from repro.offline.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Persistent offline bundles: build once, deploy anywhere.
+
+The offline phase runs on the model owner's premises; deployment may
+happen later and elsewhere.  A *bundle* is the on-disk form of a
+:class:`~repro.offline.tool.ToolOutput`:
+
+- ``model.bin`` + ``partitions.json`` -- the partitioned model;
+- ``report.json`` -- the inspection report;
+- ``variants/<id>/`` -- each variant's spec, public init files and
+  sealed private files (safe to hand to the orchestrator);
+- ``keys.json`` -- the variant key-derivation keys.  OWNER SECRET: this
+  file never leaves the owner's trust domain; it is what the monitor
+  distributes over attested channels at bootstrap.
+
+``load_bundle`` restores a fully functional ToolOutput (the plaintext
+variant models are recovered by unsealing with the owner's keys), so
+``bootstrap_deployment`` works on a loaded bundle unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.crypto.keys import KeyManager, KeyRecord
+from repro.crypto.sealed import SealedBlob, unseal_bytes
+from repro.graph.model import ModelGraph
+from repro.offline.images import build_monitor_image, build_variant_image
+from repro.offline.inspect import inspect_model
+from repro.offline.tool import ToolOutput
+from repro.partition.partition import Partition, PartitionSet
+from repro.variants.manifests import variant_paths
+from repro.variants.pool import VariantArtifact, VariantPool
+from repro.variants.spec import VariantSpec
+
+__all__ = ["load_bundle", "save_bundle"]
+
+_FILE_KEYS = ("init", "stage2_manifest", "model", "config", "main")
+
+
+def save_bundle(output: ToolOutput, directory: str | Path) -> Path:
+    """Write a ToolOutput to disk; returns the bundle directory."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "model.bin").write_bytes(output.partition_set.model.to_bytes())
+    (root / "report.json").write_text(json.dumps(output.report.to_json(), indent=2))
+    (root / "partitions.json").write_text(
+        json.dumps(
+            [list(p.node_names) for p in output.partition_set.partitions], indent=2
+        )
+    )
+    keys = {}
+    for artifacts in output.pool.artifacts.values():
+        for artifact in artifacts:
+            variant_dir = root / "variants" / artifact.variant_id
+            variant_dir.mkdir(parents=True, exist_ok=True)
+            (variant_dir / "spec.json").write_text(
+                json.dumps(artifact.spec.to_json(), indent=2)
+            )
+            for key in _FILE_KEYS:
+                path = artifact.paths[key]
+                (variant_dir / f"{key}.bin").write_bytes(artifact.host_files[path])
+            record = artifact.key_record
+            keys[record.key_id] = {
+                "key": record.key.hex(),
+                "usage_limit": record.usage_limit,
+                "derivations": record.derivations,
+                "generation": record.generation,
+            }
+    (root / "keys.json").write_text(json.dumps(keys, indent=2, sort_keys=True))
+    return root
+
+
+def load_bundle(directory: str | Path) -> ToolOutput:
+    """Restore a ToolOutput from a bundle directory."""
+    root = Path(directory)
+    model = ModelGraph.from_bytes((root / "model.bin").read_bytes())
+    node_lists = json.loads((root / "partitions.json").read_text())
+    partition_set = PartitionSet(
+        model=model,
+        partitions=[
+            Partition(index=i, node_names=tuple(names))
+            for i, names in enumerate(node_lists)
+        ],
+    )
+    key_data = json.loads((root / "keys.json").read_text())
+    key_manager = KeyManager()
+    pool = VariantPool(partition_set=partition_set)
+    for variant_dir in sorted((root / "variants").iterdir()):
+        spec = VariantSpec.from_json(json.loads((variant_dir / "spec.json").read_text()))
+        entry = key_data[spec.variant_id]
+        record = KeyRecord(
+            key_id=spec.variant_id,
+            key=bytes.fromhex(entry["key"]),
+            usage_limit=int(entry["usage_limit"]),
+            derivations=int(entry["derivations"]),
+            generation=int(entry["generation"]),
+        )
+        key_manager._records[spec.variant_id] = record
+        paths = variant_paths(spec)
+        host_files = {
+            paths[key]: (variant_dir / f"{key}.bin").read_bytes()
+            for key in _FILE_KEYS
+        }
+        sealed_model = SealedBlob.from_bytes(host_files[paths["model"]])
+        variant_model = ModelGraph.from_bytes(
+            unseal_bytes(record.key, record.key_id, sealed_model)
+        )
+        from repro.variants.manifests import variant_manifests
+
+        init_manifest, second_manifest = variant_manifests(spec)
+        pool.add(
+            VariantArtifact(
+                spec=spec,
+                model=variant_model,
+                key_record=record,
+                init_manifest=init_manifest,
+                second_manifest=second_manifest,
+                host_files=host_files,
+                paths=paths,
+            )
+        )
+    output = ToolOutput(
+        report=inspect_model(model),
+        partition_set=partition_set,
+        pool=pool,
+        key_manager=key_manager,
+        monitor_image=build_monitor_image(),
+    )
+    output.variant_images = {
+        artifact.variant_id: build_variant_image(artifact)
+        for artifacts in pool.artifacts.values()
+        for artifact in artifacts
+    }
+    return output

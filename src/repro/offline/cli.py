@@ -1,0 +1,200 @@
+"""Command-line interface of the offline ML MVX tool.
+
+Usage (also via ``python -m repro.offline``)::
+
+    mvtee-offline models
+    mvtee-offline inspect resnet-50 --input-size 224
+    mvtee-offline partition googlenet --partitions 5 --seed 0
+    mvtee-offline build small-resnet --partitions 3 --variants 3 --out ./out
+
+``build`` runs the full offline pipeline and writes the deployable
+bundle: the inspection report, the partition map, the public monitor
+image and one directory per variant containing its public init files
+and sealed private files -- exactly what an orchestrator consumes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.graph.flops import humanize_flops
+from repro.offline.images import build_variant_image
+from repro.offline.inspect import inspect_model
+from repro.offline.tool import OfflineTool, ToolConfig
+from repro.partition.balance import balance_score, partition_costs
+from repro.zoo import available_models, build_model
+
+__all__ = ["main"]
+
+
+def _build_model(args) -> object:
+    kwargs = {}
+    if args.input_size is not None:
+        kwargs["input_size"] = args.input_size
+    return build_model(args.model, **kwargs)
+
+
+def _cmd_models(args) -> int:
+    for name in available_models():
+        print(name)
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    report = inspect_model(_build_model(args))
+    if args.json:
+        json.dump(report.to_json(), sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"model:       {report.name}")
+    print(f"ir version:  {report.ir_version}")
+    print(f"nodes:       {report.num_nodes}")
+    print(f"flops:       {humanize_flops(report.total_flops)}")
+    print(f"parameters:  {report.parameter_bytes / 1e6:.1f} MB")
+    print("inputs:      " + ", ".join(f"{n}{list(s)}" for n, s in report.inputs))
+    print("outputs:     " + ", ".join(f"{n}{list(s)}" for n, s in report.outputs))
+    print("op histogram:")
+    for op, count in sorted(report.op_histogram.items(), key=lambda kv: -kv[1]):
+        print(f"  {op:24s} {count}")
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    model = _build_model(args)
+    config = ToolConfig(
+        num_partitions=args.partitions,
+        partition_mode="manual" if args.cuts else "auto",
+        manual_cut_indices=tuple(args.cuts or ()),
+        partition_restarts=args.restarts,
+        seed=args.seed,
+        verify_partitions=not args.no_verify,
+    )
+    tool = OfflineTool(config)
+    partition_set = tool.partition(model)
+    if config.verify_partitions:
+        from repro.partition.verify import verify_partition_set
+
+        verify_partition_set(partition_set)
+        print("correctness: staged execution verified against the full model")
+    costs = partition_costs(partition_set)
+    print(f"partitions:  {len(partition_set)} (balance score {balance_score(partition_set):.2f})")
+    for part in partition_set.partitions:
+        checkpoint = partition_set.checkpoint_bytes(part.index)
+        print(
+            f"  p{part.index}: {len(part.node_names):4d} nodes, "
+            f"{humanize_flops(int(costs[part.index])):>14s}, "
+            f"checkpoint {checkpoint / 1024:8.1f} KiB"
+        )
+    return 0
+
+
+def _cmd_build(args) -> int:
+    model = _build_model(args)
+    tool = OfflineTool(
+        ToolConfig(
+            num_partitions=args.partitions,
+            variants_per_partition=args.variants,
+            seed=args.seed,
+            verify_partitions=not args.no_verify,
+            verify_variants=not args.no_verify,
+        )
+    )
+    output = tool.run(model)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "report.json").write_text(json.dumps(output.report.to_json(), indent=2))
+    partition_map = {
+        f"p{p.index}": list(p.node_names) for p in output.partition_set.partitions
+    }
+    (out_dir / "partitions.json").write_text(json.dumps(partition_map, indent=2))
+
+    monitor_dir = out_dir / "monitor"
+    monitor_dir.mkdir(exist_ok=True)
+    (monitor_dir / "manifest.json").write_text(
+        json.dumps(output.monitor_image.manifest.to_json(), indent=2)
+    )
+    for path, content in output.monitor_image.files.items():
+        target = monitor_dir / path.lstrip("/").replace("/", "_")
+        target.write_bytes(content)
+
+    index = []
+    for variant_id, image in output.variant_images.items():
+        variant_dir = out_dir / "variants" / variant_id
+        variant_dir.mkdir(parents=True, exist_ok=True)
+        (variant_dir / "manifest.json").write_text(
+            json.dumps(image.manifest.to_json(), indent=2)
+        )
+        for path, content in image.files.items():
+            target = variant_dir / path.lstrip("/").replace("/", "_")
+            target.write_bytes(content)
+        index.append(
+            {
+                "variant_id": variant_id,
+                "digest": image.digest(),
+                "bytes": image.total_bytes(),
+            }
+        )
+    (out_dir / "images.json").write_text(json.dumps(index, indent=2))
+    print(f"wrote {len(index)} variant images + monitor image to {out_dir}")
+    print("NOTE: variant keys stay with the model owner; sealed files are safe to ship")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="mvtee-offline", description="MVTEE offline ML MVX tool"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list available zoo models").set_defaults(fn=_cmd_models)
+
+    inspect_p = sub.add_parser("inspect", help="model inspection module")
+    inspect_p.add_argument("model")
+    inspect_p.add_argument("--input-size", type=int, default=None)
+    inspect_p.add_argument("--json", action="store_true")
+    inspect_p.set_defaults(fn=_cmd_inspect)
+
+    part_p = sub.add_parser("partition", help="run random-balanced partitioning")
+    part_p.add_argument("model")
+    part_p.add_argument("--partitions", type=int, default=5)
+    part_p.add_argument("--cuts", type=int, nargs="*", help="manual cut indices")
+    part_p.add_argument("--restarts", type=int, default=4)
+    part_p.add_argument("--seed", type=int, default=0)
+    part_p.add_argument("--input-size", type=int, default=None)
+    part_p.add_argument("--no-verify", action="store_true")
+    part_p.set_defaults(fn=_cmd_partition)
+
+    build_p = sub.add_parser("build", help="full pipeline: inspect + partition + variants")
+    build_p.add_argument("model")
+    build_p.add_argument("--partitions", type=int, default=5)
+    build_p.add_argument("--variants", type=int, default=3)
+    build_p.add_argument("--seed", type=int, default=0)
+    build_p.add_argument("--input-size", type=int, default=None)
+    build_p.add_argument("--out", required=True)
+    build_p.add_argument("--no-verify", action="store_true")
+    build_p.set_defaults(fn=_cmd_build)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

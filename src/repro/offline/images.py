@@ -1,0 +1,70 @@
+"""Container image packaging (§5.1).
+
+"We generate monitor and base variant container images that package the
+Gramine TEE OS, TEE-related files, along with the corresponding public
+executables and manifests."  An image here is the file bundle the
+orchestrator can place without learning anything variant-specific.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.mvx.bootstrap import MONITOR_CODE, monitor_manifest
+from repro.tee.manifest import Manifest
+from repro.variants.manifests import INIT_VARIANT_CODE
+from repro.variants.pool import VariantArtifact
+
+__all__ = ["ContainerImage", "build_monitor_image", "build_variant_image"]
+
+GRAMINE_TEE_OS_STUB = b"#!gramine-tee-os v1.7+mvtee (two-stage manifests, socket RA-TLS)\n"
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """A deployable bundle of public files and the launch manifest."""
+
+    name: str
+    manifest: Manifest
+    files: dict[str, bytes]
+
+    def digest(self) -> str:
+        """Content-addressed image digest."""
+        h = hashlib.sha256()
+        h.update(self.manifest.to_bytes())
+        for path in sorted(self.files):
+            h.update(path.encode())
+            h.update(hashlib.sha256(self.files[path]).digest())
+        return h.hexdigest()
+
+    def total_bytes(self) -> int:
+        """Total payload size."""
+        return sum(len(v) for v in self.files.values())
+
+
+def build_monitor_image() -> ContainerImage:
+    """The monitor TEE image (public: code + manifest + TEE OS)."""
+    return ContainerImage(
+        name="mvtee/monitor",
+        manifest=monitor_manifest(),
+        files={
+            "/gramine/libos": GRAMINE_TEE_OS_STUB,
+            "/mvtee/monitor": MONITOR_CODE,
+        },
+    )
+
+
+def build_variant_image(artifact: VariantArtifact) -> ContainerImage:
+    """One variant TEE image: init-variant + public manifest + sealed files.
+
+    Everything variant-specific inside is encrypted; the image is safe to
+    hand to the untrusted orchestrator.
+    """
+    files = {"/gramine/libos": GRAMINE_TEE_OS_STUB}
+    files.update(artifact.host_files)
+    return ContainerImage(
+        name=f"mvtee/variant-{artifact.variant_id}",
+        manifest=artifact.init_manifest,
+        files=files,
+    )

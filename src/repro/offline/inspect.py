@@ -1,0 +1,111 @@
+"""Model inspection module (§5.1).
+
+"Through model inspection, we collect information such as IR version,
+graph inputs/outputs, initializers, and nodes, including their indices
+and detailed metadata."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.flops import graph_flops, node_flops, parameter_bytes
+from repro.graph.model import ModelGraph
+from repro.graph.shapes import infer_shapes
+
+__all__ = ["ModelReport", "NodeInfo", "inspect_model"]
+
+IR_VERSION = "mvtee-ir-1"
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """Metadata of one node, including its topological index."""
+
+    index: int
+    name: str
+    op_type: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    output_shapes: tuple[tuple[int, ...], ...]
+    flops: int
+    attrs: dict
+
+
+@dataclass(frozen=True)
+class ModelReport:
+    """The inspection result of one model."""
+
+    name: str
+    ir_version: str
+    num_nodes: int
+    inputs: tuple[tuple[str, tuple[int, ...]], ...]
+    outputs: tuple[tuple[str, tuple[int, ...]], ...]
+    initializers: tuple[tuple[str, tuple[int, ...]], ...]
+    total_flops: int
+    parameter_bytes: int
+    nodes: tuple[NodeInfo, ...] = field(repr=False)
+    op_histogram: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """JSON form for config pipelines / CI reports."""
+        return {
+            "name": self.name,
+            "ir_version": self.ir_version,
+            "num_nodes": self.num_nodes,
+            "inputs": [[n, list(s)] for n, s in self.inputs],
+            "outputs": [[n, list(s)] for n, s in self.outputs],
+            "initializers": [[n, list(s)] for n, s in self.initializers],
+            "total_flops": self.total_flops,
+            "parameter_bytes": self.parameter_bytes,
+            "op_histogram": dict(self.op_histogram),
+            "nodes": [
+                {
+                    "index": n.index,
+                    "name": n.name,
+                    "op_type": n.op_type,
+                    "inputs": list(n.inputs),
+                    "outputs": list(n.outputs),
+                    "output_shapes": [list(s) for s in n.output_shapes],
+                    "flops": n.flops,
+                    "attrs": n.attrs,
+                }
+                for n in self.nodes
+            ],
+        }
+
+
+def inspect_model(model: ModelGraph) -> ModelReport:
+    """Collect full metadata for a model."""
+    model.validate()
+    specs = infer_shapes(model)
+    nodes = []
+    histogram: dict[str, int] = {}
+    for index, node in enumerate(model.topological_order()):
+        histogram[node.op_type] = histogram.get(node.op_type, 0) + 1
+        nodes.append(
+            NodeInfo(
+                index=index,
+                name=node.name,
+                op_type=node.op_type,
+                inputs=tuple(node.inputs),
+                outputs=tuple(node.outputs),
+                output_shapes=tuple(specs[o].shape for o in node.outputs),
+                flops=node_flops(node, specs),
+                attrs=dict(node.attrs),
+            )
+        )
+    return ModelReport(
+        name=model.name,
+        ir_version=IR_VERSION,
+        num_nodes=len(model.nodes),
+        inputs=tuple((s.name, s.shape) for s in model.inputs),
+        outputs=tuple((s.name, s.shape) for s in model.outputs),
+        initializers=tuple(
+            (name, tuple(arr.shape)) for name, arr in sorted(model.initializers.items())
+        ),
+        total_flops=graph_flops(model, specs),
+        parameter_bytes=parameter_bytes(model),
+        nodes=tuple(nodes),
+        op_histogram=histogram,
+    )

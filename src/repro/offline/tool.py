@@ -1,0 +1,150 @@
+"""The end-to-end offline tool.
+
+Inputs (§5.1): (i) the target model, (ii) configuration detailing
+partitioning settings and variant specifications, (iii) base manifests
+(generated internally here).  Outputs: partition variants with their
+Gramine manifests in encrypted form, plus the public container images.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import KeyManager
+from repro.graph.model import ModelGraph
+from repro.offline.images import ContainerImage, build_monitor_image, build_variant_image
+from repro.offline.inspect import ModelReport, inspect_model
+from repro.partition.balance import find_balanced_partition
+from repro.partition.partition import PartitionSet
+from repro.partition.slicer import slice_by_indices, slice_by_names
+from repro.partition.verify import verify_partition_set
+from repro.variants.pool import VariantPool, build_pool, diversified_specs
+from repro.variants.spec import VariantSpec
+
+__all__ = ["OfflineTool", "ToolConfig", "ToolOutput"]
+
+
+@dataclass(frozen=True)
+class ToolConfig:
+    """Declarative configuration of one offline run.
+
+    ``partition_mode`` is "auto" (random-balanced contraction) or
+    "manual" (graph slicer with explicit cut points).  Variant specs may
+    be given explicitly (list of VariantSpec JSON dicts) or generated:
+    ``variants_per_partition`` drives the auto-diversifier.
+    """
+
+    num_partitions: int = 5
+    partition_mode: str = "auto"
+    manual_cut_indices: tuple[int, ...] = ()
+    manual_cut_names: tuple[str, ...] = ()
+    partition_restarts: int = 4
+    balance_slack: float = 1.6
+    seed: int = 0
+    variants_per_partition: int = 3
+    explicit_specs: tuple[dict, ...] = ()
+    verify_partitions: bool = True
+    verify_variants: bool = True
+    parallel_workers: int | None = None
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ToolConfig":
+        """Parse the tool's JSON configuration file."""
+        return cls(
+            num_partitions=int(data.get("num_partitions", 5)),
+            partition_mode=data.get("partition_mode", "auto"),
+            manual_cut_indices=tuple(data.get("manual_cut_indices", ())),
+            manual_cut_names=tuple(data.get("manual_cut_names", ())),
+            partition_restarts=int(data.get("partition_restarts", 4)),
+            balance_slack=float(data.get("balance_slack", 1.6)),
+            seed=int(data.get("seed", 0)),
+            variants_per_partition=int(data.get("variants_per_partition", 3)),
+            explicit_specs=tuple(data.get("explicit_specs", ())),
+            verify_partitions=bool(data.get("verify_partitions", True)),
+            verify_variants=bool(data.get("verify_variants", True)),
+            parallel_workers=data.get("parallel_workers"),
+        )
+
+
+@dataclass
+class ToolOutput:
+    """Everything the offline phase produces."""
+
+    report: ModelReport
+    partition_set: PartitionSet
+    pool: VariantPool
+    key_manager: KeyManager
+    monitor_image: ContainerImage
+    variant_images: dict[str, ContainerImage] = field(default_factory=dict)
+
+
+class OfflineTool:
+    """Drives inspection -> partitioning -> variant construction."""
+
+    def __init__(self, config: ToolConfig):
+        self.config = config
+
+    @classmethod
+    def from_json_file_content(cls, content: str) -> "OfflineTool":
+        """Build from the JSON configuration format."""
+        return cls(ToolConfig.from_json(json.loads(content)))
+
+    def partition(self, model: ModelGraph) -> PartitionSet:
+        """Run the configured partitioning mode."""
+        config = self.config
+        if config.partition_mode == "manual":
+            if config.manual_cut_names:
+                return slice_by_names(model, list(config.manual_cut_names))
+            if config.manual_cut_indices:
+                return slice_by_indices(model, list(config.manual_cut_indices))
+            raise ValueError("manual mode requires cut indices or names")
+        if config.partition_mode != "auto":
+            raise ValueError(f"unknown partition mode {config.partition_mode!r}")
+        return find_balanced_partition(
+            model,
+            config.num_partitions,
+            restarts=config.partition_restarts,
+            seed=config.seed,
+            balance_slack=config.balance_slack,
+            workers=config.parallel_workers,
+        )
+
+    def variant_specs(self, partition_set: PartitionSet) -> list[VariantSpec]:
+        """Explicit specs from config, or auto-diversified ones."""
+        if self.config.explicit_specs:
+            return [VariantSpec.from_json(d) for d in self.config.explicit_specs]
+        return [
+            spec
+            for index in range(len(partition_set))
+            for spec in diversified_specs(
+                index, self.config.variants_per_partition, seed=self.config.seed
+            )
+        ]
+
+    def run(self, model: ModelGraph) -> ToolOutput:
+        """The full offline pipeline for one model."""
+        report = inspect_model(model)
+        partition_set = self.partition(model)
+        if self.config.verify_partitions:
+            verify_partition_set(partition_set)
+        key_manager = KeyManager()
+        pool = build_pool(
+            partition_set,
+            self.variant_specs(partition_set),
+            key_manager=key_manager,
+            verify=self.config.verify_variants,
+        )
+        variant_images = {
+            artifact.variant_id: build_variant_image(artifact)
+            for artifacts in pool.artifacts.values()
+            for artifact in artifacts
+        }
+        return ToolOutput(
+            report=report,
+            partition_set=partition_set,
+            pool=pool,
+            key_manager=key_manager,
+            monitor_image=build_monitor_image(),
+            variant_images=variant_images,
+        )

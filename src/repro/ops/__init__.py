@@ -1,0 +1,23 @@
+"""Numpy reference kernels and the operator registry.
+
+Every operator the graph IR admits has a kernel here.  Kernels are pure
+functions of ``(inputs, attrs, context)`` where the context selects the
+BLAS backend -- the lowest diversification level MVTEE exploits (the
+paper's FrameFlip discussion: a fault in one BLAS library does not affect
+a variant linked against another).
+"""
+
+from repro.ops.blas import BlasBackend, available_backends, get_backend
+from repro.ops.kernels import KernelContext, KernelError, evaluate_node, registered_ops
+from repro.ops import transformer as _transformer  # registers kernels + shape rules
+from repro.ops import fused as _fused  # registers fused kernels + shape rules
+
+__all__ = [
+    "BlasBackend",
+    "KernelContext",
+    "KernelError",
+    "available_backends",
+    "evaluate_node",
+    "get_backend",
+    "registered_ops",
+]

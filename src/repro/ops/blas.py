@@ -1,0 +1,92 @@
+"""Pluggable dense linear-algebra backends.
+
+These model the OpenBLAS / Eigen / Intel MKL diversity the paper uses at
+the acceleration-library level.  Each backend computes the same GEMM with
+a genuinely different computation structure (different accumulation
+orders give bit-different but numerically close results), and each is an
+independent fault-injection target for the attack harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BlasBackend", "available_backends", "get_backend", "register_backend"]
+
+
+@dataclass
+class BlasBackend:
+    """A named GEMM implementation with an injectable fault hook.
+
+    ``fault_hook``, when set, post-processes every GEMM result; the attack
+    harness uses it to model library-level bit-flip faults (FrameFlip) that
+    corrupt one backend while leaving others intact.
+    """
+
+    name: str
+    gemm_impl: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    fault_hook: Callable[[np.ndarray], np.ndarray] | None = field(default=None)
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix product ``a @ b`` through this backend."""
+        result = self.gemm_impl(a, b)
+        if self.fault_hook is not None:
+            result = self.fault_hook(result)
+        return result
+
+    def clear_fault(self) -> None:
+        """Remove any injected fault."""
+        self.fault_hook = None
+
+
+def _gemm_numpy(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # "MKL-like": straight vendor BLAS call.
+    return a @ b
+
+
+def _gemm_blocked(a: np.ndarray, b: np.ndarray, *, tile: int = 64) -> np.ndarray:
+    # "OpenBLAS-like": tiled accumulation; different summation order from
+    # a plain dot, so results are bit-different yet numerically close.
+    m, k = a.shape
+    k2, n = b.shape
+    out = np.zeros((m, n), dtype=np.result_type(a, b))
+    for k0 in range(0, k, tile):
+        out += a[:, k0 : k0 + tile] @ b[k0 : k0 + tile, :]
+    return out
+
+
+def _gemm_einsum(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # "Eigen-like": expression-template style contraction path.
+    return np.einsum("ik,kj->ij", a, b)
+
+
+_BACKENDS: dict[str, Callable[[], BlasBackend]] = {
+    "mkl-sim": lambda: BlasBackend("mkl-sim", _gemm_numpy),
+    "openblas-sim": lambda: BlasBackend("openblas-sim", _gemm_blocked),
+    "eigen-sim": lambda: BlasBackend("eigen-sim", _gemm_einsum),
+}
+
+
+def register_backend(name: str, factory: Callable[[], BlasBackend]) -> None:
+    """Register an additional backend implementation."""
+    if name in _BACKENDS:
+        raise ValueError(f"backend {name!r} already registered")
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Names of all registered BLAS backends."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(name: str) -> BlasBackend:
+    """Instantiate a fresh backend object by name."""
+    try:
+        return _BACKENDS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown BLAS backend {name!r}; available: {available_backends()}"
+        ) from None

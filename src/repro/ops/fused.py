@@ -1,0 +1,54 @@
+"""Fused operators (the fusion direction of §4.2's operator replacement).
+
+``FusedConvRelu`` / ``FusedGemmRelu`` compute a convolution or dense
+layer and its ReLU in one kernel -- the classic inference-runtime fusion.
+As *graph-level* ops they are another diversification axis: a variant
+carrying fused ops has a different operator stream (and different
+kernel code) from its unfused siblings while remaining equivalent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.node import Node
+from repro.graph.shapes import register_shape_rule
+from repro.ops.kernels import KernelContext, register_op
+
+__all__ = ["install_fused_ops"]
+
+
+@register_op("FusedConvRelu")
+def _fused_conv_relu(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    from repro.ops.kernels import _REGISTRY
+
+    conv_out = _REGISTRY["Conv"](node, inputs, ctx)[0]
+    return [np.maximum(conv_out, 0)]
+
+
+@register_op("FusedGemmRelu")
+def _fused_gemm_relu(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    from repro.ops.kernels import _REGISTRY
+
+    gemm_out = _REGISTRY["Gemm"](node, inputs, ctx)[0]
+    return [np.maximum(gemm_out, 0)]
+
+
+def _conv_rule(node, specs) -> None:
+    from repro.graph import shapes as shape_mod
+
+    shape_mod._infer_conv(node, specs)
+
+
+def _gemm_rule(node, specs) -> None:
+    from repro.graph import shapes as shape_mod
+
+    shape_mod._infer_gemm(node, specs)
+
+
+register_shape_rule("FusedConvRelu", _conv_rule)
+register_shape_rule("FusedGemmRelu", _gemm_rule)
+
+
+def install_fused_ops() -> None:
+    """No-op import anchor: importing this module registers everything."""

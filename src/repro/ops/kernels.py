@@ -1,0 +1,400 @@
+"""Reference numpy kernels for every supported operator.
+
+Kernels receive resolved input arrays, node attributes and a
+:class:`KernelContext` (BLAS backend + optional per-op fault hooks) and
+return the list of output arrays.  Convolutions lower to im2col + GEMM so
+BLAS-backend diversity reaches them too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.node import Node
+from repro.ops.blas import BlasBackend, get_backend
+
+__all__ = ["KernelContext", "KernelError", "evaluate_node", "registered_ops", "register_op"]
+
+
+class KernelError(Exception):
+    """Raised when a kernel cannot execute (bad rank, bad attrs, ...)."""
+
+
+@dataclass
+class KernelContext:
+    """Execution context threaded through all kernels of one inference.
+
+    ``op_hooks`` maps op_type to a post-processing hook with signature
+    ``hook(node, inputs, outputs) -> outputs``; the fault harness installs
+    hooks here to corrupt or crash a *specific operator implementation* in
+    a specific runtime instance (modeling CVE-class bugs triggered by
+    crafted inputs).
+    """
+
+    blas: BlasBackend = field(default_factory=lambda: get_backend("mkl-sim"))
+    op_hooks: dict[
+        str, Callable[[Node, list[np.ndarray], list[np.ndarray]], list[np.ndarray]]
+    ] = field(default_factory=dict)
+
+    def apply_hooks(
+        self, node: Node, inputs: list[np.ndarray], outputs: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        hook = self.op_hooks.get(node.op_type)
+        if hook is not None:
+            return hook(node, inputs, outputs)
+        return outputs
+
+
+_REGISTRY: dict[str, Callable] = {}
+
+
+def register_op(op_type: str):
+    """Decorator registering a kernel for ``op_type``."""
+
+    def decorate(fn):
+        if op_type in _REGISTRY:
+            raise ValueError(f"kernel for {op_type!r} already registered")
+        _REGISTRY[op_type] = fn
+        return fn
+
+    return decorate
+
+
+def registered_ops() -> list[str]:
+    """All op types with a kernel."""
+    return sorted(_REGISTRY)
+
+
+def evaluate_node(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    """Execute one node and return its outputs (fault hooks applied)."""
+    kernel = _REGISTRY.get(node.op_type)
+    if kernel is None:
+        raise KernelError(f"no kernel registered for op {node.op_type!r}")
+    outputs = kernel(node, inputs, ctx)
+    return ctx.apply_hooks(node, inputs, outputs)
+
+
+# ----------------------------------------------------------------------
+# Convolution (im2col + GEMM) and dense layers
+# ----------------------------------------------------------------------
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, strides, pads, dilations) -> tuple[np.ndarray, int, int]:
+    n, c, h, w = x.shape
+    sh, sw = strides
+    dh, dw = dilations
+    pt, pl, pb, pr = pads
+    if any(p for p in pads):
+        x = np.pad(x, ((0, 0), (0, 0), (pt, pb), (pl, pr)))
+    eff_kh = dh * (kh - 1) + 1
+    eff_kw = dw * (kw - 1) + 1
+    out_h = (x.shape[2] - eff_kh) // sh + 1
+    out_w = (x.shape[3] - eff_kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise KernelError(f"convolution output collapsed: input {x.shape}, kernel {(kh, kw)}")
+    # Gather patches: result (N, C*kh*kw, out_h*out_w)
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        hi = i * dh
+        for j in range(kw):
+            wj = j * dw
+            cols[:, :, i, j] = x[
+                :, :, hi : hi + sh * out_h : sh, wj : wj + sw * out_w : sw
+            ]
+    return cols.reshape(n, c * kh * kw, out_h * out_w), out_h, out_w
+
+
+@register_op("Conv")
+def _conv(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x, weight = inputs[0], inputs[1]
+    bias = inputs[2] if len(inputs) > 2 else None
+    if x.ndim != 4 or weight.ndim != 4:
+        raise KernelError(f"{node.name}: Conv expects 4-D input and weight")
+    group = int(node.attrs.get("group", 1))
+    strides = [int(s) for s in node.attrs.get("strides", [1, 1])]
+    dilations = [int(d) for d in node.attrs.get("dilations", [1, 1])]
+    pads = [int(p) for p in node.attrs.get("pads", [0, 0, 0, 0])]
+    if len(pads) == 2:
+        pads = [pads[0], pads[1], pads[0], pads[1]]
+    m, c_per_group, kh, kw = weight.shape
+    n = x.shape[0]
+    if x.shape[1] != c_per_group * group:
+        raise KernelError(
+            f"{node.name}: Conv channel mismatch: input {x.shape[1]}, "
+            f"weight {c_per_group} x group {group}"
+        )
+    m_per_group = m // group
+    outputs = []
+    for g in range(group):
+        xg = x[:, g * c_per_group : (g + 1) * c_per_group]
+        wg = weight[g * m_per_group : (g + 1) * m_per_group]
+        cols, out_h, out_w = _im2col(xg, kh, kw, strides, pads, dilations)
+        w_mat = wg.reshape(m_per_group, c_per_group * kh * kw)
+        batch_out = np.stack(
+            [ctx.blas.gemm(w_mat, cols[b]) for b in range(n)]
+        )  # (N, m_per_group, out_h*out_w)
+        outputs.append(batch_out.reshape(n, m_per_group, out_h, out_w))
+    result = outputs[0] if group == 1 else np.concatenate(outputs, axis=1)
+    if bias is not None:
+        result = result + bias.reshape(1, -1, 1, 1)
+    return [result.astype(x.dtype, copy=False)]
+
+
+@register_op("Gemm")
+def _gemm(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    a, b = inputs[0], inputs[1]
+    if node.attrs.get("transA"):
+        a = a.T
+    if node.attrs.get("transB"):
+        b = b.T
+    alpha = float(node.attrs.get("alpha", 1.0))
+    beta = float(node.attrs.get("beta", 1.0))
+    out = alpha * ctx.blas.gemm(a, b)
+    if len(inputs) > 2:
+        out = out + beta * inputs[2]
+    return [out.astype(inputs[0].dtype, copy=False)]
+
+
+@register_op("MatMul")
+def _matmul(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    a, b = inputs[0], inputs[1]
+    if a.ndim == 2 and b.ndim == 2:
+        return [ctx.blas.gemm(a, b).astype(a.dtype, copy=False)]
+    return [(a @ b).astype(a.dtype, copy=False)]
+
+
+# ----------------------------------------------------------------------
+# Normalization and activations
+# ----------------------------------------------------------------------
+
+
+@register_op("BatchNormalization")
+def _batch_norm(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x, scale, shift, mean, var = inputs
+    eps = float(node.attrs.get("epsilon", 1e-5))
+    view = (1, -1) + (1,) * (x.ndim - 2)
+    normalized = (x - mean.reshape(view)) / np.sqrt(var.reshape(view) + eps)
+    return [(normalized * scale.reshape(view) + shift.reshape(view)).astype(x.dtype, copy=False)]
+
+
+@register_op("Relu")
+def _relu(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    return [np.maximum(inputs[0], 0)]
+
+
+@register_op("Sigmoid")
+def _sigmoid(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0]
+    return [(1.0 / (1.0 + np.exp(-x.astype(np.float64)))).astype(x.dtype)]
+
+
+@register_op("Tanh")
+def _tanh(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    return [np.tanh(inputs[0])]
+
+
+@register_op("HardSigmoid")
+def _hard_sigmoid(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0]
+    alpha = float(node.attrs.get("alpha", 0.2))
+    beta = float(node.attrs.get("beta", 0.5))
+    return [np.clip(alpha * x + beta, 0.0, 1.0).astype(x.dtype, copy=False)]
+
+
+@register_op("HardSwish")
+def _hard_swish(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0]
+    return [(x * np.clip(x / 6.0 + 0.5, 0.0, 1.0)).astype(x.dtype, copy=False)]
+
+
+@register_op("Silu")
+def _silu(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0]
+    return [(x / (1.0 + np.exp(-x.astype(np.float64)))).astype(x.dtype)]
+
+
+@register_op("Clip")
+def _clip(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    lo = float(node.attrs.get("min", -np.inf))
+    hi = float(node.attrs.get("max", np.inf))
+    return [np.clip(inputs[0], lo, hi)]
+
+
+@register_op("Softmax")
+def _softmax(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0]
+    axis = int(node.attrs.get("axis", -1))
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return [(exp / np.sum(exp, axis=axis, keepdims=True)).astype(x.dtype, copy=False)]
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+
+
+def _pool_windows(x: np.ndarray, node: Node) -> tuple[np.ndarray, int, int, int, int]:
+    kernel = node.attrs["kernel_shape"]
+    kh, kw = (kernel, kernel) if isinstance(kernel, int) else (int(kernel[0]), int(kernel[1]))
+    strides = node.attrs.get("strides", [kh, kw])
+    sh, sw = int(strides[0]), int(strides[1])
+    pads = [int(p) for p in node.attrs.get("pads", [0, 0, 0, 0])]
+    if len(pads) == 2:
+        pads = [pads[0], pads[1], pads[0], pads[1]]
+    ceil_mode = bool(node.attrs.get("ceil_mode", 0))
+    n, c, h, w = x.shape
+    import math as _math
+
+    rounding = _math.ceil if ceil_mode else _math.floor
+    out_h = rounding((h + pads[0] + pads[2] - kh) / sh) + 1
+    out_w = rounding((w + pads[1] + pads[3] - kw) / sw) + 1
+    pad_h_needed = max(0, (out_h - 1) * sh + kh - h - pads[0])
+    pad_w_needed = max(0, (out_w - 1) * sw + kw - w - pads[1])
+    return (
+        np.pad(
+            x,
+            ((0, 0), (0, 0), (pads[0], pad_h_needed), (pads[1], pad_w_needed)),
+            constant_values=np.nan,
+        ),
+        kh,
+        kw,
+        out_h,
+        out_w,
+    ), sh, sw  # type: ignore[return-value]
+
+
+@register_op("MaxPool")
+def _max_pool(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    (padded, kh, kw, out_h, out_w), sh, sw = _pool_windows(inputs[0], node)
+    n, c = padded.shape[:2]
+    out = np.full((n, c, out_h, out_w), -np.inf, dtype=padded.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            window = padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw]
+            out = np.fmax(out, window)
+    return [out.astype(inputs[0].dtype, copy=False)]
+
+
+@register_op("AveragePool")
+def _avg_pool(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    (padded, kh, kw, out_h, out_w), sh, sw = _pool_windows(inputs[0], node)
+    n, c = padded.shape[:2]
+    acc = np.zeros((n, c, out_h, out_w), dtype=np.float64)
+    count = np.zeros((n, c, out_h, out_w), dtype=np.float64)
+    for i in range(kh):
+        for j in range(kw):
+            window = padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw]
+            valid = ~np.isnan(window)
+            acc += np.where(valid, window, 0.0)
+            count += valid
+    return [(acc / np.maximum(count, 1)).astype(inputs[0].dtype)]
+
+
+@register_op("GlobalAveragePool")
+def _global_avg_pool(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0]
+    return [x.mean(axis=(2, 3), keepdims=True).astype(x.dtype, copy=False)]
+
+
+# ----------------------------------------------------------------------
+# Structural / elementwise ops
+# ----------------------------------------------------------------------
+
+
+@register_op("Add")
+def _add(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    return [inputs[0] + inputs[1]]
+
+
+@register_op("Sub")
+def _sub(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    return [inputs[0] - inputs[1]]
+
+
+@register_op("Mul")
+def _mul(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    return [inputs[0] * inputs[1]]
+
+
+@register_op("Div")
+def _div(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    return [inputs[0] / inputs[1]]
+
+
+@register_op("Concat")
+def _concat(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    return [np.concatenate(inputs, axis=int(node.attrs.get("axis", 1)))]
+
+
+@register_op("Flatten")
+def _flatten(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0]
+    axis = int(node.attrs.get("axis", 1))
+    lead = int(np.prod(x.shape[:axis])) if axis else 1
+    return [x.reshape(lead, -1)]
+
+
+@register_op("Reshape")
+def _reshape(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    return [inputs[0].reshape([int(d) for d in node.attrs["shape"]])]
+
+
+@register_op("Identity")
+def _identity(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    return [inputs[0]]
+
+
+@register_op("Dropout")
+def _dropout(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    # Inference mode: dropout is the identity.
+    return [inputs[0]]
+
+
+@register_op("ZeroAdd")
+def _zero_add(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    # Dummy-operator diversification: provably adds zero.
+    return [inputs[0] + np.zeros((), dtype=inputs[0].dtype)]
+
+
+@register_op("Pad")
+def _pad(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0]
+    pads = [int(p) for p in node.attrs["pads"]]
+    rank = x.ndim
+    widths = [(pads[i], pads[rank + i]) for i in range(rank)]
+    return [np.pad(x, widths, constant_values=float(node.attrs.get("value", 0.0)))]
+
+
+@register_op("ReduceMean")
+def _reduce_mean(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0]
+    axes = tuple(int(a) for a in node.attrs.get("axes", range(x.ndim)))
+    keepdims = bool(node.attrs.get("keepdims", 1))
+    return [x.mean(axis=axes, keepdims=keepdims).astype(x.dtype, copy=False)]
+
+
+@register_op("Squeeze")
+def _squeeze(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0]
+    axes = node.attrs.get("axes")
+    if axes:
+        return [np.squeeze(x, axis=tuple(int(a) for a in axes))]
+    return [np.squeeze(x)]
+
+
+@register_op("Unsqueeze")
+def _unsqueeze(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0]
+    for axis in sorted(int(a) for a in node.attrs["axes"]):
+        x = np.expand_dims(x, axis)
+    return [x]
+
+
+@register_op("Transpose")
+def _transpose(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    perm = node.attrs.get("perm")
+    return [np.transpose(inputs[0], axes=[int(p) for p in perm] if perm else None)]

@@ -1,0 +1,147 @@
+"""Transformer operators (§7.4 future work: Foundation Models in CPU TEEs).
+
+Adds the operator family needed for attention-based models: layer
+normalization, GELU, batched matrix products with transposition, tensor
+splitting and causal masking.  Registered in the same kernel registry,
+so partitioning, diversification and MVX checkpoints work on
+transformers unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.node import Node
+from repro.ops.kernels import KernelContext, KernelError, register_op
+
+__all__ = ["register_transformer_shape_rules"]
+
+
+@register_op("LayerNormalization")
+def _layer_norm(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x, scale, shift = inputs
+    eps = float(node.attrs.get("epsilon", 1e-5))
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normalized = (x - mean) / np.sqrt(var + eps)
+    return [(normalized * scale + shift).astype(x.dtype, copy=False)]
+
+
+@register_op("Gelu")
+def _gelu(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0].astype(np.float64)
+    # tanh approximation (the variant used by GPT-family implementations).
+    inner = math.sqrt(2.0 / math.pi) * (x + 0.044715 * x**3)
+    return [(0.5 * x * (1.0 + np.tanh(inner))).astype(inputs[0].dtype)]
+
+
+@register_op("BatchMatMul")
+def _batch_matmul(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    """Batched matrix product, routed through the BLAS backend.
+
+    Every 2-D slice goes through ``ctx.blas.gemm`` so acceleration-library
+    diversity (and library-level fault injection) reaches attention and
+    projection layers exactly as it reaches convolutions.
+    """
+    a, b = inputs
+    if node.attrs.get("transA"):
+        a = np.swapaxes(a, -1, -2)
+    if node.attrs.get("transB"):
+        b = np.swapaxes(b, -1, -2)
+    scale = float(node.attrs.get("scale", 1.0))
+    dtype = inputs[0].dtype
+    if a.ndim == 2 and b.ndim == 2:
+        return [(scale * ctx.blas.gemm(a, b)).astype(dtype, copy=False)]
+    if b.ndim == 2:
+        # (..., K) @ (K, N): one flattened GEMM.
+        lead = a.shape[:-1]
+        flat = ctx.blas.gemm(np.ascontiguousarray(a).reshape(-1, a.shape[-1]), b)
+        return [(scale * flat).astype(dtype, copy=False).reshape(*lead, b.shape[-1])]
+    # General broadcast-batched case: per-slice GEMM through the backend.
+    batch_shape = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+    a_b = np.broadcast_to(a, batch_shape + a.shape[-2:])
+    b_b = np.broadcast_to(b, batch_shape + b.shape[-2:])
+    a_flat = np.ascontiguousarray(a_b).reshape(-1, *a.shape[-2:])
+    b_flat = np.ascontiguousarray(b_b).reshape(-1, *b.shape[-2:])
+    out = np.stack(
+        [ctx.blas.gemm(a_flat[i], b_flat[i]) for i in range(a_flat.shape[0])]
+    )
+    result = out.reshape(*batch_shape, a.shape[-2], b.shape[-1])
+    return [(scale * result).astype(dtype, copy=False)]
+
+
+@register_op("Split")
+def _split(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    x = inputs[0]
+    axis = int(node.attrs.get("axis", -1))
+    parts = int(node.attrs.get("num_outputs", len(node.outputs)))
+    if x.shape[axis] % parts:
+        raise KernelError(
+            f"{node.name}: Split axis size {x.shape[axis]} not divisible by {parts}"
+        )
+    return [np.ascontiguousarray(piece) for piece in np.split(x, parts, axis=axis)]
+
+
+@register_op("CausalMask")
+def _causal_mask(node: Node, inputs: list[np.ndarray], ctx: KernelContext) -> list[np.ndarray]:
+    """Add -inf above the diagonal of attention scores (..., T, T)."""
+    scores = inputs[0]
+    seq = scores.shape[-1]
+    mask = np.triu(np.full((seq, seq), -1e9, dtype=scores.dtype), k=1)
+    return [scores + mask]
+
+
+def _rule_same_shape(node, specs) -> None:
+    from repro.graph import shapes as shape_mod
+
+    spec = specs[node.inputs[0]]
+    shape_mod._set(specs, node.outputs[0], spec.shape, spec.dtype)
+
+
+def _rule_batch_matmul(node, specs) -> None:
+    from repro.graph import shapes as shape_mod
+
+    a = list(specs[node.inputs[0]].shape)
+    b = list(specs[node.inputs[1]].shape)
+    if node.attrs.get("transA"):
+        a[-1], a[-2] = a[-2], a[-1]
+    if node.attrs.get("transB"):
+        b[-1], b[-2] = b[-2], b[-1]
+    if a[-1] != b[-2]:
+        raise shape_mod.ShapeInferenceError(
+            f"node {node.name!r}: BatchMatMul inner dims {a} x {b}"
+        )
+    batch = a[:-2] if len(a) >= len(b) else b[:-2]
+    shape_mod._set(
+        specs, node.outputs[0], tuple(batch + [a[-2], b[-1]]), specs[node.inputs[0]].dtype
+    )
+
+
+def _rule_split(node, specs) -> None:
+    from repro.graph import shapes as shape_mod
+
+    shape = list(specs[node.inputs[0]].shape)
+    axis = int(node.attrs.get("axis", -1)) % len(shape)
+    parts = len(node.outputs)
+    if shape[axis] % parts:
+        raise shape_mod.ShapeInferenceError(
+            f"node {node.name!r}: Split axis {shape[axis]} by {parts}"
+        )
+    shape[axis] //= parts
+    for out in node.outputs:
+        shape_mod._set(specs, out, tuple(shape), specs[node.inputs[0]].dtype)
+
+
+def _install_shape_rules() -> None:
+    from repro.graph.shapes import register_shape_rule
+
+    register_shape_rule("LayerNormalization", _rule_same_shape)
+    register_shape_rule("Gelu", _rule_same_shape)
+    register_shape_rule("CausalMask", _rule_same_shape)
+    register_shape_rule("BatchMatMul", _rule_batch_matmul)
+    register_shape_rule("Split", _rule_split)
+
+
+_install_shape_rules()

@@ -1,0 +1,37 @@
+"""Model partitioning: checkpoints via random-balanced graph contraction.
+
+The paper's Algorithm 1 contracts the model DAG edge by edge -- sampling
+edges through a customizable soft-preference weight function and vetoing
+merges through hard constraints -- until the target number of partitions
+remains.  Partition boundaries become MVX checkpoints; the partition
+quotient graph stays a DAG so partitions can execute as pipeline stages.
+
+- :mod:`repro.partition.partition` -- :class:`Partition` / :class:`PartitionSet`.
+- :mod:`repro.partition.contraction` -- Algorithm 1 (automatic mode).
+- :mod:`repro.partition.slicer` -- the manual graph slicer.
+- :mod:`repro.partition.balance` -- balance scoring and multi-restart search.
+- :mod:`repro.partition.verify` -- stitched-execution correctness checks.
+"""
+
+from repro.partition.contraction import ContractionSettings, random_contraction
+from repro.partition.partition import Partition, PartitionError, PartitionSet
+from repro.partition.sensitivity import SensitivityPlan, sensitivity_partition
+from repro.partition.slicer import slice_by_indices, slice_by_names
+from repro.partition.balance import balance_score, find_balanced_partition, partition_costs
+from repro.partition.verify import verify_partition_set
+
+__all__ = [
+    "ContractionSettings",
+    "Partition",
+    "PartitionError",
+    "PartitionSet",
+    "SensitivityPlan",
+    "balance_score",
+    "find_balanced_partition",
+    "partition_costs",
+    "random_contraction",
+    "sensitivity_partition",
+    "slice_by_indices",
+    "slice_by_names",
+    "verify_partition_set",
+]

@@ -1,0 +1,88 @@
+"""Balance scoring and multi-restart partition search.
+
+§4.1: "the algorithm can be run multiple times to identify correct and
+globally optimal configurations that meet specific requirements (e.g.,
+balance, security levels)" and §5.1: "our tool also supports parallel
+graph partitioning".  :func:`find_balanced_partition` runs the
+contraction under several seeds (optionally across worker threads) and
+keeps the best-scoring result.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.graph.flops import node_flops
+from repro.graph.model import ModelGraph
+from repro.graph.shapes import infer_shapes
+from repro.partition.contraction import ContractionSettings, random_contraction
+from repro.partition.partition import PartitionError, PartitionSet
+
+__all__ = ["balance_score", "find_balanced_partition", "partition_costs"]
+
+
+def partition_costs(partition_set: PartitionSet) -> list[float]:
+    """Per-partition compute cost (FLOPs)."""
+    specs = infer_shapes(partition_set.model)
+    by_name = {
+        node.name: float(max(node_flops(node, specs), 1))
+        for node in partition_set.model.nodes
+    }
+    return [
+        sum(by_name[name] for name in part.node_names)
+        for part in partition_set.partitions
+    ]
+
+
+def balance_score(partition_set: PartitionSet) -> float:
+    """Imbalance metric: max partition cost over the ideal share (>= 1).
+
+    1.0 is a perfectly balanced partitioning; the slowest pipeline stage
+    bounds pipelined throughput, so this is the quantity to minimize.
+    """
+    costs = partition_costs(partition_set)
+    ideal = sum(costs) / len(costs)
+    return max(costs) / ideal
+
+
+def find_balanced_partition(
+    model: ModelGraph,
+    target_partitions: int,
+    *,
+    restarts: int = 8,
+    seed: int = 0,
+    balance_slack: float = 1.6,
+    workers: int | None = None,
+) -> PartitionSet:
+    """Best-of-``restarts`` random-balanced partitioning.
+
+    Runs with consecutive seeds; failed runs (over-constrained graphs)
+    are skipped as long as at least one succeeds.
+    """
+    if restarts < 1:
+        raise ValueError("restarts must be >= 1")
+
+    def attempt(run_seed: int) -> PartitionSet | None:
+        settings = ContractionSettings(
+            target_partitions=target_partitions,
+            seed=run_seed,
+            balance_slack=balance_slack,
+        )
+        try:
+            return random_contraction(model, settings)
+        except PartitionError:
+            return None
+
+    seeds = [seed + i for i in range(restarts)]
+    if workers and workers > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(attempt, seeds))
+    else:
+        results = [attempt(s) for s in seeds]
+    candidates = [ps for ps in results if ps is not None]
+    if not candidates:
+        raise PartitionError(
+            f"all {restarts} contraction restarts failed for target "
+            f"{target_partitions} on {model.name}"
+        )
+    return min(candidates, key=balance_score)

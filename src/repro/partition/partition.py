@@ -1,0 +1,137 @@
+"""Partitions and partition sets.
+
+A :class:`PartitionSet` is an ordered list of node groups covering the
+model exactly once, whose quotient graph is acyclic.  The tensors that
+cross partition boundaries are the MVX *checkpoint tensors*: the monitor
+collects them from every variant of a stage, cross-checks, and forwards
+them to the next stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.graph.model import GraphError, ModelGraph
+from repro.graph.shapes import infer_shapes
+from repro.graph.tensor import TensorSpec
+
+__all__ = ["Partition", "PartitionError", "PartitionSet"]
+
+
+class PartitionError(Exception):
+    """Raised when a partition set violates its invariants."""
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One stage: an ordered list of node names from the parent model."""
+
+    index: int
+    node_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.node_names:
+            raise PartitionError(f"partition {self.index} is empty")
+        object.__setattr__(self, "node_names", tuple(self.node_names))
+
+
+@dataclass
+class PartitionSet:
+    """An ordered, validated partitioning of one model."""
+
+    model: ModelGraph
+    partitions: list[Partition]
+    seed: int | None = None
+    _subgraphs: dict[int, ModelGraph] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def validate(self) -> None:
+        """Check coverage, disjointness, and quotient acyclicity."""
+        all_nodes = [n.name for n in self.model.nodes]
+        seen: dict[str, int] = {}
+        for part in self.partitions:
+            for name in part.node_names:
+                if name in seen:
+                    raise PartitionError(
+                        f"node {name!r} in partitions {seen[name]} and {part.index}"
+                    )
+                seen[name] = part.index
+        missing = set(all_nodes) - set(seen)
+        if missing:
+            raise PartitionError(f"nodes not covered by any partition: {sorted(missing)}")
+        extra = set(seen) - set(all_nodes)
+        if extra:
+            raise PartitionError(f"partitions reference unknown nodes: {sorted(extra)}")
+        # Quotient DAG check: data must only flow from lower to higher
+        # partition indices (partitions are stored in topological order).
+        producers = self.model.producers()
+        for node in self.model.nodes:
+            consumer_part = seen[node.name]
+            for inp in node.inputs:
+                producer = producers.get(inp)
+                if producer is None:
+                    continue
+                producer_part = seen[producer.name]
+                if producer_part > consumer_part:
+                    raise PartitionError(
+                        f"backward data flow: partition {producer_part} feeds "
+                        f"partition {consumer_part} ({producer.name!r} -> {node.name!r})"
+                    )
+
+    def assignment(self) -> dict[str, int]:
+        """Map node name to partition index."""
+        return {
+            name: part.index for part in self.partitions for name in part.node_names
+        }
+
+    def subgraph(self, index: int) -> ModelGraph:
+        """The executable sub-model of one partition (cached)."""
+        if index not in self._subgraphs:
+            part = self.partitions[index]
+            self._subgraphs[index] = self.model.extract_subgraph(
+                list(part.node_names), name=f"{self.model.name}.p{index}"
+            )
+        return self._subgraphs[index]
+
+    @cached_property
+    def checkpoint_tensors(self) -> list[list[TensorSpec]]:
+        """Per-partition boundary tensors (the checkpoints).
+
+        Entry ``i`` holds the tensors produced by partition ``i`` that are
+        consumed downstream or are graph outputs -- exactly the data the
+        monitor synchronizes and verifies after stage ``i``.
+        """
+        return [list(self.subgraph(i).outputs) for i in range(len(self.partitions))]
+
+    def checkpoint_bytes(self, index: int) -> int:
+        """Bytes crossing the checkpoint after partition ``index``."""
+        return sum(spec.nbytes for spec in self.checkpoint_tensors[index])
+
+    def stage_feeds(self, index: int, env: dict) -> dict:
+        """Select the feeds for stage ``index`` from accumulated tensors."""
+        sub = self.subgraph(index)
+        try:
+            return {spec.name: env[spec.name] for spec in sub.inputs}
+        except KeyError as exc:
+            raise PartitionError(
+                f"stage {index} input {exc} not yet produced"
+            ) from exc
+
+    def describe(self) -> str:
+        """Human-readable summary (sizes and checkpoint volumes)."""
+        specs = infer_shapes(self.model)
+        lines = [f"partition set over {self.model.name}: {len(self)} partitions"]
+        for part in self.partitions:
+            boundary = self.checkpoint_bytes(part.index)
+            lines.append(
+                f"  p{part.index}: {len(part.node_names)} nodes, "
+                f"checkpoint {boundary / 1024:.1f} KiB"
+            )
+        del specs
+        return "\n".join(lines)

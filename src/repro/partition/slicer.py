@@ -1,0 +1,48 @@
+"""Manual partitioning: the graph slicer.
+
+For model owners with expert knowledge of sensitive operators (§5.1
+manual mode): partitions are contiguous slices of the topological node
+order, cut after user-specified node indices or names.  Contiguous
+topological slices always yield forward-only data flow, so the result is
+a valid pipeline by construction.
+"""
+
+from __future__ import annotations
+
+from repro.graph.model import ModelGraph
+from repro.partition.partition import Partition, PartitionError, PartitionSet
+
+__all__ = ["slice_by_indices", "slice_by_names"]
+
+
+def slice_by_indices(model: ModelGraph, cut_after: list[int]) -> PartitionSet:
+    """Cut the topological order after each index in ``cut_after``.
+
+    ``cut_after=[9, 19]`` over 30 nodes yields partitions of nodes
+    0-9, 10-19 and 20-29.
+    """
+    order = [n.name for n in model.topological_order()]
+    cuts = sorted(set(cut_after))
+    if not cuts:
+        raise PartitionError("cut_after must name at least one cut point")
+    if cuts[0] < 0 or cuts[-1] >= len(order) - 1:
+        raise PartitionError(
+            f"cut indices must lie in [0, {len(order) - 2}], got {cuts}"
+        )
+    partitions = []
+    start = 0
+    for index, cut in enumerate([*cuts, len(order) - 1]):
+        partitions.append(Partition(index=index, node_names=tuple(order[start : cut + 1])))
+        start = cut + 1
+    return PartitionSet(model=model, partitions=partitions)
+
+
+def slice_by_names(model: ModelGraph, last_node_of_each: list[str]) -> PartitionSet:
+    """Cut after each named node (all but the final partition's last node)."""
+    order = [n.name for n in model.topological_order()]
+    positions = {name: i for i, name in enumerate(order)}
+    try:
+        cuts = [positions[name] for name in last_node_of_each]
+    except KeyError as exc:
+        raise PartitionError(f"unknown node {exc} in slice request") from exc
+    return slice_by_indices(model, cuts)

@@ -1,0 +1,91 @@
+"""Partition correctness verification.
+
+§6.1: "They are tested for correctness before evaluation."  Executes the
+partition subgraphs stage by stage and compares against the unpartitioned
+model on random inputs.
+
+Verification compares *every checkpoint tensor*, not just the final
+model outputs: the paper notes (§4.1) that "some fault-caused
+discrepancies may be hidden by the model's resilience" -- e.g. a saturated
+softmax head masks large internal deviations -- so boundary-tensor
+comparison is the only sound correctness check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.kernels import KernelContext, evaluate_node
+from repro.partition.partition import PartitionSet
+from repro.runtime.base import RuntimeConfig
+from repro.runtime.interpreter import InterpreterRuntime
+
+__all__ = ["run_staged", "verify_partition_set"]
+
+
+def run_staged(
+    partition_set: PartitionSet,
+    feeds: dict[str, np.ndarray],
+    *,
+    config: RuntimeConfig | None = None,
+) -> dict[str, np.ndarray]:
+    """Execute the model through its partitions sequentially.
+
+    Returns the accumulated tensor environment: all checkpoint tensors
+    plus the final model outputs.
+    """
+    config = config or RuntimeConfig(optimization_level=0)
+    env: dict[str, np.ndarray] = dict(feeds)
+    for index in range(len(partition_set)):
+        sub = partition_set.subgraph(index)
+        runtime = InterpreterRuntime(config)
+        runtime.prepare(sub)
+        outputs = runtime.run(partition_set.stage_feeds(index, env))
+        env.update(outputs)
+    return env
+
+
+def _full_tensor_environment(model, feeds: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Every tensor of an unpartitioned reference execution."""
+    env: dict[str, np.ndarray] = dict(model.initializers)
+    env.update(feeds)
+    ctx = KernelContext()
+    for node in model.topological_order():
+        outputs = evaluate_node(node, [env[name] for name in node.inputs], ctx)
+        env.update(zip(node.outputs, outputs))
+    return env
+
+
+def verify_partition_set(
+    partition_set: PartitionSet,
+    *,
+    seed: int = 0,
+    rtol: float = 1e-4,
+    atol: float = 1e-5,
+) -> None:
+    """Assert staged execution matches whole-model execution everywhere.
+
+    Compares each stage's checkpoint tensors and the model outputs;
+    raises :class:`AssertionError` with the first deviation found.
+    """
+    rng = np.random.default_rng(seed)
+    feeds = {
+        spec.name: rng.normal(size=spec.shape).astype(spec.dtype.numpy)
+        for spec in partition_set.model.inputs
+    }
+    reference = _full_tensor_environment(partition_set.model, feeds)
+    staged = run_staged(partition_set, feeds)
+    to_check = [
+        spec.name
+        for index in range(len(partition_set))
+        for spec in partition_set.checkpoint_tensors[index]
+    ] + [spec.name for spec in partition_set.model.outputs]
+    for name in to_check:
+        expected = reference[name]
+        actual = staged[name]
+        if not np.allclose(expected, actual, rtol=rtol, atol=atol):
+            deviation = float(np.max(np.abs(expected - actual)))
+            raise AssertionError(
+                f"staged execution diverges on checkpoint {name!r}: "
+                f"max deviation {deviation:g}"
+            )

@@ -1,0 +1,54 @@
+"""Diversified inference runtimes.
+
+Two genuinely distinct execution engines stand in for ONNX Runtime and
+the TVM graph executor:
+
+- :class:`~repro.runtime.interpreter.InterpreterRuntime` ("ORT-like"):
+  walks the graph in topological order calling reference kernels, with
+  optional graph optimizations (Conv+BN folding, identity elimination).
+- :class:`~repro.runtime.compiled.CompiledRuntime` ("TVM-like"): a
+  compile phase lowers every node to a specialized closure, auto-tuning
+  the GEMM tile schedule per layer, then a graph executor runs the
+  compiled program.
+
+Both engines select a BLAS backend (:mod:`repro.ops.blas`), giving the
+three diversification axes of Figure 3's inference-instance level:
+engine x optimization x acceleration library.  Fault injection hooks
+(:mod:`repro.runtime.faults`) model the CVE and bit-flip attacks of the
+paper's security analysis.
+"""
+
+from repro.runtime.base import InferenceRuntime, RuntimeConfig, RuntimeCrash, RuntimeError_
+from repro.runtime.interpreter import InterpreterRuntime
+from repro.runtime.compiled import CompiledRuntime
+from repro.runtime.faults import (
+    FaultInjector,
+    backend_bitflip_fault,
+    crash_on_trigger,
+    flip_weight_bit,
+    output_corruption_fault,
+)
+
+__all__ = [
+    "CompiledRuntime",
+    "FaultInjector",
+    "InferenceRuntime",
+    "InterpreterRuntime",
+    "RuntimeConfig",
+    "RuntimeCrash",
+    "RuntimeError_",
+    "backend_bitflip_fault",
+    "crash_on_trigger",
+    "flip_weight_bit",
+    "output_corruption_fault",
+    "create_runtime",
+]
+
+
+def create_runtime(config: RuntimeConfig) -> InferenceRuntime:
+    """Instantiate a runtime from a configuration (engine dispatch)."""
+    if config.engine == "interpreter":
+        return InterpreterRuntime(config)
+    if config.engine == "compiled":
+        return CompiledRuntime(config)
+    raise ValueError(f"unknown engine {config.engine!r}")

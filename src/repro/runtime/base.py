@@ -1,0 +1,114 @@
+"""Runtime interface and configuration."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.model import ModelGraph
+from repro.ops.kernels import KernelContext
+
+__all__ = ["InferenceRuntime", "RuntimeConfig", "RuntimeCrash", "RuntimeError_"]
+
+
+class RuntimeCrash(Exception):
+    """The runtime process died (models DoS-class CVE outcomes).
+
+    In the real system this is a segfault/abort of the variant TEE; the
+    monitor observes the missing checkpoint response and reacts.
+    """
+
+
+class RuntimeError_(Exception):
+    """A recoverable runtime failure (bad feeds, unprepared runtime, ...)."""
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Everything that identifies one inference-instance variant.
+
+    The JSON form of this config is part of the variant's measured
+    identity: two variants with different configs measure differently.
+    """
+
+    engine: str = "interpreter"  # "interpreter" (ORT-like) | "compiled" (TVM-like)
+    blas_backend: str = "mkl-sim"
+    optimization_level: int = 1  # 0 = none, 1 = standard fusion/elimination
+    executor: str = "graph"  # compiled engine: "graph" | "vm"
+    tuning_trials: int = 3  # compiled engine: auto-tune candidates per layer
+    compiler_flags: tuple[str, ...] = ()  # e.g. sanitizers, stack protectors
+    label: str = ""
+
+    def identity(self) -> str:
+        """Stable hash of the configuration."""
+        return hashlib.sha256(
+            json.dumps(
+                {
+                    "engine": self.engine,
+                    "blas_backend": self.blas_backend,
+                    "optimization_level": self.optimization_level,
+                    "executor": self.executor,
+                    "tuning_trials": self.tuning_trials,
+                    "compiler_flags": list(self.compiler_flags),
+                },
+                sort_keys=True,
+            ).encode()
+        ).hexdigest()
+
+    def to_json(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "engine": self.engine,
+            "blas_backend": self.blas_backend,
+            "optimization_level": self.optimization_level,
+            "executor": self.executor,
+            "tuning_trials": self.tuning_trials,
+            "compiler_flags": list(self.compiler_flags),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RuntimeConfig":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            engine=data.get("engine", "interpreter"),
+            blas_backend=data.get("blas_backend", "mkl-sim"),
+            optimization_level=int(data.get("optimization_level", 1)),
+            executor=data.get("executor", "graph"),
+            tuning_trials=int(data.get("tuning_trials", 3)),
+            compiler_flags=tuple(data.get("compiler_flags", ())),
+            label=data.get("label", ""),
+        )
+
+
+class InferenceRuntime:
+    """Base class: prepare a model once, run it many times."""
+
+    def __init__(self, config: RuntimeConfig):
+        self.config = config
+        self.model: ModelGraph | None = None
+        self.kernel_context: KernelContext | None = None
+
+    @property
+    def name(self) -> str:
+        """Human-readable runtime identity."""
+        return self.config.label or f"{self.config.engine}/{self.config.blas_backend}"
+
+    def prepare(self, model: ModelGraph) -> None:
+        """Load (and possibly optimize/compile) a model.  Subclasses extend."""
+        raise NotImplementedError
+
+    def run(self, feeds: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Execute one inference; returns outputs keyed by tensor name."""
+        raise NotImplementedError
+
+    def _check_feeds(self, feeds: dict[str, np.ndarray]) -> None:
+        if self.model is None:
+            raise RuntimeError_("runtime not prepared; call prepare(model) first")
+        expected = self.model.input_names()
+        missing = expected - set(feeds)
+        if missing:
+            raise RuntimeError_(f"missing input feeds: {sorted(missing)}")

@@ -1,0 +1,155 @@
+"""Fault and vulnerability injection.
+
+Models the two threat classes of the paper's §2.3/§6.5:
+
+- *Model-targeted faults*: bit flips in weight tensors (Terminal Brain
+  Damage style), via :func:`flip_weight_bit`.
+- *Framework/library faults and CVEs*: corruption or crashes keyed to a
+  specific implementation -- a BLAS backend (:func:`backend_bitflip_fault`,
+  FrameFlip style) or an operator kernel in one runtime
+  (:func:`crash_on_trigger` / :func:`output_corruption_fault`, CVE style).
+
+Because each injection targets exactly one implementation, variants built
+on different engines/backends are unaffected -- the single-variant-impact
+premise MVX detection rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.model import ModelGraph
+from repro.graph.node import Node
+from repro.runtime.base import InferenceRuntime, RuntimeCrash
+
+__all__ = [
+    "FaultInjector",
+    "backend_bitflip_fault",
+    "crash_on_trigger",
+    "flip_weight_bit",
+    "output_corruption_fault",
+]
+
+
+def flip_weight_bit(model: ModelGraph, tensor_name: str, flat_index: int, bit: int) -> None:
+    """Flip one bit of one float32 weight element, in place.
+
+    ``bit`` 0..31; bit 30 (high exponent) is the classic high-impact flip.
+    """
+    if tensor_name not in model.initializers:
+        raise KeyError(f"model has no initializer {tensor_name!r}")
+    weights = model.initializers[tensor_name]
+    if weights.dtype != np.float32:
+        raise TypeError(f"initializer {tensor_name!r} is {weights.dtype}, not float32")
+    flat = weights.reshape(-1).view(np.uint32)
+    if not 0 <= flat_index < flat.size:
+        raise IndexError(f"flat index {flat_index} out of range for {tensor_name!r}")
+    if not 0 <= bit < 32:
+        raise ValueError("bit must be in [0, 32)")
+    flat[flat_index] ^= np.uint32(1 << bit)
+
+
+def backend_bitflip_fault(
+    *, flat_index: int = 0, bit: int = 30
+) -> Callable[[np.ndarray], np.ndarray]:
+    """FrameFlip-style library fault: every GEMM result has one bit flipped.
+
+    Install on a :class:`~repro.ops.blas.BlasBackend` via ``fault_hook``;
+    only variants linked against that backend are affected.
+    """
+
+    def hook(result: np.ndarray) -> np.ndarray:
+        corrupted = np.ascontiguousarray(result, dtype=np.float32)
+        flat = corrupted.reshape(-1).view(np.uint32)
+        flat[flat_index % flat.size] ^= np.uint32(1 << bit)
+        return corrupted
+
+    return hook
+
+
+def output_corruption_fault(
+    *, scale: float = 100.0
+) -> Callable[[Node, list[np.ndarray], list[np.ndarray]], list[np.ndarray]]:
+    """Op hook producing silently wrong results (data-corruption CVEs)."""
+
+    def hook(node: Node, inputs: list[np.ndarray], outputs: list[np.ndarray]):
+        return [out * scale for out in outputs]
+
+    return hook
+
+
+def crash_on_trigger(
+    predicate: Callable[[Node, list[np.ndarray]], bool],
+    *,
+    message: str = "simulated memory-safety crash",
+) -> Callable[[Node, list[np.ndarray], list[np.ndarray]], list[np.ndarray]]:
+    """Op hook that kills the runtime when a crafted input reaches the op.
+
+    ``predicate(node, inputs)`` models the vulnerable code path: True
+    means the malicious input pattern reached the buggy kernel (DoS /
+    code-execution CVE classes).
+    """
+
+    def hook(node: Node, inputs: list[np.ndarray], outputs: list[np.ndarray]):
+        if predicate(node, inputs):
+            raise RuntimeCrash(f"{message} in {node.op_type} kernel ({node.name})")
+        return outputs
+
+    return hook
+
+
+@dataclass
+class FaultInjector:
+    """Convenience facade for arming faults on a prepared runtime."""
+
+    runtime: InferenceRuntime
+    _armed: list[str] = field(default_factory=list)
+
+    def arm_backend_bitflip(self, *, flat_index: int = 0, bit: int = 30) -> None:
+        """Corrupt this runtime's BLAS backend (library-level fault)."""
+        assert self.runtime.kernel_context is not None
+        hook = backend_bitflip_fault(flat_index=flat_index, bit=bit)
+        install = getattr(self.runtime, "install_backend_fault", None)
+        if install is not None:
+            install(hook)  # compiled runtime: reaches tuned layers too
+        else:
+            self.runtime.kernel_context.blas.fault_hook = hook
+        self._armed.append(f"backend-bitflip(bit={bit})")
+
+    def arm_op_crash(
+        self,
+        op_type: str,
+        predicate: Callable[[Node, list[np.ndarray]], bool],
+        *,
+        message: str = "simulated memory-safety crash",
+    ) -> None:
+        """Crash the runtime when the predicate matches on ``op_type``."""
+        assert self.runtime.kernel_context is not None
+        self.runtime.kernel_context.op_hooks[op_type] = crash_on_trigger(
+            predicate, message=message
+        )
+        self._armed.append(f"op-crash({op_type})")
+
+    def arm_op_corruption(self, op_type: str, *, scale: float = 100.0) -> None:
+        """Silently corrupt the outputs of ``op_type``."""
+        assert self.runtime.kernel_context is not None
+        self.runtime.kernel_context.op_hooks[op_type] = output_corruption_fault(scale=scale)
+        self._armed.append(f"op-corruption({op_type})")
+
+    def disarm(self) -> None:
+        """Remove all injected faults."""
+        assert self.runtime.kernel_context is not None
+        self.runtime.kernel_context.op_hooks.clear()
+        self.runtime.kernel_context.blas.fault_hook = None
+        install = getattr(self.runtime, "install_backend_fault", None)
+        if install is not None:
+            install(None)
+        self._armed.clear()
+
+    @property
+    def armed(self) -> list[str]:
+        """Descriptions of currently armed faults."""
+        return list(self._armed)

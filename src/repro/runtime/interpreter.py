@@ -1,0 +1,45 @@
+"""The interpreter runtime ("ORT-like").
+
+Executes the graph node by node in topological order through the
+reference kernels, after optionally applying the standard optimization
+pipeline (identity elimination + Conv/BN folding) at prepare time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.model import ModelGraph
+from repro.ops.blas import get_backend
+from repro.ops.kernels import KernelContext, evaluate_node
+from repro.runtime.base import InferenceRuntime, RuntimeError_
+from repro.runtime.optimizations import optimize
+
+__all__ = ["InterpreterRuntime"]
+
+
+class InterpreterRuntime(InferenceRuntime):
+    """Graph-walking executor over reference kernels."""
+
+    def prepare(self, model: ModelGraph) -> None:
+        """Optimize (per config) and cache the execution order."""
+        prepared = optimize(model, self.config.optimization_level)
+        prepared.toposort_inplace()
+        self.model = prepared
+        self.kernel_context = KernelContext(blas=get_backend(self.config.blas_backend))
+        self._order = prepared.nodes
+
+    def run(self, feeds: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """One inference pass."""
+        self._check_feeds(feeds)
+        assert self.model is not None and self.kernel_context is not None
+        env: dict[str, np.ndarray] = dict(self.model.initializers)
+        env.update(feeds)
+        for node in self._order:
+            inputs = [env[name] for name in node.inputs]
+            outputs = evaluate_node(node, inputs, self.kernel_context)
+            env.update(zip(node.outputs, outputs))
+        missing = [s.name for s in self.model.outputs if s.name not in env]
+        if missing:
+            raise RuntimeError_(f"outputs never produced: {missing}")
+        return {s.name: env[s.name] for s in self.model.outputs}

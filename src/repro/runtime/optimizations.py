@@ -1,0 +1,136 @@
+"""Graph optimization passes shared by the runtimes.
+
+These are the "built-in graph-level transformations" of real inference
+runtimes that §4.2 mentions: the interpreter applies them at prepare time
+when ``optimization_level >= 1``, and the variant tooling can explicitly
+disable them (selective optimization as a defense).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.model import ModelGraph
+from repro.graph.node import Node
+
+__all__ = ["eliminate_identities", "fold_batch_norm", "optimize"]
+
+
+def eliminate_identities(model: ModelGraph) -> ModelGraph:
+    """Remove Identity/Dropout/ZeroAdd nodes, rewiring their consumers.
+
+    Tensors that are graph outputs keep a pass-through node so the output
+    names remain stable.
+    """
+    out = model.copy()
+    output_names = out.output_names()
+    removable = []
+    rename: dict[str, str] = {}
+    for node in out.nodes:
+        if node.op_type in ("Identity", "Dropout", "ZeroAdd") and node.outputs[0] not in output_names:
+            rename[node.outputs[0]] = node.inputs[0]
+            removable.append(node.name)
+    # Resolve chains (identity of identity).
+    def resolve(name: str) -> str:
+        seen = set()
+        while name in rename and name not in seen:
+            seen.add(name)
+            name = rename[name]
+        return name
+
+    out.nodes = [n for n in out.nodes if n.name not in removable]
+    for node in out.nodes:
+        node.inputs = [resolve(i) for i in node.inputs]
+    out.validate()
+    return out
+
+
+def fold_batch_norm(model: ModelGraph) -> ModelGraph:
+    """Fold BatchNormalization into a preceding Conv's weights.
+
+    Classic inference-time fusion: ``BN(conv(x, W) ) == conv(x, W') + b'``
+    with per-output-channel rescaling.  Only applied when the Conv output
+    feeds exactly the BN node (no other consumers) and is not a graph
+    output.
+    """
+    out = model.copy()
+    out.toposort_inplace()
+    consumers = out.consumers()
+    producers = out.producers()
+    output_names = out.output_names()
+    folded: set[str] = set()
+    new_nodes: list[Node] = []
+    for node in out.nodes:
+        if node.name in folded:
+            continue
+        if node.op_type != "BatchNormalization":
+            new_nodes.append(node)
+            continue
+        source = producers.get(node.inputs[0])
+        if (
+            source is None
+            or source.op_type != "Conv"
+            or len(consumers.get(node.inputs[0], [])) != 1
+            or node.inputs[0] in output_names
+        ):
+            new_nodes.append(node)
+            continue
+        weight_name = source.inputs[1]
+        scale = out.initializers[node.inputs[1]].astype(np.float64)
+        shift = out.initializers[node.inputs[2]].astype(np.float64)
+        mean = out.initializers[node.inputs[3]].astype(np.float64)
+        var = out.initializers[node.inputs[4]].astype(np.float64)
+        eps = float(node.attrs.get("epsilon", 1e-5))
+        factor = scale / np.sqrt(var + eps)
+        weight = out.initializers[weight_name].astype(np.float64)
+        new_weight = (weight * factor.reshape(-1, 1, 1, 1)).astype(np.float32)
+        old_bias = (
+            out.initializers[source.inputs[2]].astype(np.float64)
+            if len(source.inputs) > 2
+            else np.zeros(weight.shape[0])
+        )
+        new_bias = ((old_bias - mean) * factor + shift).astype(np.float32)
+        folded_weight_name = f"{weight_name}.bnfold"
+        folded_bias_name = f"{source.name}.bnfold.bias"
+        out.initializers[folded_weight_name] = new_weight
+        out.initializers[folded_bias_name] = new_bias
+        # Rewrite the conv in place: new weights/bias, output renamed to
+        # the BN's output so downstream consumers are untouched.
+        conv = next(n for n in new_nodes if n.name == source.name)
+        conv.inputs = [source.inputs[0], folded_weight_name, folded_bias_name]
+        conv.outputs = [node.outputs[0]]
+        folded.add(node.name)
+    out.nodes = new_nodes
+    # Drop orphaned initializers (old BN params / unfused weights).
+    used = {i for n in out.nodes for i in n.inputs}
+    out.initializers = {k: v for k, v in out.initializers.items() if k in used}
+    out.validate()
+    return out
+
+
+def fuse_activations(model: ModelGraph) -> ModelGraph:
+    """Fuse Conv+Relu / Gemm+Relu pairs into the fused kernels (level 2)."""
+    from repro.variants.transforms import TransformError, _fuse_with_relu
+
+    for op_type, fused in (("Conv", "FusedConvRelu"), ("Gemm", "FusedGemmRelu")):
+        try:
+            model = _fuse_with_relu(model, op_type, fused)
+        except TransformError:
+            pass  # nothing to fuse for this pair
+    return model
+
+
+def optimize(model: ModelGraph, level: int) -> ModelGraph:
+    """Apply the optimization pipeline for the given level.
+
+    Level 0 = none; level 1 = identity elimination + Conv/BN folding;
+    level 2 = level 1 plus activation fusion -- each level is another
+    inference-instance diversification axis.
+    """
+    if level <= 0:
+        return model
+    model = eliminate_identities(model)
+    model = fold_batch_norm(model)
+    if level >= 2:
+        model = fuse_activations(model)
+    return model

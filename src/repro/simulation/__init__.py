@@ -1,0 +1,43 @@
+"""Discrete-event performance simulation (Figures 9-14).
+
+The paper's evaluation ran on dual-socket Xeon 6354 machines with SGX
+EPC and 10 Gbps Ethernet -- hardware we cannot access.  This package
+reproduces the *shapes* of the performance results by simulating the
+same execution structure over a calibrated cost model:
+
+- per-variant stage compute time = stage FLOPs / effective throughput;
+- checkpoint transfers = socket latency + bytes/bandwidth + AEAD cost;
+- slow-path checkpoints add variant->monitor synchronization, pairwise
+  verification and output replication; the fast path forwards directly;
+- sequential mode releases a batch only when its predecessor finishes;
+  pipelined mode keeps all stages busy (each stage's variant TEEs are
+  dedicated resources);
+- async cross-validation forwards on majority quorum and re-checks
+  laggards at the next checkpoint.
+
+The monitor/scheduler semantics mirror :mod:`repro.mvx.scheduler`; only
+time is simulated.
+"""
+
+from repro.simulation.costmodel import CostModel, RUNTIME_FACTORS
+from repro.simulation.pipeline import SimResult, StagePlan, VariantSim, simulate
+from repro.simulation.planner import CandidatePlan, PlannerResult, search_plans
+from repro.simulation.scenarios import baseline_result, plan_from_partition_set
+from repro.simulation.updates import UpdateCost, full_update_cost, partial_update_cost
+
+__all__ = [
+    "CandidatePlan",
+    "CostModel",
+    "PlannerResult",
+    "RUNTIME_FACTORS",
+    "SimResult",
+    "StagePlan",
+    "UpdateCost",
+    "VariantSim",
+    "baseline_result",
+    "full_update_cost",
+    "partial_update_cost",
+    "plan_from_partition_set",
+    "search_plans",
+    "simulate",
+]

@@ -1,0 +1,269 @@
+"""The pipeline timing simulator.
+
+Batches of a stream are all submitted at time zero (the paper's
+streaming-inference setting).  *Sequential* execution admits batch
+``b+1`` into stage 0 only once batch ``b`` left the last stage;
+*pipelined* execution admits batches as soon as resources free up.
+Reported metrics: throughput = batches / makespan, latency = mean batch
+completion (sojourn) time -- the measurement model under which the
+paper's "pipelined execution reduces latency" statements hold.
+
+Resources are explicit and serialize work across batches:
+
+- every variant TEE is one resource (decrypting its input, computing,
+  and encrypting its output all occupy it);
+- the monitor TEE is one global resource: input distribution, slow-path
+  result collection, verification and output replication all contend on
+  it.  This is why checkpointing costs proportionally *more* in
+  pipelined execution (Figure 10): the monitor serves every checkpoint
+  of every in-flight batch, so its load bounds pipeline throughput,
+  while in sequential execution it is idle most of the time.
+
+Scheduling order approximates FCFS: sequential mode processes batches
+lexicographically (they are serial anyway); pipelined mode processes the
+(batch, stage) grid along anti-diagonals, oldest batch first within a
+wavefront -- the order work actually reaches shared resources in a
+software pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.costmodel import CostModel
+
+__all__ = ["SimResult", "StagePlan", "VariantSim", "simulate"]
+
+
+@dataclass
+class VariantSim:
+    """One simulated variant TEE of a stage."""
+
+    variant_id: str
+    runtime_factor: float = 1.0
+
+
+@dataclass
+class StagePlan:
+    """Timing-relevant description of one pipeline stage."""
+
+    index: int
+    flops: float
+    output_bytes: int
+    variants: list[VariantSim]
+    slow_path: bool
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError(f"stage {self.index} has no variants")
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    throughput: float  # batches per second
+    avg_latency: float  # mean completion time from stream submission
+    makespan: float
+    batch_completions: list[float] = field(default_factory=list)
+
+    def normalized_to(self, baseline: "SimResult") -> tuple[float, float]:
+        """(throughput ratio, latency ratio) against a baseline run."""
+        return (
+            self.throughput / baseline.throughput,
+            self.avg_latency / baseline.avg_latency,
+        )
+
+
+class _Resource:
+    """A resource with ``workers`` parallel lanes (multi-server queue).
+
+    Variant TEEs are single-lane; the monitor runs several worker threads
+    (the paper's testbed has 36 cores per socket), so its checkpoint
+    processing overlaps across in-flight batches up to ``workers``-way.
+    """
+
+    __slots__ = ("lanes",)
+
+    def __init__(self, workers: int = 1) -> None:
+        self.lanes = [0.0] * max(1, workers)
+
+    @property
+    def busy_until(self) -> float:
+        return min(self.lanes)
+
+    def acquire(self, ready: float, duration: float) -> float:
+        """Occupy the earliest-free lane once the work is ready."""
+        lane = min(range(len(self.lanes)), key=self.lanes.__getitem__)
+        start = max(ready, self.lanes[lane])
+        self.lanes[lane] = start + duration
+        return self.lanes[lane]
+
+
+@dataclass
+class _BatchState:
+    """Progress of one batch through the stage chain."""
+
+    data_ready: float
+    sender: _Resource
+    incoming_bytes: int
+    laggard_gate: float = 0.0
+    exit_time: float = 0.0
+
+
+def _enc_cost(cost: CostModel, nbytes: int, encrypted: bool) -> float:
+    return nbytes / cost.aead_bandwidth if encrypted else 0.0
+
+
+class _Simulation:
+    def __init__(
+        self,
+        stages: list[StagePlan],
+        cost: CostModel,
+        *,
+        execution_mode: str,
+        encrypted: bool,
+        input_bytes: int,
+    ):
+        self.stages = stages
+        self.cost = cost
+        self.execution_mode = execution_mode
+        self.encrypted = encrypted
+        self.input_bytes = input_bytes
+        self.monitor = _Resource(workers=cost.monitor_workers)
+        self.variants: dict[tuple[int, str], _Resource] = {
+            (stage.index, v.variant_id): _Resource()
+            for stage in stages
+            for v in stage.variants
+        }
+
+    def new_batch(self, release: float) -> _BatchState:
+        return _BatchState(
+            data_ready=release, sender=self.monitor, incoming_bytes=self.input_bytes
+        )
+
+    def run_stage(self, state: _BatchState, stage: StagePlan) -> None:
+        cost = self.cost
+        encrypted = self.encrypted
+        incoming = state.incoming_bytes
+        send_each = _enc_cost(cost, incoming, encrypted) + incoming / cost.net_bandwidth
+        contention = 1.0 + cost.mvx_compute_contention * (len(stage.variants) - 1)
+        done_times: list[float] = []
+        for variant in stage.variants:
+            sent = state.sender.acquire(state.data_ready, send_each)
+            arrival = sent + cost.net_latency
+            resource = self.variants[(stage.index, variant.variant_id)]
+            recv_done = resource.acquire(
+                arrival, _enc_cost(cost, incoming, encrypted) + cost.dispatch_fixed
+            )
+            done_times.append(
+                resource.acquire(
+                    recv_done,
+                    contention
+                    * cost.compute_time(stage.flops, variant.runtime_factor),
+                )
+            )
+        out_bytes = stage.output_bytes
+        if stage.slow_path:
+            arrivals = []
+            for variant, done in zip(stage.variants, done_times):
+                resource = self.variants[(stage.index, variant.variant_id)]
+                sent = resource.acquire(
+                    done,
+                    _enc_cost(cost, out_bytes, encrypted) + out_bytes / cost.net_bandwidth,
+                )
+                arrivals.append(sent + cost.net_latency)
+            arrivals.sort()
+            processed = [
+                self.monitor.acquire(a, _enc_cost(cost, out_bytes, encrypted))
+                for a in arrivals
+            ]
+            n = len(processed)
+            if self.execution_mode == "async" and n >= 3:
+                quorum = n // 2 + 1
+                checkpoint = self.monitor.acquire(
+                    processed[quorum - 1], cost.verify_time(out_bytes, quorum - 1)
+                )
+                checkpoint = max(checkpoint, state.laggard_gate)
+                state.laggard_gate = self.monitor.acquire(
+                    processed[-1], cost.verify_time(out_bytes, n - quorum)
+                )
+            else:
+                checkpoint = self.monitor.acquire(
+                    processed[-1], cost.verify_time(out_bytes, max(n - 1, 0))
+                )
+                checkpoint = max(checkpoint, state.laggard_gate)
+                state.laggard_gate = 0.0
+            state.data_ready = checkpoint
+            state.sender = self.monitor
+        else:
+            # Fast path: the primary variant's output falls through; any
+            # pending async laggard check resolves at the next checkpoint
+            # or at the final exit.
+            state.data_ready = done_times[0]
+            state.sender = self.variants[(stage.index, stage.variants[0].variant_id)]
+        state.incoming_bytes = out_bytes
+
+    def finish_batch(self, state: _BatchState) -> float:
+        cost = self.cost
+        nbytes = state.incoming_bytes
+        sent = state.sender.acquire(
+            state.data_ready,
+            _enc_cost(cost, nbytes, self.encrypted) + nbytes / cost.net_bandwidth,
+        )
+        exit_time = self.monitor.acquire(
+            sent + cost.net_latency, _enc_cost(cost, nbytes, self.encrypted)
+        )
+        state.exit_time = max(exit_time, state.laggard_gate)
+        return state.exit_time
+
+
+def simulate(
+    stages: list[StagePlan],
+    cost: CostModel,
+    *,
+    num_batches: int = 32,
+    pipelined: bool = True,
+    execution_mode: str = "sync",
+    encrypted: bool = True,
+    input_bytes: int = 602_112,  # 3x224x224 float32
+) -> SimResult:
+    """Simulate a batch stream through the staged deployment."""
+    if execution_mode not in ("sync", "async"):
+        raise ValueError(f"unknown execution mode {execution_mode!r}")
+    sim = _Simulation(
+        stages,
+        cost,
+        execution_mode=execution_mode,
+        encrypted=encrypted,
+        input_bytes=input_bytes,
+    )
+    completions: list[float] = []
+    num_stages = len(stages)
+    if pipelined:
+        states = [sim.new_batch(0.0) for _ in range(num_batches)]
+        # Anti-diagonal wavefronts: within a tick, older batches (deeper
+        # stages) claim shared resources first, matching FCFS arrival.
+        for tick in range(num_batches + num_stages - 1):
+            for stage_pos in reversed(range(num_stages)):
+                batch = tick - stage_pos
+                if 0 <= batch < num_batches:
+                    sim.run_stage(states[batch], stages[stage_pos])
+            finished = tick - num_stages + 1
+            if finished >= 0:
+                completions.append(sim.finish_batch(states[finished]))
+    else:
+        previous_exit = 0.0
+        for batch in range(num_batches):
+            state = sim.new_batch(previous_exit if batch else 0.0)
+            for stage in stages:
+                sim.run_stage(state, stage)
+            previous_exit = sim.finish_batch(state)
+            completions.append(previous_exit)
+    makespan = max(completions)
+    return SimResult(
+        throughput=num_batches / makespan,
+        avg_latency=sum(completions) / len(completions),
+        makespan=makespan,
+        batch_completions=completions,
+    )

@@ -1,0 +1,166 @@
+"""Automatic MVX plan search (§7.4 future work).
+
+"Investigating the trade-offs between security, performance, and
+resource utilization introduced by different MVX strategies is an
+interesting topic for future research."  The planner does exactly that:
+it enumerates selective-MVX configurations for a partitioned model --
+which partitions to harden, how many variants, sync vs async -- scores
+each with the calibrated simulator, and returns the Pareto frontier
+over (security, throughput, resource cost), plus the best plan under
+the caller's constraints.
+
+Security score = fraction of model compute covered by MVX-enabled
+partitions, weighted by panel size (a 5-panel counts more than a
+3-panel, with diminishing returns).  Resource cost = total variant TEEs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.mvx.config import MvxConfig
+from repro.partition.balance import partition_costs
+from repro.partition.partition import PartitionSet
+from repro.simulation.costmodel import CostModel
+from repro.simulation.pipeline import SimResult, simulate
+from repro.simulation.scenarios import baseline_result, plan_from_partition_set
+
+__all__ = ["CandidatePlan", "PlannerResult", "search_plans"]
+
+
+@dataclass(frozen=True)
+class CandidatePlan:
+    """One evaluated MVX configuration."""
+
+    config: MvxConfig
+    security_score: float  # 0..1, compute-weighted MVX coverage
+    throughput_ratio: float  # vs single-TEE baseline (pipelined)
+    latency_ratio: float
+    resource_tees: int
+
+    def dominates(self, other: "CandidatePlan") -> bool:
+        """Pareto dominance over (security up, throughput up, resources down)."""
+        at_least = (
+            self.security_score >= other.security_score
+            and self.throughput_ratio >= other.throughput_ratio
+            and self.resource_tees <= other.resource_tees
+        )
+        strictly = (
+            self.security_score > other.security_score
+            or self.throughput_ratio > other.throughput_ratio
+            or self.resource_tees < other.resource_tees
+        )
+        return at_least and strictly
+
+    def describe(self) -> str:
+        """One-line summary."""
+        mvx = {
+            c.partition_index: c.num_variants
+            for c in self.config.claims
+            if c.mvx_enabled
+        }
+        return (
+            f"mvx={mvx or 'none'} mode={self.config.execution_mode} "
+            f"security={self.security_score:.2f} tput={self.throughput_ratio:.2f}x "
+            f"lat={self.latency_ratio:.2f}x tees={self.resource_tees}"
+        )
+
+
+@dataclass
+class PlannerResult:
+    """Search outcome: every candidate, the frontier, and the pick."""
+
+    candidates: list[CandidatePlan]
+    pareto: list[CandidatePlan]
+    best: CandidatePlan | None
+    baseline: SimResult = field(repr=False, default=None)
+
+
+def _security_score(
+    config: MvxConfig, costs: list[float]
+) -> float:
+    total = sum(costs)
+    score = 0.0
+    for claim in config.claims:
+        if claim.mvx_enabled:
+            # Diminishing returns in panel size: 3 variants ~ 1.0x weight,
+            # 5 variants ~ 1.23x.
+            weight = math.log2(claim.num_variants) / math.log2(3)
+            score += costs[claim.partition_index] / total * min(weight, 1.5)
+    return min(score, 1.0)
+
+
+def search_plans(
+    partition_set: PartitionSet,
+    cost: CostModel,
+    *,
+    required_mvx: set[int] = frozenset(),
+    min_throughput_ratio: float = 0.0,
+    panel_sizes: tuple[int, ...] = (3, 5),
+    max_mvx_partitions: int | None = None,
+    pipelined: bool = True,
+) -> PlannerResult:
+    """Enumerate and score selective-MVX plans for a partitioned model.
+
+    ``required_mvx``: partitions that MUST be MVX-protected (e.g. the
+    fine-tuned layers).  ``min_throughput_ratio``: QoS floor relative to
+    the unprotected single-TEE baseline.  Returns the full candidate
+    list, the Pareto frontier, and the highest-security plan meeting the
+    QoS floor (ties broken by throughput, then fewer TEEs).
+    """
+    n = len(partition_set)
+    required = set(required_mvx)
+    if not required <= set(range(n)):
+        raise ValueError(f"required_mvx {required} outside partitions 0..{n - 1}")
+    base = baseline_result(partition_set.model, cost)
+    costs = partition_costs(partition_set)
+    max_mvx = max_mvx_partitions if max_mvx_partitions is not None else n
+    candidates: list[CandidatePlan] = []
+    indices = list(range(n))
+    for subset_size in range(len(required), max_mvx + 1):
+        for subset in itertools.combinations(indices, subset_size):
+            if not required <= set(subset):
+                continue
+            for panel in panel_sizes if subset else ((),):
+                for mode in ("sync", "async"):
+                    if mode == "async" and (not subset or panel < 3):
+                        continue
+                    config = MvxConfig.selective(
+                        n, {i: panel for i in subset}, execution_mode=mode
+                    )
+                    stages = plan_from_partition_set(partition_set, config)
+                    result = simulate(
+                        stages,
+                        cost,
+                        pipelined=pipelined,
+                        execution_mode=mode,
+                    )
+                    tput, lat = result.normalized_to(base)
+                    candidates.append(
+                        CandidatePlan(
+                            config=config,
+                            security_score=_security_score(config, costs),
+                            throughput_ratio=tput,
+                            latency_ratio=lat,
+                            resource_tees=config.total_variants(),
+                        )
+                    )
+    pareto = [
+        c
+        for c in candidates
+        if not any(other.dominates(c) for other in candidates)
+    ]
+    feasible = [
+        c
+        for c in candidates
+        if c.throughput_ratio >= min_throughput_ratio
+        and required <= set(c.config.mvx_partition_indices())
+    ]
+    best = max(
+        feasible,
+        key=lambda c: (c.security_score, c.throughput_ratio, -c.resource_tees),
+        default=None,
+    )
+    return PlannerResult(candidates=candidates, pareto=pareto, best=best, baseline=base)

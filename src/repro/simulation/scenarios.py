@@ -1,0 +1,108 @@
+"""Bridging real deployments to the simulator + figure scenario helpers."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.graph.flops import graph_flops
+from repro.graph.model import ModelGraph
+from repro.graph.shapes import infer_shapes
+from repro.mvx.config import MvxConfig
+from repro.partition.balance import find_balanced_partition, partition_costs
+from repro.partition.partition import PartitionSet
+from repro.simulation.costmodel import RUNTIME_FACTORS, CostModel
+from repro.simulation.pipeline import SimResult, StagePlan, VariantSim, simulate
+from repro.zoo import build_model
+
+__all__ = [
+    "baseline_result",
+    "cached_model",
+    "cached_partition",
+    "plan_from_partition_set",
+]
+
+
+@lru_cache(maxsize=None)
+def cached_model(name: str, input_size: int = 224) -> ModelGraph:
+    """Zoo model, cached across benchmark cases."""
+    return build_model(name, input_size=input_size)
+
+
+@lru_cache(maxsize=None)
+def cached_partition(name: str, num_partitions: int, *, seed: int = 0) -> PartitionSet:
+    """Random-balanced partitioning of a zoo model, cached."""
+    model = cached_model(name)
+    return find_balanced_partition(model, num_partitions, restarts=3, seed=seed)
+
+
+def plan_from_partition_set(
+    partition_set: PartitionSet,
+    config: MvxConfig,
+    *,
+    variant_factors: dict[int, list[float]] | None = None,
+) -> list[StagePlan]:
+    """Build simulator stages from a partition set and an MVX config.
+
+    ``variant_factors`` optionally overrides the per-variant runtime
+    throughput factors of selected partitions (e.g. a lagging
+    "tvm-complex" variant for the §6.4 async experiments); by default
+    every variant is a replicated ORT-class runtime (factor 1.0), the
+    paper's setting for the fundamental-performance experiments.
+    """
+    costs = partition_costs(partition_set)
+    stages = []
+    for claim in config.claims:
+        index = claim.partition_index
+        factors = (variant_factors or {}).get(index) or [1.0] * claim.num_variants
+        if len(factors) != claim.num_variants:
+            raise ValueError(
+                f"partition {index}: {len(factors)} factors for "
+                f"{claim.num_variants} variants"
+            )
+        stages.append(
+            StagePlan(
+                index=index,
+                flops=costs[index],
+                output_bytes=partition_set.checkpoint_bytes(index) or 4096,
+                variants=[
+                    VariantSim(variant_id=f"p{index}-v{i}", runtime_factor=f)
+                    for i, f in enumerate(factors)
+                ],
+                slow_path=config.uses_slow_path(index),
+            )
+        )
+    return stages
+
+
+def baseline_result(
+    model: ModelGraph,
+    cost: CostModel,
+    *,
+    num_batches: int = 32,
+    runtime_factor: float = RUNTIME_FACTORS["ort"],
+    input_size: int = 224,
+) -> SimResult:
+    """The original unpartitioned model in a single TEE (paper baseline).
+
+    Runs the same simulator with one stage, one variant, no checkpoint --
+    only the input provisioning and result return transfers remain, the
+    same terms MVTEE configurations pay.
+    """
+    specs = infer_shapes(model)
+    out_bytes = sum(specs[s.name].nbytes for s in model.outputs)
+    in_bytes = sum(s.nbytes for s in model.inputs)
+    stage = StagePlan(
+        index=0,
+        flops=float(graph_flops(model, specs)),
+        output_bytes=max(out_bytes, 1),
+        variants=[VariantSim("baseline", runtime_factor=runtime_factor)],
+        slow_path=False,
+    )
+    return simulate(
+        [stage],
+        cost,
+        num_batches=num_batches,
+        pipelined=False,
+        encrypted=True,
+        input_bytes=in_bytes,
+    )

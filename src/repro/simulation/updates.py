@@ -1,0 +1,84 @@
+"""Update cost accounting (§4.3 "Attestable variant initialization and updates").
+
+The paper rejects enclave reuse on updates: "(i) potential security
+risks from incomplete and unsound software-level cleanups ... and (ii)
+updates may include changes to model partitions or runtimes, making the
+associated loading costs unavoidable".  This module quantifies the
+trade-off the paper is making: fresh-TEE updates pay TEE initialization
+per variant, while (hypothetical) reuse would only pay the loading
+costs -- the delta is the price of soundness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.costmodel import CostModel
+
+__all__ = ["UpdateCost", "full_update_cost", "partial_update_cost"]
+
+#: Attestation/key-distribution round trips per variant in the Fig. 6 flow.
+_PROTOCOL_ROUND_TRIPS = 4
+
+
+@dataclass(frozen=True)
+class UpdateCost:
+    """Time accounting of one update, fresh-TEE policy vs reuse."""
+
+    variants_replaced: int
+    tee_init_seconds: float
+    load_seconds: float
+    protocol_seconds: float
+    #: Stages with a surviving single variant keep serving during a
+    #: partial update; a full update stops the pipeline.
+    service_interrupted: bool
+
+    @property
+    def fresh_total(self) -> float:
+        """Total cost under the paper's fresh-TEE policy."""
+        return self.tee_init_seconds + self.load_seconds + self.protocol_seconds
+
+    @property
+    def reuse_total(self) -> float:
+        """Hypothetical cost if enclaves were reused (rejected: unsound)."""
+        return self.load_seconds + self.protocol_seconds
+
+    @property
+    def soundness_premium(self) -> float:
+        """Extra seconds paid for sound isolation (fresh TEEs)."""
+        return self.fresh_total - self.reuse_total
+
+
+def _protocol_seconds(cost: CostModel, variants: int) -> float:
+    return variants * _PROTOCOL_ROUND_TRIPS * 2 * cost.net_latency
+
+
+def _load_seconds(cost: CostModel, variants: int, artifact_bytes: int) -> float:
+    per_variant = artifact_bytes / cost.aead_bandwidth + artifact_bytes / cost.net_bandwidth
+    return variants * per_variant
+
+
+def partial_update_cost(
+    cost: CostModel, *, variants: int, artifact_bytes: int
+) -> UpdateCost:
+    """Cost of replacing the variants of selected partitions."""
+    return UpdateCost(
+        variants_replaced=variants,
+        tee_init_seconds=variants * cost.tee_init_seconds,
+        load_seconds=_load_seconds(cost, variants, artifact_bytes),
+        protocol_seconds=_protocol_seconds(cost, variants),
+        service_interrupted=False,
+    )
+
+
+def full_update_cost(
+    cost: CostModel, *, total_variants: int, artifact_bytes: int
+) -> UpdateCost:
+    """Cost of reshuffling partitions and rebuilding every binding."""
+    return UpdateCost(
+        variants_replaced=total_variants,
+        tee_init_seconds=total_variants * cost.tee_init_seconds,
+        load_seconds=_load_seconds(cost, total_variants, artifact_bytes),
+        protocol_seconds=_protocol_seconds(cost, total_variants),
+        service_interrupted=True,
+    )

@@ -1,0 +1,51 @@
+"""Simulated Trusted Execution Environment substrate.
+
+Models the pieces of Intel SGX/TDX + Gramine that MVTEE builds on:
+
+- :mod:`repro.tee.hardware` -- simulated CPUs with per-platform root keys
+  that sign attestation quotes (HMAC stands in for fused-key signatures).
+- :mod:`repro.tee.manifest` -- Gramine-style manifests: entrypoint,
+  trusted/encrypted/allowed files, env allowlist, syscall policy, and the
+  paper's new two-stage manifest option.
+- :mod:`repro.tee.enclave` -- the enclave abstraction (one TEE = one
+  process = one variant) with measurement and EPC accounting.
+- :mod:`repro.tee.gramine` -- the TEE OS: manifest enforcement, one-time
+  second-stage manifest installation, exec() transition with state reset.
+- :mod:`repro.tee.attestation` -- reports, quotes, verification.
+- :mod:`repro.tee.channel` -- RA-TLS-style attested secure channels with
+  AEAD records and per-direction sequence numbers.
+- :mod:`repro.tee.network` -- in-memory fabric with an adversary hook.
+- :mod:`repro.tee.filesystem` -- protected FS with rollback detection.
+"""
+
+from repro.tee.attestation import AttestationError, Quote, TeeReport, Verifier
+from repro.tee.channel import ChannelError, SecureChannel, establish_channel
+from repro.tee.enclave import Enclave, EnclaveError, EnclaveState
+from repro.tee.gramine import GramineError, GramineOS
+from repro.tee.hardware import SimulatedCpu, TeeType
+from repro.tee.manifest import Manifest, ManifestError
+from repro.tee.network import Fabric, NetworkError
+from repro.tee.filesystem import ProtectedFs, RollbackError
+
+__all__ = [
+    "AttestationError",
+    "ChannelError",
+    "Enclave",
+    "EnclaveError",
+    "EnclaveState",
+    "Fabric",
+    "GramineError",
+    "GramineOS",
+    "Manifest",
+    "ManifestError",
+    "NetworkError",
+    "ProtectedFs",
+    "Quote",
+    "RollbackError",
+    "SecureChannel",
+    "SimulatedCpu",
+    "TeeReport",
+    "TeeType",
+    "Verifier",
+    "establish_channel",
+]

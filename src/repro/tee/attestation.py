@@ -1,0 +1,165 @@
+"""Attestation: reports, quotes, verification, challenge-response.
+
+A TEE report carries the enclave's static measurement, its runtime
+extension register, and 64 bytes of caller-chosen report data (used to
+bind channel keys and nonces).  The platform CPU signs the serialized
+report into a *quote*; a :class:`Verifier` holding the platform's
+verification key checks quotes and compares measurements against an
+allowlist -- the structure of real SGX/TDX remote attestation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import secrets
+from dataclasses import dataclass, field
+
+import hmac as hmac_mod
+
+from repro.crypto.kdf import hmac_sha256
+from repro.tee.enclave import Enclave
+from repro.tee.hardware import SimulatedCpu
+
+__all__ = ["AttestationError", "Quote", "TeeReport", "Verifier", "make_quote"]
+
+
+class AttestationError(Exception):
+    """Raised when a quote fails verification."""
+
+
+@dataclass(frozen=True)
+class TeeReport:
+    """The hardware-generated report of one enclave."""
+
+    enclave_id: str
+    platform_id: str
+    tee_type: str
+    measurement: str
+    extension_register: str
+    report_data: bytes
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialization (signed by the platform)."""
+        return json.dumps(
+            {
+                "enclave_id": self.enclave_id,
+                "platform_id": self.platform_id,
+                "tee_type": self.tee_type,
+                "measurement": self.measurement,
+                "extension_register": self.extension_register,
+                "report_data": self.report_data.hex(),
+            },
+            sort_keys=True,
+        ).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TeeReport":
+        """Parse a serialized report."""
+        obj = json.loads(data)
+        return cls(
+            enclave_id=obj["enclave_id"],
+            platform_id=obj["platform_id"],
+            tee_type=obj["tee_type"],
+            measurement=obj["measurement"],
+            extension_register=obj["extension_register"],
+            report_data=bytes.fromhex(obj["report_data"]),
+        )
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A report plus the platform signature over it."""
+
+    report: TeeReport
+    signature: bytes
+
+    def to_bytes(self) -> bytes:
+        """Wire form."""
+        body = self.report.to_bytes()
+        return len(body).to_bytes(4, "big") + body + self.signature
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Quote":
+        """Parse the wire form."""
+        body_len = int.from_bytes(data[:4], "big")
+        return cls(
+            report=TeeReport.from_bytes(data[4 : 4 + body_len]),
+            signature=data[4 + body_len :],
+        )
+
+
+def make_quote(enclave: Enclave, report_data: bytes) -> Quote:
+    """Generate a signed quote for ``enclave`` binding ``report_data``."""
+    enclave.require_running()
+    if len(report_data) > 64:
+        report_data = hashlib.sha256(report_data).digest()
+    report = TeeReport(
+        enclave_id=enclave.enclave_id,
+        platform_id=enclave.cpu.platform_id,
+        tee_type=enclave.tee_type.value,
+        measurement=enclave.measurement,
+        extension_register=enclave.extension_register,
+        report_data=report_data,
+    )
+    return Quote(report=report, signature=enclave.cpu.sign_report(report.to_bytes()))
+
+
+@dataclass
+class Verifier:
+    """Holds attestation collateral and policy; verifies quotes.
+
+    ``trusted_measurements`` is the allowlist of acceptable enclave
+    measurements (the model owner provisions expected init-variant and
+    monitor measurements here).
+    """
+
+    _platform_keys: dict[str, bytes] = field(default_factory=dict)
+    trusted_measurements: set[str] = field(default_factory=set)
+
+    def register_platform(self, cpu: SimulatedCpu) -> None:
+        """Provision a platform's verification key (attestation collateral)."""
+        self._platform_keys[cpu.platform_id] = cpu.verification_key()
+
+    def trust_measurement(self, measurement: str) -> None:
+        """Add an enclave measurement to the allowlist."""
+        self.trusted_measurements.add(measurement)
+
+    def verify(
+        self,
+        quote: Quote,
+        *,
+        expected_report_data: bytes | None = None,
+        require_trusted_measurement: bool = True,
+    ) -> TeeReport:
+        """Check a quote's signature, measurement policy and bound data.
+
+        Returns the verified report; raises :class:`AttestationError` on
+        any failure.
+        """
+        key = self._platform_keys.get(quote.report.platform_id)
+        if key is None:
+            raise AttestationError(
+                f"unknown platform {quote.report.platform_id!r}: no collateral"
+            )
+        expected_sig = hmac_sha256(key, b"mvtee-quote|" + quote.report.to_bytes())
+        if not hmac_mod.compare_digest(expected_sig, quote.signature):
+            raise AttestationError("quote signature verification failed")
+        if require_trusted_measurement and (
+            quote.report.measurement not in self.trusted_measurements
+        ):
+            raise AttestationError(
+                f"measurement {quote.report.measurement[:12]}... is not trusted"
+            )
+        if expected_report_data is not None:
+            bound = expected_report_data
+            if len(bound) > 64:
+                bound = hashlib.sha256(bound).digest()
+            if quote.report.report_data != bound:
+                raise AttestationError("report data does not match expected binding")
+        return quote.report
+
+
+def fresh_nonce() -> bytes:
+    """A 32-byte anti-replay nonce for challenge-response attestation."""
+    return secrets.token_bytes(32)

@@ -1,0 +1,253 @@
+"""RA-TLS-style attested secure channels.
+
+The paper enhances Gramine with *socket-level* RA-TLS: every connection
+is established only after attestation, and all records are AEAD-protected
+with unique sequence numbers for freshness.  The handshake here is a
+finite-field Diffie-Hellman exchange (RFC 3526 group 14) where each
+attesting side presents a quote whose report data binds its ephemeral
+public key and the session nonce -- the binding that makes the channel
+*attested* rather than merely encrypted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.crypto.aead import DEFAULT_BULK_AEAD, Aead, AeadError, get_aead
+from repro.crypto.kdf import hkdf_sha256
+from repro.tee.attestation import AttestationError, Quote, TeeReport, Verifier
+
+__all__ = ["ChannelError", "SecureChannel", "establish_channel", "DhKeyPair"]
+
+# RFC 3526, 2048-bit MODP group (group 14).
+_DH_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+_DH_GENERATOR = 2
+
+
+class ChannelError(Exception):
+    """Raised on handshake failures, replay, reordering or tampering."""
+
+
+@dataclass
+class DhKeyPair:
+    """Ephemeral Diffie-Hellman keypair."""
+
+    private: int
+    public: int
+
+    @classmethod
+    def generate(cls) -> "DhKeyPair":
+        private = int.from_bytes(secrets.token_bytes(32), "big")
+        return cls(private=private, public=pow(_DH_GENERATOR, private, _DH_PRIME))
+
+    def shared_secret(self, peer_public: int) -> bytes:
+        """The raw DH shared secret with a peer public key."""
+        if not 1 < peer_public < _DH_PRIME - 1:
+            raise ChannelError("peer DH public key out of range")
+        return pow(peer_public, self.private, _DH_PRIME).to_bytes(256, "big")
+
+
+class SecureChannel:
+    """One endpoint of an established channel.
+
+    Direction keys are distinct; records carry an implicit 64-bit
+    sequence number (fed into the nonce and the AAD), so replayed,
+    reordered or cross-direction records fail authentication.
+
+    With ``oblivious=True``, payloads are padded to power-of-two size
+    buckets before encryption (§4.3: transfers are "preferably oblivious
+    to avoid timing side channels" -- bucket padding hides exact payload
+    sizes from a network observer).
+
+    Long-lived channels ratchet: every ``rekey_interval`` records each
+    direction's key is replaced by an HKDF derivation of itself (§6.5:
+    "Key rotation can be conducted on a regular basis for proactive
+    defense").  The ratchet is one-way, so a key compromised at time T
+    cannot decrypt records protected before the last rotation (forward
+    secrecy for the record stream).
+    """
+
+    #: Minimum oblivious bucket: tiny control messages all look alike.
+    MIN_BUCKET = 256
+    #: Records per direction between key ratchets (0 disables).
+    DEFAULT_REKEY_INTERVAL = 4096
+
+    def __init__(
+        self,
+        *,
+        send_key: bytes,
+        recv_key: bytes,
+        aead_name: str,
+        peer_report: TeeReport | None,
+        channel_id: str,
+        oblivious: bool = False,
+        rekey_interval: int = DEFAULT_REKEY_INTERVAL,
+    ):
+        self._aead_name = aead_name
+        self._send_key = send_key
+        self._recv_key = recv_key
+        self._send_aead: Aead = get_aead(aead_name, send_key)
+        self._recv_aead: Aead = get_aead(aead_name, recv_key)
+        self._send_seq = 0
+        self._recv_seq = 0
+        self.peer_report = peer_report
+        self.channel_id = channel_id
+        self.oblivious = oblivious
+        self.rekey_interval = rekey_interval
+        self.generations = 0
+        self.bytes_protected = 0
+        self._last_ratchet = {"send": -1, "recv": -1}
+
+    def _maybe_ratchet(self, direction: str, seq: int) -> None:
+        # The guard on _last_ratchet keeps a failed open() (which does not
+        # advance the sequence) from ratcheting the same boundary twice.
+        if (
+            self.rekey_interval
+            and seq
+            and seq % self.rekey_interval == 0
+            and self._last_ratchet[direction] != seq
+        ):
+            self._last_ratchet[direction] = seq
+            from repro.crypto.kdf import hkdf_sha256
+
+            if direction == "send":
+                self._send_key = hkdf_sha256(
+                    self._send_key, info=b"mvtee-ratchet|" + seq.to_bytes(8, "big")
+                )
+                self._send_aead = get_aead(self._aead_name, self._send_key)
+            else:
+                self._recv_key = hkdf_sha256(
+                    self._recv_key, info=b"mvtee-ratchet|" + seq.to_bytes(8, "big")
+                )
+                self._recv_aead = get_aead(self._aead_name, self._recv_key)
+                self.generations += 1
+
+    @staticmethod
+    def _nonce(seq: int) -> bytes:
+        return seq.to_bytes(12, "big")
+
+    @classmethod
+    def _bucket_size(cls, nbytes: int) -> int:
+        bucket = cls.MIN_BUCKET
+        while bucket < nbytes:
+            bucket *= 2
+        return bucket
+
+    def _pad(self, payload: bytes) -> bytes:
+        framed = len(payload).to_bytes(8, "big") + payload
+        return framed + bytes(self._bucket_size(len(framed)) - len(framed))
+
+    @staticmethod
+    def _unpad(framed: bytes) -> bytes:
+        length = int.from_bytes(framed[:8], "big")
+        if length > len(framed) - 8:
+            raise ChannelError("oblivious frame declares impossible length")
+        return framed[8 : 8 + length]
+
+    def protect(self, payload: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt + authenticate one record."""
+        seq = self._send_seq
+        self._maybe_ratchet("send", seq)
+        self._send_seq += 1
+        record_aad = seq.to_bytes(8, "big") + aad
+        self.bytes_protected += len(payload)
+        if self.oblivious:
+            payload = self._pad(payload)
+        return self._send_aead.encrypt(self._nonce(seq), payload, record_aad)
+
+    def open(self, record: bytes, aad: bytes = b"") -> bytes:
+        """Verify + decrypt the next record (strict in-order delivery)."""
+        seq = self._recv_seq
+        self._maybe_ratchet("recv", seq)
+        record_aad = seq.to_bytes(8, "big") + aad
+        try:
+            payload = self._recv_aead.decrypt(self._nonce(seq), record, record_aad)
+        except AeadError as exc:
+            raise ChannelError(
+                f"channel {self.channel_id}: record failed authentication "
+                "(tampering, replay or reordering)"
+            ) from exc
+        self._recv_seq += 1
+        if self.oblivious:
+            payload = self._unpad(payload)
+        return payload
+
+
+QuoteFn = Callable[[bytes], Quote]
+
+
+def _session_binding(nonce: bytes, public_a: int, public_b: int) -> bytes:
+    return hashlib.sha256(
+        b"mvtee-ra-tls|" + nonce + public_a.to_bytes(256, "big") + public_b.to_bytes(256, "big")
+    ).digest()
+
+
+def establish_channel(
+    *,
+    initiator_quote_fn: QuoteFn | None,
+    responder_quote_fn: QuoteFn | None,
+    verifier: Verifier,
+    aead_name: str = DEFAULT_BULK_AEAD,
+    channel_id: str = "channel",
+    nonce: bytes | None = None,
+    oblivious: bool = False,
+) -> tuple[SecureChannel, SecureChannel]:
+    """Run the attested handshake; return (initiator_end, responder_end).
+
+    Each side that is a TEE supplies a ``quote_fn`` mapping report data to
+    a signed quote; a ``None`` quote_fn models a non-TEE party (the model
+    owner or the user), which authenticates the peer but not itself.
+    Raises :class:`ChannelError` if any presented quote fails verification.
+    """
+    nonce = nonce if nonce is not None else secrets.token_bytes(32)
+    initiator_keys = DhKeyPair.generate()
+    responder_keys = DhKeyPair.generate()
+    binding = _session_binding(nonce, initiator_keys.public, responder_keys.public)
+
+    reports: dict[str, TeeReport | None] = {"initiator": None, "responder": None}
+    for label, quote_fn in (("initiator", initiator_quote_fn), ("responder", responder_quote_fn)):
+        if quote_fn is None:
+            continue
+        quote = quote_fn(binding)
+        try:
+            reports[label] = verifier.verify(quote, expected_report_data=binding)
+        except AttestationError as exc:
+            raise ChannelError(f"{label} attestation failed: {exc}") from exc
+    initiator_report = reports["initiator"]
+    responder_report = reports["responder"]
+
+    shared = initiator_keys.shared_secret(responder_keys.public)
+    assert shared == responder_keys.shared_secret(initiator_keys.public)
+    key_i2r = hkdf_sha256(shared, salt=nonce, info=b"mvtee-i2r|" + binding, length=32)
+    key_r2i = hkdf_sha256(shared, salt=nonce, info=b"mvtee-r2i|" + binding, length=32)
+
+    initiator_end = SecureChannel(
+        send_key=key_i2r,
+        recv_key=key_r2i,
+        aead_name=aead_name,
+        peer_report=responder_report,
+        channel_id=channel_id + ":initiator",
+        oblivious=oblivious,
+    )
+    responder_end = SecureChannel(
+        send_key=key_r2i,
+        recv_key=key_i2r,
+        aead_name=aead_name,
+        peer_report=initiator_report,
+        channel_id=channel_id + ":responder",
+        oblivious=oblivious,
+    )
+    return initiator_end, responder_end

@@ -1,0 +1,121 @@
+"""The enclave abstraction: one TEE = one process = one variant.
+
+An enclave is launched on a :class:`~repro.tee.hardware.SimulatedCpu`
+from a manifest plus host-provided files; its *measurement* covers the
+manifest and every trusted file (security property (viii): the chain of
+trust reflects all loaded components).  Runtime events that change the
+trusted state -- in MVTEE, the one-time second-stage manifest
+installation -- are recorded in a hash-chained extension register that
+attestation reports include, mirroring TDX RTMRs / SGX runtime
+measurement proposals.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import secrets
+from dataclasses import dataclass, field
+
+from repro.tee.gramine import GramineOS
+from repro.tee.hardware import SimulatedCpu, TeeType
+from repro.tee.manifest import Manifest
+
+__all__ = ["Enclave", "EnclaveError", "EnclaveState"]
+
+
+class EnclaveError(Exception):
+    """Raised on invalid enclave lifecycle transitions or launch failures."""
+
+
+class EnclaveState(enum.Enum):
+    """Lifecycle states of an enclave."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+def _measure(manifest: Manifest, host_files: dict[str, bytes]) -> str:
+    digest = hashlib.sha256()
+    digest.update(manifest.to_bytes())
+    for path in sorted(manifest.trusted_files):
+        content = host_files.get(path, b"")
+        digest.update(path.encode())
+        digest.update(hashlib.sha256(content).digest())
+    return digest.hexdigest()
+
+
+@dataclass
+class Enclave:
+    """A launched TEE instance hosting a Gramine OS and an application."""
+
+    enclave_id: str
+    cpu: SimulatedCpu
+    tee_type: TeeType
+    os: GramineOS
+    measurement: str
+    epc_reserved: int
+    state: EnclaveState = EnclaveState.RUNNING
+    _extensions: list[str] = field(default_factory=list)
+
+    @classmethod
+    def launch(
+        cls,
+        cpu: SimulatedCpu,
+        tee_type: TeeType,
+        manifest: Manifest,
+        host_files: dict[str, bytes],
+        *,
+        enclave_id: str | None = None,
+        epc_bytes: int = 64 << 20,
+    ) -> "Enclave":
+        """Create, measure and start an enclave on ``cpu``.
+
+        Trusted files are verified against the manifest at load; any
+        mismatch aborts the launch (load-time integrity, §2.2).
+        """
+        if not cpu.supports(tee_type):
+            raise EnclaveError(f"platform {cpu.platform_id} does not support {tee_type.value}")
+        for path, expected in manifest.trusted_files.items():
+            actual = hashlib.sha256(host_files.get(path, b"")).hexdigest()
+            if actual != expected:
+                raise EnclaveError(
+                    f"trusted file {path!r} hash mismatch at launch "
+                    f"(expected {expected[:12]}..., got {actual[:12]}...)"
+                )
+        cpu.reserve_epc(tee_type, epc_bytes)
+        enclave = cls(
+            enclave_id=enclave_id or f"enclave-{secrets.token_hex(4)}",
+            cpu=cpu,
+            tee_type=tee_type,
+            os=GramineOS(manifest, host_files),
+            measurement=_measure(manifest, host_files),
+            epc_reserved=epc_bytes,
+        )
+        enclave.os.on_trusted_event = enclave._extend
+        return enclave
+
+    def _extend(self, event: str) -> None:
+        previous = self._extensions[-1] if self._extensions else "0" * 64
+        self._extensions.append(
+            hashlib.sha256(f"{previous}|{event}".encode()).hexdigest()
+        )
+
+    @property
+    def extension_register(self) -> str:
+        """Current value of the hash-chained runtime measurement register."""
+        return self._extensions[-1] if self._extensions else "0" * 64
+
+    def require_running(self) -> None:
+        """Guard: raise unless the enclave is alive."""
+        if self.state is not EnclaveState.RUNNING:
+            raise EnclaveError(f"enclave {self.enclave_id} is {self.state.value}")
+
+    def terminate(self) -> None:
+        """Destroy the enclave and release its EPC."""
+        if self.state is EnclaveState.TERMINATED:
+            return
+        self.state = EnclaveState.TERMINATED
+        self.cpu.release_epc(self.tee_type, self.epc_reserved)
+        self.os.wipe()

@@ -1,0 +1,90 @@
+"""Protected filesystem with rollback/replay detection.
+
+Encrypted files (sealed blobs) live on the untrusted host; the TEE-side
+:class:`ProtectedFs` tracks per-path freshness counters so a host that
+reverts a file to an older (validly sealed) version is detected.  The
+paper notes this runtime-metadata defense is partial and a complete
+defense needs independent monotonic counters -- modeled here by the
+optional :class:`MonotonicCounterService` (a ROTE-style external service
+that survives TEE restarts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.sealed import SealedBlob, SealError, unseal_bytes
+
+__all__ = ["MonotonicCounterService", "ProtectedFs", "RollbackError"]
+
+
+class RollbackError(Exception):
+    """Raised when a file's freshness counter regressed (rollback attack)."""
+
+
+@dataclass
+class MonotonicCounterService:
+    """An external monotonic-counter provider (complete rollback defense)."""
+
+    _counters: dict[str, int] = field(default_factory=dict)
+
+    def advance(self, name: str, value: int) -> None:
+        """Record a new counter value; must strictly increase."""
+        current = self._counters.get(name, -1)
+        if value <= current:
+            raise RollbackError(
+                f"monotonic counter {name!r} cannot move from {current} to {value}"
+            )
+        self._counters[name] = value
+
+    def latest(self, name: str) -> int:
+        """Most recent value (-1 if never advanced)."""
+        return self._counters.get(name, -1)
+
+
+@dataclass
+class ProtectedFs:
+    """TEE-side view over host-stored sealed blobs."""
+
+    kdk: bytes
+    key_id: str
+    host_store: dict[str, bytes] = field(default_factory=dict)
+    counters: MonotonicCounterService | None = None
+    _freshness: dict[str, int] = field(default_factory=dict)
+
+    def write(self, blob: SealedBlob) -> None:
+        """Persist a sealed blob to the host store, advancing freshness."""
+        current = self._freshness.get(blob.path, -1)
+        if blob.freshness <= current:
+            raise RollbackError(
+                f"refusing to write {blob.path!r} with stale freshness "
+                f"{blob.freshness} (current {current})"
+            )
+        self.host_store[blob.path] = blob.to_bytes()
+        self._freshness[blob.path] = blob.freshness
+        if self.counters is not None:
+            self.counters.advance(f"{self.key_id}:{blob.path}", blob.freshness)
+
+    def read(self, path: str) -> bytes:
+        """Load, authenticate, freshness-check and decrypt a file."""
+        raw = self.host_store.get(path)
+        if raw is None:
+            raise SealError(f"no sealed file at {path!r}")
+        blob = SealedBlob.from_bytes(raw)
+        if blob.path != path:
+            raise SealError(f"sealed blob at {path!r} claims path {blob.path!r}")
+        expected = self._expected_freshness(path)
+        if expected is not None and blob.freshness < expected:
+            raise RollbackError(
+                f"file {path!r} rolled back: freshness {blob.freshness} < "
+                f"expected {expected}"
+            )
+        plaintext = unseal_bytes(self.kdk, self.key_id, blob)
+        self._freshness[path] = blob.freshness
+        return plaintext
+
+    def _expected_freshness(self, path: str) -> int | None:
+        if self.counters is not None:
+            latest = self.counters.latest(f"{self.key_id}:{path}")
+            return latest if latest >= 0 else None
+        return self._freshness.get(path)

@@ -1,0 +1,230 @@
+"""The Gramine-like TEE OS with MVTEE's §5.2 enhancements.
+
+Implements the enforcement logic of a library OS inside a TEE:
+
+- manifest-driven file access: trusted files are hash-verified, encrypted
+  files are decrypted through sealed blobs, allowed files pass through,
+  everything else is denied;
+- environment-variable and syscall allowlists;
+- the *two-stage manifest*: a second-stage manifest may be installed
+  exactly once (via a pseudo-fs interface), is locked immediately, takes
+  effect on the next ``exec()``, and the installation interface plus key
+  manipulation are disabled in the second stage;
+- exec() transition with thorough state reset (the paper zeroes memory,
+  closes fds, clears TLS/signal handlers, unloads init-stage objects);
+- host-signal cross-verification (§6.5 "Additional variant hardening").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+from repro.crypto.sealed import SealedBlob, SealError, unseal_bytes
+from repro.tee.manifest import Manifest, ManifestError
+
+__all__ = ["GramineError", "GramineOS"]
+
+
+class GramineError(Exception):
+    """Raised on any policy violation enforced by the TEE OS."""
+
+
+class GramineOS:
+    """One TEE OS instance serving one application (init-variant, then variant)."""
+
+    def __init__(self, manifest: Manifest, host_files: dict[str, bytes]):
+        self.manifest = manifest
+        self.host_files = host_files  # the untrusted host filesystem view
+        self.stage = 1
+        self.entrypoint = manifest.entrypoint
+        self._second_stage: Manifest | None = None
+        self._second_stage_locked = False
+        self._keys: dict[str, bytes] = {}
+        self._env: dict[str, str] = {}
+        self._open_files: set[str] = set()
+        self._scratch: dict[str, object] = {}  # application memory analog
+        self._signal_handlers: dict[str, str] = {}
+        self._exec_done = False
+        #: Callback invoked on trust-relevant runtime events; the enclave
+        #: wires this to its extension register.
+        self.on_trusted_event: Callable[[str], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Keys (pseudo-fs /dev/attestation/keys analog)
+    # ------------------------------------------------------------------
+
+    def install_key(self, key_id: str, kdk: bytes) -> None:
+        """Install a key-derivation key for the encrypted filesystem.
+
+        Per §5.2 this is only legal in the first (init-variant) stage:
+        "prohibits any key manipulation in the second stage".
+        """
+        if self.stage != 1:
+            raise GramineError("key installation is disabled in the second stage")
+        self._keys[key_id] = kdk
+        self._event(f"key-installed:{key_id}")
+
+    def has_key(self, key_id: str) -> bool:
+        """Whether a KDK with this id is installed."""
+        return key_id in self._keys
+
+    # ------------------------------------------------------------------
+    # File access
+    # ------------------------------------------------------------------
+
+    def read_file(self, path: str) -> bytes:
+        """Open a file under the active manifest's policy."""
+        manifest = self.manifest
+        raw = self.host_files.get(path)
+        if path in manifest.trusted_files:
+            if raw is None:
+                raise GramineError(f"trusted file {path!r} missing from host")
+            actual = hashlib.sha256(raw).hexdigest()
+            if actual != manifest.trusted_files[path]:
+                raise GramineError(
+                    f"trusted file {path!r} failed integrity verification"
+                )
+            self._open_files.add(path)
+            return raw
+        if path in manifest.encrypted_files:
+            if raw is None:
+                raise GramineError(f"encrypted file {path!r} missing from host")
+            try:
+                blob = SealedBlob.from_bytes(raw)
+                plaintext = self._unseal(blob)
+            except SealError as exc:
+                raise GramineError(f"encrypted file {path!r}: {exc}") from exc
+            self._open_files.add(path)
+            return plaintext
+        if path in manifest.allowed_files:
+            if raw is None:
+                raise GramineError(f"allowed file {path!r} missing from host")
+            self._open_files.add(path)
+            return raw
+        raise GramineError(f"file {path!r} is not permitted by the manifest")
+
+    def _unseal(self, blob: SealedBlob) -> bytes:
+        kdk = self._keys.get(blob.key_id)
+        if kdk is None:
+            raise GramineError(f"no key {blob.key_id!r} installed for encrypted file")
+        return unseal_bytes(kdk, blob.key_id, blob)
+
+    # ------------------------------------------------------------------
+    # Environment and syscalls
+    # ------------------------------------------------------------------
+
+    def set_env(self, name: str, value: str) -> None:
+        """Accept a host-provided environment variable if allowlisted."""
+        if not self.manifest.allows_env(name):
+            raise GramineError(f"environment variable {name!r} blocked by manifest")
+        self._env[name] = value
+
+    def get_env(self, name: str) -> str | None:
+        """Read an accepted environment variable."""
+        return self._env.get(name)
+
+    def check_syscall(self, name: str) -> None:
+        """Enforce the active syscall policy."""
+        if not self.manifest.allows_syscall(name):
+            raise GramineError(f"syscall {name!r} blocked by the active manifest")
+
+    # ------------------------------------------------------------------
+    # Two-stage manifest
+    # ------------------------------------------------------------------
+
+    def install_second_stage_manifest(self, manifest_bytes: bytes) -> None:
+        """One-time installation of the second-stage manifest (pseudo-fs write)."""
+        if self.stage != 1:
+            raise GramineError("manifest installation interface is disabled in stage 2")
+        if not self.manifest.two_stage:
+            raise GramineError("two-stage manifests are not enabled for this TEE")
+        if self._second_stage_locked:
+            raise GramineError("second-stage manifest already installed and locked")
+        manifest = Manifest.from_bytes(manifest_bytes)  # raises ManifestError
+        if manifest.two_stage:
+            raise ManifestError("a second-stage manifest cannot itself be two-stage")
+        self._second_stage = manifest
+        self._second_stage_locked = True
+        self._event(f"second-stage-manifest:{manifest.hash()}")
+
+    @property
+    def second_stage_installed(self) -> bool:
+        """Whether a second-stage manifest is installed (and locked)."""
+        return self._second_stage_locked
+
+    def exec(self, entrypoint: str) -> None:
+        """The one-way stage transition, triggered by the first exec().
+
+        Enforces that in a two-stage setup the new entrypoint executes
+        solely from encrypted files, resets all init-stage state, and
+        switches enforcement to the second-stage manifest.
+        """
+        if self._exec_done:
+            raise GramineError("stage transition is one-way; exec() already performed")
+        self.check_syscall("exec")
+        if self.manifest.two_stage:
+            if self._second_stage is None:
+                raise GramineError("exec() before second-stage manifest installation")
+            new_manifest = self._second_stage
+            if entrypoint not in new_manifest.encrypted_files:
+                raise GramineError(
+                    "second-stage entrypoint must be one of Gramine's encrypted files"
+                )
+            if entrypoint != new_manifest.entrypoint:
+                raise GramineError(
+                    f"exec target {entrypoint!r} does not match the installed "
+                    f"manifest entrypoint {new_manifest.entrypoint!r}"
+                )
+        else:
+            new_manifest = self.manifest
+        self._reset_state()
+        self.manifest = new_manifest
+        self.entrypoint = entrypoint
+        self.stage = 2
+        self._exec_done = True
+        self._event(f"exec:{entrypoint}")
+
+    def _reset_state(self) -> None:
+        # The paper: zero memory areas, close fds, reset brk, clear TLS,
+        # remove signal handlers, unlink/unload init-stage ELF objects.
+        self._env.clear()
+        self._open_files.clear()
+        self._scratch.clear()
+        self._signal_handlers.clear()
+
+    # ------------------------------------------------------------------
+    # Host-signal cross-verification (§6.5 additional hardening)
+    # ------------------------------------------------------------------
+
+    def record_request(self, kind: str, name: str) -> None:
+        """Track an application request (open file, connect, ...) in TEE state."""
+        self._scratch.setdefault("requests", set()).add((kind, name))  # type: ignore[union-attr]
+
+    def verify_host_signal(self, kind: str, name: str) -> None:
+        """Cross-check a host-reported event against TEE-tracked requests.
+
+        Defends against malicious exceptions/signals (SIGY-style): a host
+        signal referring to a resource the application never requested is
+        rejected.
+        """
+        requests = self._scratch.get("requests", set())
+        if (kind, name) not in requests:  # type: ignore[operator]
+            raise GramineError(
+                f"host-reported {kind} signal for {name!r} does not match any "
+                "TEE-tracked request (possible signal injection)"
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _event(self, description: str) -> None:
+        if self.on_trusted_event is not None:
+            self.on_trusted_event(description)
+
+    def wipe(self) -> None:
+        """Destroy all TEE OS state (enclave teardown)."""
+        self._keys.clear()
+        self._reset_state()
+        self._second_stage = None

@@ -1,0 +1,97 @@
+"""Simulated TEE-capable CPUs.
+
+A :class:`SimulatedCpu` holds a per-platform root key -- the analog of a
+fused attestation key -- and signs attestation reports with it.  The
+paper supports SGX and TDX TEEs and argues the monitor can live in a
+small integrity-enhanced TEE (SGX1) while variants use large-memory TEEs
+(SGX2/TDX); the :class:`TeeType` properties capture those differences so
+the security analysis and the cost model can reason about them.
+"""
+
+from __future__ import annotations
+
+import enum
+import secrets
+from dataclasses import dataclass, field
+
+from repro.crypto.kdf import hmac_sha256
+
+__all__ = ["SimulatedCpu", "TeeType"]
+
+
+class TeeType(enum.Enum):
+    """TEE families supported by MVTEE, with their salient properties."""
+
+    SGX1 = "sgx1"
+    SGX2 = "sgx2"
+    TDX = "tdx"
+
+    @property
+    def memory_integrity_tree(self) -> bool:
+        """SGX1 has a hardware integrity tree (MAC + replay protection)."""
+        return self is TeeType.SGX1
+
+    @property
+    def epc_bytes(self) -> int:
+        """Usable secure-memory capacity (testbed: 128 GB EPC for SGX2)."""
+        return {
+            TeeType.SGX1: 128 << 20,  # classic 128 MB EPC
+            TeeType.SGX2: 128 << 30,
+            TeeType.TDX: 256 << 30,
+        }[self]
+
+    @property
+    def dynamic_memory(self) -> bool:
+        """EDMM-style dynamic page management (SGX2/TDX)."""
+        return self is not TeeType.SGX1
+
+
+@dataclass
+class SimulatedCpu:
+    """One platform: creates enclaves and signs their reports.
+
+    The root key never leaves the object; quotes are HMAC tags over the
+    serialized report, verified by :class:`repro.tee.attestation.Verifier`
+    via the provisioned per-platform verification key (in real SGX this
+    is the Intel-rooted certificate chain).
+    """
+
+    platform_id: str
+    tee_types: tuple[TeeType, ...] = (TeeType.SGX1, TeeType.SGX2, TeeType.TDX)
+    _root_key: bytes = field(default_factory=lambda: secrets.token_bytes(32), repr=False)
+    _epc_used: dict[TeeType, int] = field(default_factory=dict)
+
+    def supports(self, tee_type: TeeType) -> bool:
+        """Whether this platform offers the given TEE family."""
+        return tee_type in self.tee_types
+
+    def sign_report(self, report_bytes: bytes) -> bytes:
+        """Produce the quote signature over a serialized report."""
+        return hmac_sha256(self._root_key, b"mvtee-quote|" + report_bytes)
+
+    def verification_key(self) -> bytes:
+        """Key material a verifier registers to check this platform's quotes.
+
+        With HMAC standing in for asymmetric signatures, the verification
+        key equals the signing key; it models the provisioned attestation
+        collateral, not a secret shared with adversaries.
+        """
+        return self._root_key
+
+    def reserve_epc(self, tee_type: TeeType, nbytes: int) -> None:
+        """Account EPC usage; raises MemoryError when the EPC is exhausted."""
+        used = self._epc_used.get(tee_type, 0)
+        if used + nbytes > tee_type.epc_bytes:
+            raise MemoryError(
+                f"platform {self.platform_id}: {tee_type.value} EPC exhausted "
+                f"({used + nbytes} > {tee_type.epc_bytes})"
+            )
+        self._epc_used[tee_type] = used + nbytes
+
+    def release_epc(self, tee_type: TeeType, nbytes: int) -> None:
+        """Return EPC pages to the pool."""
+        self._epc_used[tee_type] = max(0, self._epc_used.get(tee_type, 0) - nbytes)
+
+    def epc_in_use(self, tee_type: TeeType) -> int:
+        """Currently reserved EPC bytes for a TEE family."""
+        return self._epc_used.get(tee_type, 0)

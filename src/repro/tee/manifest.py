@@ -1,0 +1,122 @@
+"""Gramine-style manifests.
+
+A manifest declares everything an application inside a TEE may touch:
+its entrypoint, trusted files (integrity-checked against build-time
+hashes), encrypted files (decrypted through the protected FS), allowed
+files (passthrough), the environment-variable allowlist, and the syscall
+policy.  MVTEE adds the ``two_stage`` option (§5.2): when set, the
+init-variant may install a *second-stage* manifest exactly once via the
+TEE OS's pseudo-fs interface; the new manifest takes effect at exec().
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Manifest", "ManifestError", "DEFAULT_SYSCALLS"]
+
+
+class ManifestError(Exception):
+    """Raised on malformed manifests or policy violations at load time."""
+
+
+#: Baseline syscall allowlist for inference workloads (paper §5.2 adds
+#: syscall restrictions to Gramine; variants get a narrower list).
+DEFAULT_SYSCALLS = frozenset(
+    {
+        "read",
+        "write",
+        "open",
+        "close",
+        "mmap",
+        "munmap",
+        "brk",
+        "futex",
+        "clock_gettime",
+        "exit",
+        "exit_group",
+        "socket",
+        "connect",
+        "send",
+        "recv",
+        "exec",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """An immutable TEE OS manifest."""
+
+    entrypoint: str
+    trusted_files: dict[str, str] = field(default_factory=dict)  # path -> sha256 hex
+    encrypted_files: frozenset[str] = field(default_factory=frozenset)
+    allowed_files: frozenset[str] = field(default_factory=frozenset)
+    env_allowlist: frozenset[str] = field(default_factory=frozenset)
+    syscalls: frozenset[str] = field(default_factory=lambda: DEFAULT_SYSCALLS)
+    two_stage: bool = False
+    extra: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.entrypoint:
+            raise ManifestError("manifest entrypoint must be non-empty")
+        object.__setattr__(self, "encrypted_files", frozenset(self.encrypted_files))
+        object.__setattr__(self, "allowed_files", frozenset(self.allowed_files))
+        object.__setattr__(self, "env_allowlist", frozenset(self.env_allowlist))
+        object.__setattr__(self, "syscalls", frozenset(self.syscalls))
+        overlap = set(self.trusted_files) & self.encrypted_files
+        if overlap:
+            raise ManifestError(f"files both trusted and encrypted: {sorted(overlap)}")
+
+    def to_json(self) -> dict:
+        """Canonical JSON form (used for hashing and serialization)."""
+        return {
+            "entrypoint": self.entrypoint,
+            "trusted_files": dict(sorted(self.trusted_files.items())),
+            "encrypted_files": sorted(self.encrypted_files),
+            "allowed_files": sorted(self.allowed_files),
+            "env_allowlist": sorted(self.env_allowlist),
+            "syscalls": sorted(self.syscalls),
+            "two_stage": self.two_stage,
+            "extra": dict(sorted(self.extra.items())),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Manifest":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            entrypoint=data["entrypoint"],
+            trusted_files=dict(data.get("trusted_files", {})),
+            encrypted_files=frozenset(data.get("encrypted_files", ())),
+            allowed_files=frozenset(data.get("allowed_files", ())),
+            env_allowlist=frozenset(data.get("env_allowlist", ())),
+            syscalls=frozenset(data.get("syscalls", DEFAULT_SYSCALLS)),
+            two_stage=bool(data.get("two_stage", False)),
+            extra=dict(data.get("extra", {})),
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialized form."""
+        return json.dumps(self.to_json(), sort_keys=True).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Manifest":
+        """Parse a serialized manifest."""
+        try:
+            return cls.from_json(json.loads(data))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ManifestError(f"malformed manifest: {exc}") from exc
+
+    def hash(self) -> str:
+        """SHA-256 over the canonical form -- part of the TEE measurement."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
+
+    def allows_syscall(self, name: str) -> bool:
+        """Whether the syscall policy admits ``name``."""
+        return name in self.syscalls
+
+    def allows_env(self, name: str) -> bool:
+        """Whether the host may pass environment variable ``name``."""
+        return name in self.env_allowlist

@@ -1,0 +1,40 @@
+"""Multi-level variant generation (Figure 3).
+
+Variants differ at three levels, all automated:
+
+- *model graph level* (:mod:`repro.variants.transforms`): semantics-
+  preserving graph rewrites -- dummy operators, operator decomposition,
+  conv-to-linear replacement, channel duplication/shuffling with weight
+  adjustment, selective optimization, commutative reordering;
+- *inference instance level* (:class:`repro.runtime.RuntimeConfig`):
+  engine (interpreter/compiled), executor, BLAS backend, optimization
+  level, compiler flags;
+- *TEE/system level* (:class:`repro.variants.spec.VariantSpec` fields):
+  TEE family, ASLR-style settings, sanitizer flags.
+
+:mod:`repro.variants.pool` materializes a pool of verified, encrypted
+variant artifacts per partition; :mod:`repro.variants.manifests` emits
+the two-stage Gramine manifests and bootstrap scripts.
+"""
+
+from repro.variants.transforms import (
+    TransformError,
+    apply_transforms,
+    available_transforms,
+    verify_equivalent,
+)
+from repro.variants.spec import VariantSpec
+from repro.variants.pool import VariantArtifact, VariantPool, build_pool
+from repro.variants.manifests import variant_manifests
+
+__all__ = [
+    "TransformError",
+    "VariantArtifact",
+    "VariantPool",
+    "VariantSpec",
+    "apply_transforms",
+    "available_transforms",
+    "build_pool",
+    "variant_manifests",
+    "verify_equivalent",
+]

@@ -1,0 +1,92 @@
+"""Gramine manifest and bootstrap-script generation for variants.
+
+Implements the file/settings split of Figure 5: the *public* part is the
+init-variant binary and its manifest (trusted, hash-pinned, two-stage
+enabled); the *private* part is the variant's second-stage manifest,
+model partition, runtime config and entrypoint, all sealed under the
+variant-specific key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.tee.manifest import Manifest
+from repro.variants.spec import VariantSpec
+
+__all__ = [
+    "INIT_VARIANT_CODE",
+    "bootstrap_script",
+    "variant_manifests",
+    "variant_paths",
+]
+
+#: Canonical init-variant "binary".  Every variant TEE starts from this
+#: identical, publicly measurable program (the paper's init-variant),
+#: whose job is: attest, receive the variant key, install it, fetch and
+#: install the second-stage manifest, then exec() into the main variant.
+INIT_VARIANT_CODE = (
+    b"#!mvtee-init-variant v1\n"
+    b"attest-to-monitor; receive-key; install-key;\n"
+    b"fetch second-stage manifest; install-manifest (one-time);\n"
+    b"exec(main-variant)\n"
+)
+
+
+def variant_paths(spec: VariantSpec) -> dict[str, str]:
+    """Host filesystem layout of one variant TEE container."""
+    root = f"/var/mvtee/{spec.variant_id}"
+    return {
+        "init": f"{root}/init",
+        "stage2_manifest": f"{root}/manifest.stage2.enc",
+        "model": f"{root}/model.enc",
+        "config": f"{root}/config.enc",
+        "main": f"{root}/main.enc",
+    }
+
+
+def variant_manifests(spec: VariantSpec) -> tuple[Manifest, Manifest]:
+    """Build (public init manifest, private second-stage manifest)."""
+    paths = variant_paths(spec)
+    init_manifest = Manifest(
+        entrypoint=paths["init"],
+        trusted_files={paths["init"]: hashlib.sha256(INIT_VARIANT_CODE).hexdigest()},
+        encrypted_files={paths["stage2_manifest"]},
+        env_allowlist=frozenset({"MVTEE_MONITOR_ADDR"}),
+        syscalls=frozenset(
+            {"read", "write", "open", "close", "socket", "connect", "send",
+             "recv", "exec", "exit", "exit_group", "clock_gettime"}
+        ),
+        two_stage=True,
+        extra={"role": "init-variant", "variant_id": spec.variant_id},
+    )
+    second_manifest = Manifest(
+        entrypoint=paths["main"],
+        encrypted_files={paths["model"], paths["config"], paths["main"]},
+        env_allowlist=frozenset(),  # §6.5: block all host env by default
+        syscalls=frozenset(
+            {"read", "write", "mmap", "munmap", "brk", "futex", "send", "recv",
+             "clock_gettime", "exit", "exit_group"}
+        ),
+        two_stage=False,
+        extra={
+            "role": "variant",
+            "variant_id": spec.variant_id,
+            "runtime_identity": spec.runtime.identity(),
+        },
+    )
+    return init_manifest, second_manifest
+
+
+def bootstrap_script(spec: VariantSpec) -> str:
+    """The generated variant bootstrap script (§5.1 variant construction)."""
+    paths = variant_paths(spec)
+    lines = [
+        f"# bootstrap for variant {spec.variant_id} (partition {spec.partition_index})",
+        f"# diversification: {spec.diversification_summary()}",
+        "mvtee-init attest --monitor $MVTEE_MONITOR_ADDR",
+        "mvtee-init install-key --from-monitor",
+        f"mvtee-init install-manifest {paths['stage2_manifest']}",
+        f"exec {paths['main']}",
+    ]
+    return "\n".join(lines) + "\n"

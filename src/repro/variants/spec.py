@@ -1,0 +1,78 @@
+"""Variant specifications: the JSON variant configuration of §5.1.
+
+A :class:`VariantSpec` fully determines one inference variant of one
+partition: which graph-level transforms were applied, which runtime
+configuration executes it, which TEE family hosts it, and which extra
+system-level measures (sanitizers, ASLR) are enabled.  Its ``identity()``
+feeds the expected enclave measurement for attestation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.runtime.base import RuntimeConfig
+from repro.tee.hardware import TeeType
+
+__all__ = ["VariantSpec"]
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """Declarative description of one diversified variant."""
+
+    variant_id: str
+    partition_index: int
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    graph_transforms: tuple[str, ...] = ()
+    transform_seed: int = 0
+    tee_type: TeeType = TeeType.SGX2
+    system_measures: tuple[str, ...] = ()  # e.g. ("aslr", "asan", "stack-protector")
+    description: str = ""
+
+    def to_json(self) -> dict:
+        """The JSON variant-configuration format."""
+        return {
+            "variant_id": self.variant_id,
+            "partition_index": self.partition_index,
+            "runtime": self.runtime.to_json(),
+            "graph_transforms": list(self.graph_transforms),
+            "transform_seed": self.transform_seed,
+            "tee_type": self.tee_type.value,
+            "system_measures": list(self.system_measures),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "VariantSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            variant_id=data["variant_id"],
+            partition_index=int(data["partition_index"]),
+            runtime=RuntimeConfig.from_json(data.get("runtime", {})),
+            graph_transforms=tuple(data.get("graph_transforms", ())),
+            transform_seed=int(data.get("transform_seed", 0)),
+            tee_type=TeeType(data.get("tee_type", "sgx2")),
+            system_measures=tuple(data.get("system_measures", ())),
+            description=data.get("description", ""),
+        )
+
+    def identity(self) -> str:
+        """Stable content hash of the full specification."""
+        return hashlib.sha256(
+            json.dumps(self.to_json(), sort_keys=True).encode()
+        ).hexdigest()
+
+    def diversification_summary(self) -> str:
+        """One-line description of the diversification applied."""
+        parts = [f"engine={self.runtime.engine}", f"blas={self.runtime.blas_backend}"]
+        if self.runtime.executor != "graph":
+            parts.append(f"executor={self.runtime.executor}")
+        if self.graph_transforms:
+            parts.append("graph=" + "+".join(self.graph_transforms))
+        if self.system_measures:
+            parts.append("sys=" + "+".join(self.system_measures))
+        parts.append(f"tee={self.tee_type.value}")
+        return ", ".join(parts)

@@ -1,0 +1,557 @@
+"""Model-graph-level diversification transforms (§4.2).
+
+Every transform maps a model to a functionally equivalent model with a
+different structure.  Equivalence is checkable with
+:func:`verify_equivalent` (used by the pool builder and the CI-style
+auto-verification the paper suggests).
+
+Transforms never touch tensors that are graph outputs, so a transformed
+partition produces byte-compatible checkpoint tensor names and shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.model import ModelGraph
+from repro.graph.node import Node
+from repro.runtime.base import RuntimeConfig
+from repro.runtime.interpreter import InterpreterRuntime
+
+__all__ = [
+    "TransformError",
+    "apply_transforms",
+    "available_transforms",
+    "register_transform",
+    "verify_equivalent",
+]
+
+
+class TransformError(Exception):
+    """Raised when a transform cannot apply or would change semantics."""
+
+
+_REGISTRY: dict[str, Callable[[ModelGraph, np.random.Generator], ModelGraph]] = {}
+
+
+def register_transform(name: str):
+    """Decorator registering a graph transform."""
+
+    def decorate(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"transform {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def available_transforms() -> list[str]:
+    """Names of all registered transforms."""
+    return sorted(_REGISTRY)
+
+
+def apply_transforms(model: ModelGraph, names: list[str], *, seed: int = 0) -> ModelGraph:
+    """Apply a pipeline of named transforms with a seeded RNG."""
+    rng = np.random.default_rng(seed)
+    result = model
+    for name in names:
+        fn = _REGISTRY.get(name)
+        if fn is None:
+            raise TransformError(
+                f"unknown transform {name!r}; available: {available_transforms()}"
+            )
+        result = fn(result, rng)
+        result.validate()
+    return result
+
+
+def verify_equivalent(
+    original: ModelGraph,
+    transformed: ModelGraph,
+    *,
+    seed: int = 0,
+    trials: int = 2,
+    rtol: float = 1e-3,
+    atol: float = 1e-4,
+) -> None:
+    """Assert two models agree on random inputs (raises on divergence)."""
+    if {s.name for s in original.outputs} != {s.name for s in transformed.outputs}:
+        raise TransformError(
+            "transformed model changed the graph output set: "
+            f"{sorted(s.name for s in original.outputs)} vs "
+            f"{sorted(s.name for s in transformed.outputs)}"
+        )
+    rng = np.random.default_rng(seed)
+    config = RuntimeConfig(optimization_level=0)
+    runtime_a = InterpreterRuntime(config)
+    runtime_a.prepare(original)
+    runtime_b = InterpreterRuntime(config)
+    runtime_b.prepare(transformed)
+    for _ in range(trials):
+        feeds = {
+            spec.name: rng.normal(size=spec.shape).astype(spec.dtype.numpy)
+            for spec in original.inputs
+        }
+        out_a = runtime_a.run(feeds)
+        out_b = runtime_b.run(feeds)
+        for name, expected in out_a.items():
+            if not np.allclose(expected, out_b[name], rtol=rtol, atol=atol):
+                deviation = float(np.max(np.abs(expected - out_b[name])))
+                raise TransformError(
+                    f"transform broke equivalence on {name!r}: max dev {deviation:g}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _internal_edges(model: ModelGraph) -> list[tuple[Node, int]]:
+    """Edges (consumer node, input slot) whose tensor is not a graph output
+    or initializer -- the safe places to interpose nodes."""
+    outputs = model.output_names()
+    producers = model.producers()
+    edges = []
+    for node in model.nodes:
+        for slot, name in enumerate(node.inputs):
+            if name in producers and name not in outputs:
+                edges.append((node, slot))
+    return edges
+
+
+def _fresh_name(model: ModelGraph, base: str) -> str:
+    existing = {n.name for n in model.nodes}
+    index = 0
+    while f"{base}_{index}" in existing:
+        index += 1
+    return f"{base}_{index}"
+
+
+# ----------------------------------------------------------------------
+# Dummy operators
+# ----------------------------------------------------------------------
+
+
+@register_transform("dummy-identity")
+def insert_dummy_identity(model: ModelGraph, rng: np.random.Generator) -> ModelGraph:
+    """Insert an Identity node on a random internal edge."""
+    return _insert_dummy(model, rng, "Identity")
+
+
+@register_transform("dummy-zero-add")
+def insert_dummy_zero_add(model: ModelGraph, rng: np.random.Generator) -> ModelGraph:
+    """Insert a ZeroAdd node (adds a literal zero) on a random internal edge."""
+    return _insert_dummy(model, rng, "ZeroAdd")
+
+
+def _insert_dummy(model: ModelGraph, rng: np.random.Generator, op_type: str) -> ModelGraph:
+    out = model.copy()
+    edges = _internal_edges(out)
+    if not edges:
+        raise TransformError("no internal edge available for dummy-operator insertion")
+    consumer, slot = edges[int(rng.integers(len(edges)))]
+    source = consumer.inputs[slot]
+    node_name = _fresh_name(out, f"dummy_{op_type.lower()}")
+    new_tensor = f"{node_name}:out"
+    out.nodes.append(
+        Node(name=node_name, op_type=op_type, inputs=[source], outputs=[new_tensor])
+    )
+    consumer.inputs[slot] = new_tensor
+    out.toposort_inplace()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Equivalent operator replacement
+# ----------------------------------------------------------------------
+
+
+@register_transform("conv1x1-to-gemm")
+def conv1x1_to_gemm(model: ModelGraph, rng: np.random.Generator) -> ModelGraph:
+    """Replace one 1x1 stride-1 Conv with an equivalent linear (Gemm) chain.
+
+    The paper's "substituting a convolutional operator with an equivalent
+    fully connected linear operator": the NCHW activation is reshaped to
+    a (H*W, C) matrix, multiplied by the (M, C) kernel matrix, and
+    reshaped back.
+    """
+    out = model.copy()
+    candidates = [
+        n
+        for n in out.nodes
+        if n.op_type == "Conv"
+        and out.initializers.get(n.inputs[1]) is not None
+        and out.initializers[n.inputs[1]].shape[2:] == (1, 1)
+        and int(n.attrs.get("group", 1)) == 1
+        and list(n.attrs.get("strides", [1, 1])) == [1, 1]
+        and len(n.inputs) == 2
+    ]
+    if not candidates:
+        raise TransformError("no 1x1 stride-1 Conv available for conv1x1-to-gemm")
+    target = candidates[int(rng.integers(len(candidates)))]
+    from repro.graph.shapes import infer_shapes
+
+    specs = infer_shapes(out)
+    n_batch, c_in, h, w = specs[target.inputs[0]].shape
+    m_out = specs[target.outputs[0]].shape[1]
+    if n_batch != 1:
+        raise TransformError("conv1x1-to-gemm currently supports batch size 1")
+    weight = out.initializers[target.inputs[1]]
+    gemm_weight_name = f"{target.inputs[1]}.as_fc"
+    out.initializers[gemm_weight_name] = weight.reshape(m_out, c_in).copy()
+    base = target.name
+    reshape_in = Node(
+        name=f"{base}.fc_reshape_in",
+        op_type="Reshape",
+        inputs=[target.inputs[0]],
+        outputs=[f"{base}.fc_x2d"],
+        attrs={"shape": [c_in, h * w]},
+    )
+    transpose_in = Node(
+        name=f"{base}.fc_transpose_in",
+        op_type="Transpose",
+        inputs=[f"{base}.fc_x2d"],
+        outputs=[f"{base}.fc_xT"],
+        attrs={"perm": [1, 0]},
+    )
+    gemm = Node(
+        name=f"{base}.fc_gemm",
+        op_type="Gemm",
+        inputs=[f"{base}.fc_xT", gemm_weight_name],
+        outputs=[f"{base}.fc_y"],
+        attrs={"transB": 1},
+    )
+    transpose_out = Node(
+        name=f"{base}.fc_transpose_out",
+        op_type="Transpose",
+        inputs=[f"{base}.fc_y"],
+        outputs=[f"{base}.fc_yT"],
+        attrs={"perm": [1, 0]},
+    )
+    reshape_out = Node(
+        name=f"{base}.fc_reshape_out",
+        op_type="Reshape",
+        inputs=[f"{base}.fc_yT"],
+        outputs=[target.outputs[0]],
+        attrs={"shape": [1, m_out, h, w]},
+    )
+    out.nodes = [n for n in out.nodes if n.name != target.name]
+    out.nodes.extend([reshape_in, transpose_in, gemm, transpose_out, reshape_out])
+    if not any(
+        target.inputs[1] in n.inputs for n in out.nodes
+    ):
+        out.initializers.pop(target.inputs[1], None)
+    out.toposort_inplace()
+    return out
+
+
+@register_transform("split-conv")
+def split_conv(model: ModelGraph, rng: np.random.Generator) -> ModelGraph:
+    """Decompose one Conv into two half-width Convs plus a Concat.
+
+    Operator decomposition: the output channels are computed by two
+    independent convolutions whose results are concatenated.
+    """
+    out = model.copy()
+    candidates = [
+        n
+        for n in out.nodes
+        if n.op_type == "Conv"
+        and int(n.attrs.get("group", 1)) == 1
+        and out.initializers.get(n.inputs[1]) is not None
+        and out.initializers[n.inputs[1]].shape[0] >= 2
+    ]
+    if not candidates:
+        raise TransformError("no splittable Conv found")
+    target = candidates[int(rng.integers(len(candidates)))]
+    weight = out.initializers[target.inputs[1]]
+    half = weight.shape[0] // 2
+    bias = out.initializers.get(target.inputs[2]) if len(target.inputs) > 2 else None
+    base = target.name
+    new_nodes = []
+    part_outputs = []
+    for pi, (lo, hi) in enumerate(((0, half), (half, weight.shape[0]))):
+        w_name = f"{target.inputs[1]}.split{pi}"
+        out.initializers[w_name] = weight[lo:hi].copy()
+        inputs = [target.inputs[0], w_name]
+        if bias is not None:
+            b_name = f"{target.inputs[2]}.split{pi}"
+            out.initializers[b_name] = bias[lo:hi].copy()
+            inputs.append(b_name)
+        out_name = f"{base}.split{pi}:out"
+        new_nodes.append(
+            Node(
+                name=f"{base}.split{pi}",
+                op_type="Conv",
+                inputs=inputs,
+                outputs=[out_name],
+                attrs=dict(target.attrs),
+            )
+        )
+        part_outputs.append(out_name)
+    concat = Node(
+        name=f"{base}.split_concat",
+        op_type="Concat",
+        inputs=part_outputs,
+        outputs=[target.outputs[0]],
+        attrs={"axis": 1},
+    )
+    out.nodes = [n for n in out.nodes if n.name != target.name]
+    out.nodes.extend(new_nodes + [concat])
+    used = {i for n in out.nodes for i in n.inputs}
+    out.initializers = {k: v for k, v in out.initializers.items() if k in used}
+    out.toposort_inplace()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Channel manipulation
+# ----------------------------------------------------------------------
+
+
+def _channelwise_chain(model: ModelGraph, start: Node) -> tuple[list[Node], Node] | None:
+    """Follow start's output through channel-wise ops to a single Conv.
+
+    Returns (intermediate channel-wise nodes, terminal conv) or None if
+    the pattern does not hold (branching, graph outputs, non-channelwise
+    consumers, grouped terminal conv).
+    """
+    channelwise = {"Relu", "Sigmoid", "HardSigmoid", "HardSwish", "Silu", "Tanh",
+                   "Clip", "Identity", "Dropout", "BatchNormalization", "ZeroAdd"}
+    consumers = model.consumers()
+    outputs = model.output_names()
+    chain: list[Node] = []
+    tensor = start.outputs[0]
+    for _ in range(16):
+        if tensor in outputs:
+            return None
+        users = consumers.get(tensor, [])
+        if len(users) != 1:
+            return None
+        node = users[0]
+        if node.op_type == "Conv":
+            if int(node.attrs.get("group", 1)) != 1 or node.inputs[0] != tensor:
+                return None
+            return chain, node
+        if node.op_type not in channelwise or node.inputs[0] != tensor:
+            return None
+        chain.append(node)
+        tensor = node.outputs[0]
+    return None
+
+
+def _permute_channels(
+    model: ModelGraph, source: Node, chain: list[Node], sink: Node, perm: np.ndarray
+) -> None:
+    """Apply a channel permutation across source-conv, chain params, sink-conv."""
+    weight = model.initializers[source.inputs[1]]
+    model.initializers[source.inputs[1]] = weight[perm].copy()
+    if len(source.inputs) > 2:
+        bias = model.initializers[source.inputs[2]]
+        model.initializers[source.inputs[2]] = bias[perm].copy()
+    for node in chain:
+        if node.op_type == "BatchNormalization":
+            for param in node.inputs[1:5]:
+                model.initializers[param] = model.initializers[param][perm].copy()
+    sink_weight = model.initializers[sink.inputs[1]]
+    model.initializers[sink.inputs[1]] = sink_weight[:, perm].copy()
+
+
+@register_transform("channel-shuffle")
+def channel_shuffle(model: ModelGraph, rng: np.random.Generator) -> ModelGraph:
+    """Permute the output channels of one Conv, adjusting downstream weights.
+
+    Applies to a Conv whose output flows through channel-wise ops into
+    exactly one ungrouped Conv; the permutation is undone by permuting the
+    consumer's input-channel weights, so the model is equivalent.
+    """
+    out = model.copy()
+    candidates = []
+    for node in out.nodes:
+        if node.op_type != "Conv" or int(node.attrs.get("group", 1)) != 1:
+            continue
+        if node.inputs[1] not in out.initializers:
+            continue
+        result = _channelwise_chain(out, node)
+        if result is not None:
+            candidates.append((node, *result))
+    if not candidates:
+        raise TransformError("no shuffle-safe Conv chain found")
+    source, chain, sink = candidates[int(rng.integers(len(candidates)))]
+    channels = out.initializers[source.inputs[1]].shape[0]
+    perm = rng.permutation(channels)
+    _permute_channels(out, source, chain, sink, perm)
+    out.validate()
+    return out
+
+
+@register_transform("channel-duplicate")
+def channel_duplicate(model: ModelGraph, rng: np.random.Generator) -> ModelGraph:
+    """Duplicate one output channel of a Conv, halving its downstream weights.
+
+    The duplicated channel carries the same activation; the consumer's
+    weights for the two copies are each half the original, so their sum
+    reproduces the original contribution exactly.
+    """
+    out = model.copy()
+    candidates = []
+    for node in out.nodes:
+        if node.op_type != "Conv" or int(node.attrs.get("group", 1)) != 1:
+            continue
+        if node.inputs[1] not in out.initializers:
+            continue
+        result = _channelwise_chain(out, node)
+        if result is not None:
+            chain, sink = result
+            # BatchNorm in the chain is per-channel affine, which commutes
+            # with duplication; all other chain ops are elementwise.
+            candidates.append((node, chain, sink))
+    if not candidates:
+        raise TransformError("no duplication-safe Conv chain found")
+    source, chain, sink = candidates[int(rng.integers(len(candidates)))]
+    weight = out.initializers[source.inputs[1]]
+    channel = int(rng.integers(weight.shape[0]))
+    out.initializers[source.inputs[1]] = np.concatenate(
+        [weight, weight[channel : channel + 1]], axis=0
+    )
+    if len(source.inputs) > 2:
+        bias = out.initializers[source.inputs[2]]
+        out.initializers[source.inputs[2]] = np.concatenate(
+            [bias, bias[channel : channel + 1]], axis=0
+        )
+    for node in chain:
+        if node.op_type == "BatchNormalization":
+            for param in node.inputs[1:5]:
+                arr = out.initializers[param]
+                out.initializers[param] = np.concatenate(
+                    [arr, arr[channel : channel + 1]], axis=0
+                )
+    sink_weight = out.initializers[sink.inputs[1]]
+    duplicated = sink_weight[:, channel : channel + 1] * 0.5
+    adjusted = sink_weight.copy()
+    adjusted[:, channel : channel + 1] = duplicated
+    out.initializers[sink.inputs[1]] = np.concatenate([adjusted, duplicated], axis=1)
+    out.validate()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Commutative reordering and selective optimization
+# ----------------------------------------------------------------------
+
+
+@register_transform("dead-channel-insert")
+def dead_channel_insert(model: ModelGraph, rng: np.random.Generator) -> ModelGraph:
+    """Append a random-weight channel whose downstream weights are zero.
+
+    The structural analog of compiler-inserted padding: the new channel
+    carries real (random) activations -- perturbing memory layout and any
+    layout-targeted fault -- but contributes exactly nothing downstream.
+    """
+    out = model.copy()
+    candidates = []
+    for node in out.nodes:
+        if node.op_type != "Conv" or int(node.attrs.get("group", 1)) != 1:
+            continue
+        if node.inputs[1] not in out.initializers:
+            continue
+        result = _channelwise_chain(out, node)
+        if result is not None:
+            candidates.append((node, *result))
+    if not candidates:
+        raise TransformError("no insertion-safe Conv chain found")
+    source, chain, sink = candidates[int(rng.integers(len(candidates)))]
+    weight = out.initializers[source.inputs[1]]
+    pad_filter = rng.normal(0.0, 0.05, size=(1,) + weight.shape[1:]).astype(np.float32)
+    out.initializers[source.inputs[1]] = np.concatenate([weight, pad_filter], axis=0)
+    if len(source.inputs) > 2:
+        bias = out.initializers[source.inputs[2]]
+        out.initializers[source.inputs[2]] = np.concatenate(
+            [bias, np.zeros(1, dtype=np.float32)], axis=0
+        )
+    for node in chain:
+        if node.op_type == "BatchNormalization":
+            for param in node.inputs[1:5]:
+                arr = out.initializers[param]
+                filler = np.ones(1, dtype=np.float32) if param.endswith((".scale", ".var")) else np.zeros(1, dtype=np.float32)
+                out.initializers[param] = np.concatenate([arr, filler], axis=0)
+    sink_weight = out.initializers[sink.inputs[1]]
+    zeros = np.zeros(
+        (sink_weight.shape[0], 1) + sink_weight.shape[2:], dtype=np.float32
+    )
+    out.initializers[sink.inputs[1]] = np.concatenate([sink_weight, zeros], axis=1)
+    out.validate()
+    return out
+
+
+@register_transform("commute-add")
+def commute_add(model: ModelGraph, rng: np.random.Generator) -> ModelGraph:
+    """Swap the operands of every binary Add/Mul (mathematically commutative)."""
+    out = model.copy()
+    swapped = 0
+    for node in out.nodes:
+        if node.op_type in ("Add", "Mul") and len(node.inputs) == 2:
+            node.inputs = [node.inputs[1], node.inputs[0]]
+            swapped += 1
+    if not swapped:
+        raise TransformError("no commutative node to reorder")
+    return out
+
+
+@register_transform("fuse-conv-relu")
+def fuse_conv_relu(model: ModelGraph, rng: np.random.Generator) -> ModelGraph:
+    """Fuse every Conv whose sole consumer is a Relu into FusedConvRelu.
+
+    The fusion direction of §4.2's equivalent operator replacement: the
+    variant's operator stream (and kernel code) changes while the
+    computation is identical.
+    """
+    return _fuse_with_relu(model, "Conv", "FusedConvRelu")
+
+
+@register_transform("fuse-gemm-relu")
+def fuse_gemm_relu(model: ModelGraph, rng: np.random.Generator) -> ModelGraph:
+    """Fuse every Gemm whose sole consumer is a Relu into FusedGemmRelu."""
+    return _fuse_with_relu(model, "Gemm", "FusedGemmRelu")
+
+
+def _fuse_with_relu(model: ModelGraph, op_type: str, fused_op: str) -> ModelGraph:
+    out = model.copy()
+    out.toposort_inplace()
+    consumers = out.consumers()
+    outputs = out.output_names()
+    fused = 0
+    removed: set[str] = set()
+    for node in out.nodes:
+        if node.op_type != op_type or node.outputs[0] in outputs:
+            continue
+        users = consumers.get(node.outputs[0], [])
+        if len(users) != 1 or users[0].op_type != "Relu":
+            continue
+        relu = users[0]
+        node.op_type = fused_op
+        node.outputs = [relu.outputs[0]]
+        removed.add(relu.name)
+        fused += 1
+    if not fused:
+        raise TransformError(f"no {op_type}+Relu pair available to fuse")
+    out.nodes = [n for n in out.nodes if n.name not in removed]
+    out.toposort_inplace()
+    return out
+
+
+@register_transform("selective-optimize")
+def selective_optimize(model: ModelGraph, rng: np.random.Generator) -> ModelGraph:
+    """Pre-fold Conv+BN at the graph level (a deterministic optimization).
+
+    Used "as a defense": the variant carries the optimization baked into
+    the graph instead of relying on the runtime's optimizer, so runtime
+    optimizer bugs cannot affect it.
+    """
+    from repro.runtime.optimizations import fold_batch_norm
+
+    return fold_batch_norm(model)

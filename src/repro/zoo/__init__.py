@@ -1,0 +1,22 @@
+"""Model zoo: the seven DNNs of the paper's evaluation plus test models.
+
+Architectures follow the published topologies (channel counts, strides,
+block layouts); weights are seeded-random since MVTEE never relies on
+learned accuracy -- only topology, tensor shapes and FLOPs matter for
+partitioning, diversification and the performance model.
+
+All builders accept ``input_size`` so tests can instantiate cheap small
+versions while benchmarks use the paper's 3x224x224 default.
+"""
+
+from repro.zoo.registry import available_models, build_model, register_model
+from repro.zoo.tiny import tiny_cnn, tiny_mlp, small_resnet
+
+__all__ = [
+    "available_models",
+    "build_model",
+    "register_model",
+    "small_resnet",
+    "tiny_cnn",
+    "tiny_mlp",
+]

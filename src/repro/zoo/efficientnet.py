@@ -1,0 +1,81 @@
+"""EfficientNet-B7 (Tan & Le) -- compound-scaled MBConv blocks with SE."""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import ModelGraph
+from repro.zoo.registry import register_model
+
+__all__ = ["efficientnet_b7"]
+
+# B0 base: (expansion, out_channels, repeats, first_stride, kernel)
+_B0_BLOCKS = (
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+)
+
+_B7_WIDTH = 2.0
+_B7_DEPTH = 3.1
+
+
+def _round_channels(channels: float, *, divisor: int = 8) -> int:
+    rounded = max(divisor, int(channels + divisor / 2) // divisor * divisor)
+    if rounded < 0.9 * channels:
+        rounded += divisor
+    return rounded
+
+
+def _se_block(b: GraphBuilder, x: str, channels: int, *, reduce_to: int) -> str:
+    squeezed = b.global_avg_pool(x)
+    gate = b.silu(b.conv(squeezed, reduce_to, kernel=1, pad=0, bias=True))
+    gate = b.sigmoid(b.conv(gate, channels, kernel=1, pad=0, bias=True))
+    return b.mul(x, gate)
+
+
+@register_model("efficientnet-b7")
+def efficientnet_b7(
+    *, batch: int = 1, input_size: int = 224, num_classes: int = 1000, seed: int = 0
+) -> ModelGraph:
+    """EfficientNet-B7 (width x2.0, depth x3.1; ~38 GFLOPs at 224px).
+
+    The paper evaluates all models at 3x224x224, so the default input size
+    here is 224 rather than B7's native 600.
+    """
+    b = GraphBuilder("efficientnet-b7", seed=seed)
+    x = b.input("input", (batch, 3, input_size, input_size))
+    stem = _round_channels(32 * _B7_WIDTH)
+    y = b.silu(b.batch_norm(b.conv(x, stem, kernel=3, stride=2, pad=1)))
+    in_channels = stem
+    for expansion, base_out, base_repeats, first_stride, kernel in _B0_BLOCKS:
+        out = _round_channels(base_out * _B7_WIDTH)
+        repeats = int(math.ceil(base_repeats * _B7_DEPTH))
+        for block in range(repeats):
+            stride = first_stride if block == 0 else 1
+            block_in = y
+            expanded = in_channels * expansion
+            z = y
+            if expansion != 1:
+                z = b.silu(b.batch_norm(b.conv(z, expanded, kernel=1, pad=0)))
+            z = b.silu(
+                b.batch_norm(
+                    b.conv(z, expanded, kernel=kernel, stride=stride, pad=kernel // 2, group=expanded)
+                )
+            )
+            z = _se_block(b, z, expanded, reduce_to=max(1, in_channels // 4))
+            z = b.batch_norm(b.conv(z, out, kernel=1, pad=0))
+            if stride == 1 and in_channels == out:
+                z = b.add(z, block_in)
+            y = z
+            in_channels = out
+    head = _round_channels(1280 * _B7_WIDTH)
+    y = b.silu(b.batch_norm(b.conv(y, head, kernel=1, pad=0)))
+    y = b.global_avg_pool(y)
+    b.set_output(b.softmax(b.fc(y, num_classes)))
+    return b.finish()

@@ -1,0 +1,58 @@
+"""GoogleNet (Inception v1, Szegedy et al., BN flavor as in torchvision)."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import ModelGraph
+from repro.zoo.registry import register_model
+
+__all__ = ["googlenet"]
+
+
+def _conv_bn(b: GraphBuilder, x: str, out: int, *, kernel: int, stride: int = 1, pad: int = 0) -> str:
+    return b.relu(b.batch_norm(b.conv(x, out, kernel=kernel, stride=stride, pad=pad)))
+
+
+def _inception(
+    b: GraphBuilder,
+    x: str,
+    ch1x1: int,
+    ch3x3red: int,
+    ch3x3: int,
+    ch5x5red: int,
+    ch5x5: int,
+    pool_proj: int,
+) -> str:
+    branch1 = _conv_bn(b, x, ch1x1, kernel=1)
+    branch2 = _conv_bn(b, _conv_bn(b, x, ch3x3red, kernel=1), ch3x3, kernel=3, pad=1)
+    branch3 = _conv_bn(b, _conv_bn(b, x, ch5x5red, kernel=1), ch5x5, kernel=3, pad=1)
+    branch4 = _conv_bn(b, b.max_pool(x, kernel=3, stride=1, pad=1), pool_proj, kernel=1)
+    return b.concat([branch1, branch2, branch3, branch4])
+
+
+@register_model("googlenet")
+def googlenet(
+    *, batch: int = 1, input_size: int = 224, num_classes: int = 1000, seed: int = 0
+) -> ModelGraph:
+    """GoogleNet with the standard nine inception modules (~1.5 GFLOPs)."""
+    b = GraphBuilder("googlenet", seed=seed)
+    x = b.input("input", (batch, 3, input_size, input_size))
+    y = _conv_bn(b, x, 64, kernel=7, stride=2, pad=3)
+    y = b.max_pool(y, kernel=3, stride=2, ceil_mode=True)
+    y = _conv_bn(b, y, 64, kernel=1)
+    y = _conv_bn(b, y, 192, kernel=3, pad=1)
+    y = b.max_pool(y, kernel=3, stride=2, ceil_mode=True)
+    y = _inception(b, y, 64, 96, 128, 16, 32, 32)  # 3a
+    y = _inception(b, y, 128, 128, 192, 32, 96, 64)  # 3b
+    y = b.max_pool(y, kernel=3, stride=2, ceil_mode=True)
+    y = _inception(b, y, 192, 96, 208, 16, 48, 64)  # 4a
+    y = _inception(b, y, 160, 112, 224, 24, 64, 64)  # 4b
+    y = _inception(b, y, 128, 128, 256, 24, 64, 64)  # 4c
+    y = _inception(b, y, 112, 144, 288, 32, 64, 64)  # 4d
+    y = _inception(b, y, 256, 160, 320, 32, 128, 128)  # 4e
+    y = b.max_pool(y, kernel=2, stride=2, ceil_mode=True)
+    y = _inception(b, y, 256, 160, 320, 32, 128, 128)  # 5a
+    y = _inception(b, y, 384, 192, 384, 48, 128, 128)  # 5b
+    y = b.global_avg_pool(y)
+    b.set_output(b.softmax(b.fc(y, num_classes)))
+    return b.finish()

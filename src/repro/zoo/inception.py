@@ -1,0 +1,113 @@
+"""Inception V3 (Szegedy et al., torchvision block layout)."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import ModelGraph
+from repro.zoo.registry import register_model
+
+__all__ = ["inception_v3"]
+
+
+def _conv_bn(
+    b: GraphBuilder,
+    x: str,
+    out: int,
+    *,
+    kernel: int | tuple[int, int],
+    stride: int = 1,
+    pad: int | tuple[int, int] = 0,
+) -> str:
+    return b.relu(b.batch_norm(b.conv(x, out, kernel=kernel, stride=stride, pad=pad)))
+
+
+def _inception_a(b: GraphBuilder, x: str, pool_features: int) -> str:
+    branch1 = _conv_bn(b, x, 64, kernel=1)
+    branch5 = _conv_bn(b, _conv_bn(b, x, 48, kernel=1), 64, kernel=5, pad=2)
+    branch3 = _conv_bn(b, x, 64, kernel=1)
+    branch3 = _conv_bn(b, branch3, 96, kernel=3, pad=1)
+    branch3 = _conv_bn(b, branch3, 96, kernel=3, pad=1)
+    pool = _conv_bn(b, b.avg_pool(x, kernel=3, stride=1, pad=1), pool_features, kernel=1)
+    return b.concat([branch1, branch5, branch3, pool])
+
+
+def _inception_b(b: GraphBuilder, x: str) -> str:
+    branch3 = _conv_bn(b, x, 384, kernel=3, stride=2)
+    branch3dbl = _conv_bn(b, x, 64, kernel=1)
+    branch3dbl = _conv_bn(b, branch3dbl, 96, kernel=3, pad=1)
+    branch3dbl = _conv_bn(b, branch3dbl, 96, kernel=3, stride=2)
+    pool = b.max_pool(x, kernel=3, stride=2)
+    return b.concat([branch3, branch3dbl, pool])
+
+
+def _inception_c(b: GraphBuilder, x: str, c7: int) -> str:
+    branch1 = _conv_bn(b, x, 192, kernel=1)
+    branch7 = _conv_bn(b, x, c7, kernel=1)
+    branch7 = _conv_bn(b, branch7, c7, kernel=(1, 7), pad=(0, 3))
+    branch7 = _conv_bn(b, branch7, 192, kernel=(7, 1), pad=(3, 0))
+    branch7dbl = _conv_bn(b, x, c7, kernel=1)
+    branch7dbl = _conv_bn(b, branch7dbl, c7, kernel=(7, 1), pad=(3, 0))
+    branch7dbl = _conv_bn(b, branch7dbl, c7, kernel=(1, 7), pad=(0, 3))
+    branch7dbl = _conv_bn(b, branch7dbl, c7, kernel=(7, 1), pad=(3, 0))
+    branch7dbl = _conv_bn(b, branch7dbl, 192, kernel=(1, 7), pad=(0, 3))
+    pool = _conv_bn(b, b.avg_pool(x, kernel=3, stride=1, pad=1), 192, kernel=1)
+    return b.concat([branch1, branch7, branch7dbl, pool])
+
+
+def _inception_d(b: GraphBuilder, x: str) -> str:
+    branch3 = _conv_bn(b, _conv_bn(b, x, 192, kernel=1), 320, kernel=3, stride=2)
+    branch7 = _conv_bn(b, x, 192, kernel=1)
+    branch7 = _conv_bn(b, branch7, 192, kernel=(1, 7), pad=(0, 3))
+    branch7 = _conv_bn(b, branch7, 192, kernel=(7, 1), pad=(3, 0))
+    branch7 = _conv_bn(b, branch7, 192, kernel=3, stride=2)
+    pool = b.max_pool(x, kernel=3, stride=2)
+    return b.concat([branch3, branch7, pool])
+
+
+def _inception_e(b: GraphBuilder, x: str) -> str:
+    branch1 = _conv_bn(b, x, 320, kernel=1)
+    branch3 = _conv_bn(b, x, 384, kernel=1)
+    branch3 = b.concat(
+        [
+            _conv_bn(b, branch3, 384, kernel=(1, 3), pad=(0, 1)),
+            _conv_bn(b, branch3, 384, kernel=(3, 1), pad=(1, 0)),
+        ]
+    )
+    branch3dbl = _conv_bn(b, x, 448, kernel=1)
+    branch3dbl = _conv_bn(b, branch3dbl, 384, kernel=3, pad=1)
+    branch3dbl = b.concat(
+        [
+            _conv_bn(b, branch3dbl, 384, kernel=(1, 3), pad=(0, 1)),
+            _conv_bn(b, branch3dbl, 384, kernel=(3, 1), pad=(1, 0)),
+        ]
+    )
+    pool = _conv_bn(b, b.avg_pool(x, kernel=3, stride=1, pad=1), 192, kernel=1)
+    return b.concat([branch1, branch3, branch3dbl, pool])
+
+
+@register_model("inception-v3")
+def inception_v3(
+    *, batch: int = 1, input_size: int = 224, num_classes: int = 1000, seed: int = 0
+) -> ModelGraph:
+    """Inception V3 with A/B/C/D/E blocks (~5.7 GFLOPs at 224px)."""
+    b = GraphBuilder("inception-v3", seed=seed)
+    x = b.input("input", (batch, 3, input_size, input_size))
+    y = _conv_bn(b, x, 32, kernel=3, stride=2)
+    y = _conv_bn(b, y, 32, kernel=3)
+    y = _conv_bn(b, y, 64, kernel=3, pad=1)
+    y = b.max_pool(y, kernel=3, stride=2)
+    y = _conv_bn(b, y, 80, kernel=1)
+    y = _conv_bn(b, y, 192, kernel=3)
+    y = b.max_pool(y, kernel=3, stride=2)
+    y = _inception_a(b, y, 32)
+    y = _inception_a(b, y, 64)
+    y = _inception_a(b, y, 64)
+    y = _inception_b(b, y)
+    for c7 in (128, 160, 160, 192):
+        y = _inception_c(b, y, c7)
+    y = _inception_d(b, y)
+    y = _inception_e(b, y)
+    y = _inception_e(b, y)
+    y = b.global_avg_pool(y)
+    b.set_output(b.softmax(b.fc(y, num_classes)))
+    return b.finish()

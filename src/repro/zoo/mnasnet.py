@@ -1,0 +1,58 @@
+"""MnasNet-B1 (Tan et al.) -- mobile inverted bottlenecks with ReLU6."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import ModelGraph
+from repro.zoo.registry import register_model
+
+__all__ = ["mnasnet"]
+
+# (kernel, expansion, out_channels, repeats, first_stride)
+_B1_CONFIG = (
+    (3, 3, 24, 3, 2),
+    (5, 3, 40, 3, 2),
+    (5, 6, 80, 3, 2),
+    (3, 6, 96, 2, 1),
+    (5, 6, 192, 4, 2),
+    (3, 6, 320, 1, 1),
+)
+
+
+def _relu6(b: GraphBuilder, x: str) -> str:
+    return b.clip(x, lo=0.0, hi=6.0)
+
+
+@register_model("mnasnet")
+def mnasnet(
+    *, batch: int = 1, input_size: int = 224, num_classes: int = 1000, seed: int = 0
+) -> ModelGraph:
+    """MnasNet-B1 (~0.33 GFLOPs at 224px)."""
+    b = GraphBuilder("mnasnet", seed=seed)
+    x = b.input("input", (batch, 3, input_size, input_size))
+    y = _relu6(b, b.batch_norm(b.conv(x, 32, kernel=3, stride=2, pad=1)))
+    # Initial separable conv to 16 channels.
+    y = _relu6(b, b.batch_norm(b.conv(y, 32, kernel=3, pad=1, group=32)))
+    y = b.batch_norm(b.conv(y, 16, kernel=1, pad=0))
+    in_channels = 16
+    for kernel, expansion, out, repeats, first_stride in _B1_CONFIG:
+        for block in range(repeats):
+            stride = first_stride if block == 0 else 1
+            block_in = y
+            expanded = in_channels * expansion
+            z = _relu6(b, b.batch_norm(b.conv(y, expanded, kernel=1, pad=0)))
+            z = _relu6(
+                b,
+                b.batch_norm(
+                    b.conv(z, expanded, kernel=kernel, stride=stride, pad=kernel // 2, group=expanded)
+                ),
+            )
+            z = b.batch_norm(b.conv(z, out, kernel=1, pad=0))
+            if stride == 1 and in_channels == out:
+                z = b.add(z, block_in)
+            y = z
+            in_channels = out
+    y = _relu6(b, b.batch_norm(b.conv(y, 1280, kernel=1, pad=0)))
+    y = b.global_avg_pool(y)
+    b.set_output(b.softmax(b.fc(y, num_classes)))
+    return b.finish()

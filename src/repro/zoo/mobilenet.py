@@ -1,0 +1,71 @@
+"""MobileNet V3 (Large) -- Howard et al., inverted residuals with SE."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import ModelGraph
+from repro.zoo.registry import register_model
+
+__all__ = ["mobilenet_v3"]
+
+# (kernel, expanded, out, use_se, use_hswish, stride)
+_LARGE_CONFIG = (
+    (3, 16, 16, False, False, 1),
+    (3, 64, 24, False, False, 2),
+    (3, 72, 24, False, False, 1),
+    (5, 72, 40, True, False, 2),
+    (5, 120, 40, True, False, 1),
+    (5, 120, 40, True, False, 1),
+    (3, 240, 80, False, True, 2),
+    (3, 200, 80, False, True, 1),
+    (3, 184, 80, False, True, 1),
+    (3, 184, 80, False, True, 1),
+    (3, 480, 112, True, True, 1),
+    (3, 672, 112, True, True, 1),
+    (5, 672, 160, True, True, 2),
+    (5, 960, 160, True, True, 1),
+    (5, 960, 160, True, True, 1),
+)
+
+
+def _se_block(b: GraphBuilder, x: str, channels: int, *, reduce_to: int) -> str:
+    squeezed = b.global_avg_pool(x)
+    gate = b.relu(b.conv(squeezed, reduce_to, kernel=1, pad=0, bias=True))
+    gate = b.hard_sigmoid(b.conv(gate, channels, kernel=1, pad=0, bias=True))
+    return b.mul(x, gate)
+
+
+def _activate(b: GraphBuilder, x: str, hswish: bool) -> str:
+    return b.hard_swish(x) if hswish else b.relu(x)
+
+
+@register_model("mobilenet-v3")
+def mobilenet_v3(
+    *, batch: int = 1, input_size: int = 224, num_classes: int = 1000, seed: int = 0
+) -> ModelGraph:
+    """MobileNet V3 Large (~0.22 GFLOPs at 224px)."""
+    b = GraphBuilder("mobilenet-v3", seed=seed)
+    x = b.input("input", (batch, 3, input_size, input_size))
+    y = b.hard_swish(b.batch_norm(b.conv(x, 16, kernel=3, stride=2, pad=1)))
+    in_channels = 16
+    for kernel, expanded, out, use_se, use_hswish, stride in _LARGE_CONFIG:
+        block_in = y
+        z = y
+        if expanded != in_channels:
+            z = _activate(b, b.batch_norm(b.conv(z, expanded, kernel=1, pad=0)), use_hswish)
+        z = b.batch_norm(
+            b.conv(z, expanded, kernel=kernel, stride=stride, pad=kernel // 2, group=expanded)
+        )
+        z = _activate(b, z, use_hswish)
+        if use_se:
+            z = _se_block(b, z, expanded, reduce_to=max(8, (expanded // 4 + 3) // 8 * 8))
+        z = b.batch_norm(b.conv(z, out, kernel=1, pad=0))
+        if stride == 1 and in_channels == out:
+            z = b.add(z, block_in)
+        y = z
+        in_channels = out
+    y = b.hard_swish(b.batch_norm(b.conv(y, 960, kernel=1, pad=0)))
+    y = b.global_avg_pool(y)
+    y = b.hard_swish(b.fc(y, 1280))
+    b.set_output(b.softmax(b.fc(y, num_classes, flatten=False)))
+    return b.finish()

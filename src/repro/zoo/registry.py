@@ -1,0 +1,69 @@
+"""Registry mapping model names to builder functions.
+
+The evaluation harness iterates ``EVALUATION_MODELS`` -- the set used in
+the paper's §6.1 ("EfficientNet-b7, GoogleNet, Inception V3, MnasNet,
+MobileNet V3, ResNet-152 and ResNet-50").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.model import ModelGraph
+
+__all__ = ["EVALUATION_MODELS", "available_models", "build_model", "register_model"]
+
+_REGISTRY: dict[str, Callable[..., ModelGraph]] = {}
+
+#: Model names used throughout the paper's figures.
+EVALUATION_MODELS = (
+    "efficientnet-b7",
+    "googlenet",
+    "inception-v3",
+    "mnasnet",
+    "mobilenet-v3",
+    "resnet-152",
+    "resnet-50",
+)
+
+
+def register_model(name: str):
+    """Decorator registering a model builder under ``name``."""
+
+    def decorate(fn: Callable[..., ModelGraph]):
+        if name in _REGISTRY:
+            raise ValueError(f"model {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def available_models() -> list[str]:
+    """All registered model names."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, **kwargs) -> ModelGraph:
+    """Instantiate a registered model (kwargs: batch, input_size, seed, ...)."""
+    _ensure_loaded()
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown model {name!r}; available: {available_models()}") from None
+    return builder(**kwargs)
+
+
+def _ensure_loaded() -> None:
+    # Import side-effect modules once so their @register_model calls run.
+    from repro.zoo import (  # noqa: F401
+        efficientnet,
+        googlenet,
+        inception,
+        mnasnet,
+        mobilenet,
+        resnet,
+        tiny,
+        transformer,
+    )

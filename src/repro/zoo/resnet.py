@@ -1,0 +1,76 @@
+"""ResNet-50 and ResNet-152 (He et al., bottleneck variant)."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import ModelGraph
+from repro.zoo.registry import register_model
+
+__all__ = ["resnet50", "resnet152"]
+
+
+def _bottleneck(b: GraphBuilder, x: str, mid: int, out: int, *, stride: int, project: bool) -> str:
+    y = b.relu(b.batch_norm(b.conv(x, mid, kernel=1, pad=0)))
+    y = b.relu(b.batch_norm(b.conv(y, mid, kernel=3, stride=stride, pad=1)))
+    y = b.batch_norm(b.conv(y, out, kernel=1, pad=0))
+    shortcut = x
+    if project:
+        shortcut = b.batch_norm(b.conv(x, out, kernel=1, stride=stride, pad=0))
+    return b.relu(b.add(y, shortcut))
+
+
+def _resnet(
+    name: str,
+    layers: tuple[int, int, int, int],
+    *,
+    batch: int,
+    input_size: int,
+    num_classes: int,
+    seed: int,
+) -> ModelGraph:
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("input", (batch, 3, input_size, input_size))
+    y = b.relu(b.batch_norm(b.conv(x, 64, kernel=7, stride=2, pad=3)))
+    y = b.max_pool(y, kernel=3, stride=2, pad=1)
+    channels = 64
+    for stage, count in enumerate(layers):
+        mid = 64 * 2**stage
+        out = mid * 4
+        for block in range(count):
+            stride = 2 if stage > 0 and block == 0 else 1
+            project = block == 0
+            y = _bottleneck(b, y, mid, out, stride=stride, project=project)
+            channels = out
+    y = b.global_avg_pool(y)
+    b.set_output(b.softmax(b.fc(y, num_classes)))
+    return b.finish()
+
+
+@register_model("resnet-50")
+def resnet50(
+    *, batch: int = 1, input_size: int = 224, num_classes: int = 1000, seed: int = 0
+) -> ModelGraph:
+    """ResNet-50: stages of 3/4/6/3 bottleneck blocks (~4.1 GFLOPs at 224px)."""
+    return _resnet(
+        "resnet-50",
+        (3, 4, 6, 3),
+        batch=batch,
+        input_size=input_size,
+        num_classes=num_classes,
+        seed=seed,
+    )
+
+
+@register_model("resnet-152")
+def resnet152(
+    *, batch: int = 1, input_size: int = 224, num_classes: int = 1000, seed: int = 0
+) -> ModelGraph:
+    """ResNet-152: stages of 3/8/36/3 bottleneck blocks (~11.5 GFLOPs at 224px)."""
+    return _resnet(
+        "resnet-152",
+        (3, 8, 36, 3),
+        batch=batch,
+        input_size=input_size,
+        num_classes=num_classes,
+        seed=seed,
+    )

@@ -1,0 +1,66 @@
+"""Small models for tests and examples: cheap to execute with real kernels."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import ModelGraph
+from repro.zoo.registry import register_model
+
+__all__ = ["tiny_cnn", "tiny_mlp", "small_resnet"]
+
+
+@register_model("tiny-cnn")
+def tiny_cnn(
+    *, batch: int = 1, input_size: int = 16, num_classes: int = 10, seed: int = 0
+) -> ModelGraph:
+    """A 7-node conv net; executes in milliseconds with real kernels."""
+    b = GraphBuilder("tiny-cnn", seed=seed)
+    x = b.input("input", (batch, 3, input_size, input_size))
+    y = b.relu(b.batch_norm(b.conv(x, 8, kernel=3, stride=1, pad=1)))
+    y = b.max_pool(y, kernel=2)
+    y = b.relu(b.conv(y, 16, kernel=3, stride=2, pad=1))
+    y = b.global_avg_pool(y)
+    b.set_output(b.softmax(b.fc(y, num_classes)))
+    return b.finish()
+
+
+@register_model("tiny-mlp")
+def tiny_mlp(
+    *, batch: int = 1, in_features: int = 32, num_classes: int = 10, seed: int = 0
+) -> ModelGraph:
+    """A 3-layer MLP used by protocol-level tests."""
+    b = GraphBuilder("tiny-mlp", seed=seed)
+    x = b.input("input", (batch, in_features))
+    y = b.relu(b.fc(x, 64, flatten=False))
+    y = b.relu(b.fc(y, 64, flatten=False))
+    b.set_output(b.softmax(b.fc(y, num_classes, flatten=False)))
+    return b.finish()
+
+
+@register_model("small-resnet")
+def small_resnet(
+    *,
+    batch: int = 1,
+    input_size: int = 32,
+    num_classes: int = 10,
+    blocks_per_stage: int = 2,
+    seed: int = 0,
+) -> ModelGraph:
+    """A ResNet-18-style model small enough for real partitioned inference tests."""
+    b = GraphBuilder("small-resnet", seed=seed)
+    x = b.input("input", (batch, 3, input_size, input_size))
+    y = b.relu(b.batch_norm(b.conv(x, 16, kernel=3, pad=1)))
+    channels = 16
+    for stage, out_channels in enumerate((16, 32, 64)):
+        for block in range(blocks_per_stage):
+            stride = 2 if stage > 0 and block == 0 else 1
+            shortcut = y
+            out = b.relu(b.batch_norm(b.conv(y, out_channels, kernel=3, stride=stride, pad=1)))
+            out = b.batch_norm(b.conv(out, out_channels, kernel=3, pad=1))
+            if stride != 1 or channels != out_channels:
+                shortcut = b.batch_norm(b.conv(y, out_channels, kernel=1, stride=stride, pad=0))
+            y = b.relu(b.add(out, shortcut))
+            channels = out_channels
+    y = b.global_avg_pool(y)
+    b.set_output(b.softmax(b.fc(y, num_classes)))
+    return b.finish()

@@ -1,0 +1,96 @@
+"""Decoder-only transformer models (§7.4: Foundation Models in CPU TEEs).
+
+A GPT-style causal transformer built on the extension operator family
+(LayerNormalization, Gelu, BatchMatMul, Split, CausalMask).  The model
+takes pre-embedded token representations (1, seq, d_model) as its
+protected input, mirroring a serving stack where embedding lookup
+happens at the edge and the transformer trunk runs inside MVTEE.
+
+``tiny-gpt`` executes with real kernels in tests; ``gpt-small-sim``
+matches GPT-2-small dimensions for partitioning/performance studies.
+"""
+
+from __future__ import annotations
+
+import repro.ops  # noqa: F401 -- registers the transformer op family
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import ModelGraph
+from repro.zoo.registry import register_model
+
+__all__ = ["gpt_small_sim", "tiny_gpt", "transformer_lm"]
+
+
+def _attention_block(
+    b: GraphBuilder, x: str, *, d_model: int, n_heads: int, seq: int
+) -> str:
+    head_dim = d_model // n_heads
+    normed = b.layer_norm(x)
+    qkv = b.linear(normed, 3 * d_model)
+    q, k, v = b.split(qkv, 3, axis=-1)
+
+    def heads(tensor: str) -> str:
+        reshaped = b.reshape(tensor, [1, seq, n_heads, head_dim])
+        return b.transpose(reshaped, [0, 2, 1, 3])  # (1, H, T, dh)
+
+    q, k, v = heads(q), heads(k), heads(v)
+    scores = b.batch_matmul(q, k, trans_b=True, scale=1.0 / head_dim**0.5)
+    attn = b.softmax(b.causal_mask(scores), axis=-1)
+    context = b.batch_matmul(attn, v)  # (1, H, T, dh)
+    merged = b.reshape(b.transpose(context, [0, 2, 1, 3]), [1, seq, d_model])
+    projected = b.linear(merged, d_model)
+    return b.add(x, projected)
+
+
+def _mlp_block(b: GraphBuilder, x: str, *, d_model: int) -> str:
+    normed = b.layer_norm(x)
+    hidden = b.gelu(b.linear(normed, 4 * d_model))
+    return b.add(x, b.linear(hidden, d_model))
+
+
+def transformer_lm(
+    *,
+    name: str,
+    seq: int,
+    d_model: int,
+    n_heads: int,
+    n_layers: int,
+    vocab: int,
+    seed: int = 0,
+) -> ModelGraph:
+    """Build a causal transformer language-model trunk."""
+    if d_model % n_heads:
+        raise ValueError(f"d_model {d_model} not divisible by heads {n_heads}")
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("embeddings", (1, seq, d_model))
+    y = x
+    for _ in range(n_layers):
+        y = _attention_block(b, y, d_model=d_model, n_heads=n_heads, seq=seq)
+        y = _mlp_block(b, y, d_model=d_model)
+    y = b.layer_norm(y)
+    logits = b.linear(y, vocab)
+    b.set_output(b.softmax(logits, axis=-1))
+    return b.finish()
+
+
+@register_model("tiny-gpt")
+def tiny_gpt(
+    *, seq: int = 8, d_model: int = 32, n_heads: int = 2, n_layers: int = 2,
+    vocab: int = 50, seed: int = 0,
+) -> ModelGraph:
+    """A 2-layer causal transformer small enough for real MVX inference tests."""
+    return transformer_lm(
+        name="tiny-gpt", seq=seq, d_model=d_model, n_heads=n_heads,
+        n_layers=n_layers, vocab=vocab, seed=seed,
+    )
+
+
+@register_model("gpt-small-sim")
+def gpt_small_sim(
+    *, seq: int = 128, d_model: int = 768, n_heads: int = 12, n_layers: int = 12,
+    vocab: int = 50257, seed: int = 0,
+) -> ModelGraph:
+    """GPT-2-small dimensions, for partitioning and performance studies."""
+    return transformer_lm(
+        name="gpt-small-sim", seq=seq, d_model=d_model, n_heads=n_heads,
+        n_layers=n_layers, vocab=vocab, seed=seed,
+    )

@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Deployment fixtures are module-scoped where tests only read state;
+tests that mutate a deployment (attacks, updates) build their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mvx.system import MvteeSystem
+from repro.runtime.base import RuntimeConfig
+from repro.runtime.interpreter import InterpreterRuntime
+from repro.zoo import build_model
+
+
+@pytest.fixture(scope="session")
+def tiny_cnn():
+    return build_model("tiny-cnn")
+
+
+@pytest.fixture(scope="session")
+def tiny_mlp():
+    return build_model("tiny-mlp")
+
+
+@pytest.fixture(scope="session")
+def small_resnet():
+    return build_model("small-resnet", input_size=16, blocks_per_stage=1)
+
+
+@pytest.fixture(scope="session")
+def small_input():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(1, 3, 16, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def small_resnet_reference(small_resnet, small_input):
+    runtime = InterpreterRuntime(RuntimeConfig(optimization_level=0))
+    runtime.prepare(small_resnet)
+    return runtime.run({"input": small_input})
+
+
+@pytest.fixture(scope="module")
+def deployed_system(small_resnet):
+    """A 3-partition deployment with MVX on the middle partition."""
+    return MvteeSystem.deploy(
+        small_resnet,
+        num_partitions=3,
+        mvx_partitions={1: 3},
+        seed=0,
+        verify_partitions=False,
+        verify_variants=False,
+    )

@@ -1,0 +1,168 @@
+"""Security analysis tests: Table 1 CVEs, FrameFlip, weight flips.
+
+The central claims under test (§6.5):
+- every attack impacts only the variants holding the vulnerable
+  implementation;
+- a diversified pool detects each attack (crash or divergence);
+- homogeneous replication misses silent-corruption attacks that a
+  diversified pool catches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    FrameFlipAttack,
+    TABLE1_CVES,
+    WeightBitFlipAttack,
+    run_input_attack,
+    run_persistent_attack,
+)
+from repro.attacks.cves import Impact, craft_malicious_input
+from repro.mvx import MvteeSystem, ResponseAction
+from repro.runtime import RuntimeConfig, create_runtime
+
+
+def deploy(small_resnet, mvx, seed=0):
+    system = MvteeSystem.deploy(
+        small_resnet,
+        num_partitions=3,
+        mvx_partitions=mvx,
+        seed=seed,
+        verify_partitions=False,
+        verify_variants=False,
+    )
+    system.monitor.response_action = ResponseAction.DROP_VARIANT
+    return system
+
+
+class TestCveCatalog:
+    def test_twelve_cases(self):
+        assert len(TABLE1_CVES) == 12
+
+    def test_all_vuln_classes_covered(self):
+        classes = {c.vuln_class.name for c in TABLE1_CVES}
+        assert classes == {"OOB", "UNP", "FPE", "IO", "UAF", "ACF"}
+
+    def test_arm_respects_engine(self, small_resnet):
+        case = TABLE1_CVES[0]  # interpreter Conv
+        vulnerable = create_runtime(RuntimeConfig(engine="interpreter"))
+        immune = create_runtime(RuntimeConfig(engine="compiled"))
+        vulnerable.prepare(small_resnet)
+        immune.prepare(small_resnet)
+        assert case.arm(vulnerable)
+        assert not case.arm(immune)
+
+    def test_benign_input_does_not_trigger(self, small_resnet, small_input, small_resnet_reference):
+        case = TABLE1_CVES[0]
+        runtime = create_runtime(RuntimeConfig(engine="interpreter", optimization_level=0))
+        runtime.prepare(small_resnet)
+        case.arm(runtime)
+        out = runtime.run({"input": small_input})
+        name = next(iter(out))
+        assert np.allclose(out[name], small_resnet_reference[name], atol=1e-4)
+
+    def test_crafted_input_carries_marker(self):
+        evil = craft_malicious_input((1, 3, 4, 4))
+        assert np.max(np.abs(evil)) >= 1e10
+
+    @pytest.mark.parametrize(
+        "case", [c for c in TABLE1_CVES if c.crashes], ids=lambda c: c.cve_id
+    )
+    def test_dos_cves_detected_by_diversified_pool(self, small_resnet, case):
+        op_present = any(n.op_type == case.vulnerable_op for n in small_resnet.nodes)
+        system = deploy(small_resnet, {0: 3, 1: 3, 2: 3}, seed=1)
+        armed = sum(
+            case.arm(connection.host.runtime)
+            for connections in system.monitor.connections.values()
+            for connection in connections
+        )
+        outcome = run_input_attack(system, {"input": craft_malicious_input((1, 3, 16, 16))})
+        if armed and op_present:
+            assert outcome.detected
+            assert outcome.mechanism == "crash"
+        elif not op_present:
+            # The model never invokes the vulnerable kernel: attack fails.
+            assert outcome.crashes == 0
+
+    def test_corruption_cve_detected_by_divergence(self, small_resnet):
+        # CVE-2022-41883: OOB data corruption in the Gemm kernel -- small
+        # resnet's classifier head runs Gemm, in the final partition.
+        case = next(c for c in TABLE1_CVES if c.cve_id == "CVE-2022-41883")
+        assert case.impact is Impact.DATA_CORRUPTION and not case.crashes
+        system = deploy(small_resnet, {2: 3}, seed=1)
+        connections = system.monitor.stage_connections(2)
+        armed = [case.arm(c.host.runtime) for c in connections]
+        assert any(armed) and not all(armed)
+        outcome = run_input_attack(system, {"input": craft_malicious_input((1, 3, 16, 16))})
+        assert outcome.detected
+        assert outcome.mechanism == "divergence"
+
+    def test_homogeneous_pool_misses_silent_corruption(self, small_resnet):
+        """The MVX premise: identical replicas fail identically."""
+        case = next(c for c in TABLE1_CVES if c.cve_id == "CVE-2022-41883")
+        system = deploy(small_resnet, {2: 3}, seed=1)
+        # Arm EVERY variant regardless of engine: models a homogeneous
+        # deployment where all replicas share the buggy kernel.
+        for connection in system.monitor.stage_connections(2):
+            runtime = connection.host.runtime
+            assert runtime.kernel_context is not None
+            forced = type(case)(
+                cve_id=case.cve_id,
+                vuln_class=case.vuln_class,
+                impact=case.impact,
+                vulnerable_engine=runtime.config.engine,
+                vulnerable_op=case.vulnerable_op,
+                defending_variants=case.defending_variants,
+            )
+            assert forced.arm(runtime)
+        outcome = run_input_attack(system, {"input": craft_malicious_input((1, 3, 16, 16))})
+        assert not outcome.detected  # unanimous agreement on the WRONG result
+
+
+class TestFrameFlip:
+    def test_only_target_backend_affected(self, small_resnet, small_input):
+        system = deploy(small_resnet, {0: 3, 1: 3, 2: 3}, seed=1)
+        reference = system.infer({"input": small_input})
+        attack = FrameFlipAttack(target_backend="openblas-sim")
+        affected = attack.launch(system.monitor)
+        all_variants = [
+            c.variant_id
+            for conns in system.monitor.connections.values()
+            for c in conns
+        ]
+        assert 0 < len(affected) < len(all_variants)
+        outcome = run_persistent_attack(system, {"input": small_input}, reference)
+        assert outcome.detected
+        assert not outcome.silent_corruption
+
+    def test_attack_fails_without_target_backend(self, small_resnet, small_input):
+        system = deploy(small_resnet, {1: 3}, seed=3)
+        attack = FrameFlipAttack(target_backend="nonexistent-blas")
+        assert attack.launch(system.monitor) == []
+
+    def test_lift_restores(self, small_resnet, small_input):
+        system = deploy(small_resnet, {1: 3}, seed=1)
+        reference = system.infer({"input": small_input})
+        attack = FrameFlipAttack(target_backend="openblas-sim")
+        attack.launch(system.monitor)
+        attack.lift(system.monitor)
+        outcome = run_persistent_attack(system, {"input": small_input}, reference)
+        assert not outcome.detected
+        assert not outcome.output_corrupted
+
+
+class TestWeightBitFlip:
+    def test_single_variant_flip_detected(self, small_resnet, small_input):
+        system = deploy(small_resnet, {1: 3}, seed=2)
+        reference = system.infer({"input": small_input})
+        target = system.monitor.stage_connections(1)[1].variant_id
+        attack = WeightBitFlipAttack(target_variant=target, num_flips=2)
+        assert attack.launch(system.monitor)
+        outcome = run_persistent_attack(system, {"input": small_input}, reference)
+        assert outcome.detected
+
+    def test_missing_target_is_noop(self, small_resnet):
+        system = deploy(small_resnet, {1: 3}, seed=2)
+        attack = WeightBitFlipAttack(target_variant="ghost")
+        assert attack.launch(system.monitor) == []

@@ -1,0 +1,58 @@
+"""Rollback and fork attack drivers."""
+
+import pytest
+
+from repro.attacks import ForkAttack, RollbackAttack
+from repro.crypto.keys import KeyManager
+from repro.crypto.sealed import seal_bytes
+from repro.mvx import MvteeSystem
+from repro.tee.filesystem import MonotonicCounterService, ProtectedFs
+
+
+@pytest.fixture()
+def fs():
+    record = KeyManager().create_key("v")
+    fs = ProtectedFs(kdk=record.key, key_id="v", counters=MonotonicCounterService())
+    fs._record = record  # test convenience
+    return fs
+
+
+class TestRollbackAttack:
+    def test_detected_with_counters(self, fs):
+        fs.write(seal_bytes(fs._record, "model.enc", b"v1", freshness=1))
+        attack = RollbackAttack(path="model.enc")
+        attack.capture(fs)
+        fs.write(seal_bytes(fs._record, "model.enc", b"v2", freshness=2))
+        assert attack.launch(fs) is True  # detected
+
+    def test_detected_with_runtime_metadata_only(self):
+        record = KeyManager().create_key("w")
+        fs = ProtectedFs(kdk=record.key, key_id="w")  # no counter service
+        fs.write(seal_bytes(record, "f", b"v1", freshness=1))
+        attack = RollbackAttack(path="f")
+        attack.capture(fs)
+        fs.write(seal_bytes(record, "f", b"v2", freshness=2))
+        assert attack.launch(fs) is True
+
+    def test_capture_missing_file(self, fs):
+        with pytest.raises(KeyError):
+            RollbackAttack(path="ghost").capture(fs)
+
+    def test_launch_without_capture(self, fs):
+        with pytest.raises(RuntimeError, match="capture"):
+            RollbackAttack(path="f").launch(fs)
+
+
+class TestForkAttack:
+    def test_rejected_on_live_deployment(self, small_resnet):
+        system = MvteeSystem.deploy(
+            small_resnet, num_partitions=2, mvx_partitions={},
+            seed=0, verify_partitions=False, verify_variants=False,
+        )
+        artifact = system.pool.for_partition(0)[0]
+        attack = ForkAttack(artifact=artifact)
+        rejected = attack.launch(system.monitor, system.orchestrator._pick_cpu())
+        assert rejected is True
+        # The legitimate binding is untouched.
+        assert artifact.variant_id in system.monitor.ledger.active_bindings()
+        assert len(system.monitor.stage_connections(0)) == 1

@@ -1,0 +1,69 @@
+"""Combined attestation and update cost accounting."""
+
+import pytest
+
+from repro.mvx import MonitorError, combined_attestation
+from repro.simulation import CostModel
+from repro.simulation.updates import full_update_cost, partial_update_cost
+from repro.tee.attestation import Verifier, fresh_nonce
+
+
+class TestCombinedAttestation:
+    def test_enumerates_all_variants(self, deployed_system):
+        result = combined_attestation(
+            deployed_system.monitor, deployed_system.monitor.verifier, fresh_nonce()
+        )
+        assert len(result.variants) == 5
+        assert result.monitor_measurement == deployed_system.monitor.enclave.measurement
+
+    def test_ledger_head_binds_updates(self, small_resnet):
+        from repro.mvx import MvteeSystem
+
+        system = MvteeSystem.deploy(
+            small_resnet, num_partitions=3, mvx_partitions={1: 3}, seed=0,
+            verify_partitions=False, verify_variants=False,
+        )
+        before = combined_attestation(
+            system.monitor, system.monitor.verifier, fresh_nonce()
+        )
+        system.update_partition(1, seed=21)
+        after = combined_attestation(
+            system.monitor, system.monitor.verifier, fresh_nonce()
+        )
+        assert before.ledger_head != after.ledger_head
+        assert set(before.variant_ids()) != set(after.variant_ids())
+
+    def test_untrusting_verifier_rejects(self, deployed_system):
+        stranger = Verifier()  # no collateral at all
+        with pytest.raises(MonitorError, match="combined attestation failed"):
+            combined_attestation(deployed_system.monitor, stranger, fresh_nonce())
+
+    def test_nonce_bound(self, deployed_system):
+        # Two calls with different nonces both verify (fresh bindings).
+        verifier = deployed_system.monitor.verifier
+        a = combined_attestation(deployed_system.monitor, verifier, fresh_nonce())
+        b = combined_attestation(deployed_system.monitor, verifier, fresh_nonce())
+        assert a.ledger_head == b.ledger_head
+
+
+class TestUpdateCosts:
+    COST = CostModel()
+
+    def test_partial_cheaper_than_full(self):
+        partial = partial_update_cost(self.COST, variants=3, artifact_bytes=10**7)
+        full = full_update_cost(self.COST, total_variants=9, artifact_bytes=10**7)
+        assert partial.fresh_total < full.fresh_total
+        assert not partial.service_interrupted
+        assert full.service_interrupted
+
+    def test_soundness_premium_is_tee_init(self):
+        update = partial_update_cost(self.COST, variants=4, artifact_bytes=10**6)
+        assert update.soundness_premium == pytest.approx(4 * self.COST.tee_init_seconds)
+
+    def test_load_cost_scales_with_artifact(self):
+        small = partial_update_cost(self.COST, variants=1, artifact_bytes=10**6)
+        large = partial_update_cost(self.COST, variants=1, artifact_bytes=10**8)
+        assert large.load_seconds > 10 * small.load_seconds
+        # ...and loading is unavoidable under either policy (the paper's
+        # point (ii) for rejecting reuse).
+        assert large.reuse_total > small.reuse_total

@@ -1,0 +1,95 @@
+"""Per-partition consistency tuning (§4.3 precision/recall balance)."""
+
+import numpy as np
+import pytest
+
+from repro.mvx import MonitorError, MvteeSystem
+from repro.mvx.config import MvxConfig
+from repro.mvx.consistency import ConsistencyPolicy
+
+
+@pytest.fixture()
+def noisy_system(small_resnet):
+    """Partition 1 carries a noise-loosened policy; global stays strict."""
+    config = MvxConfig.selective(
+        3,
+        {1: 3},
+        consistency={
+            "min_cosine": 0.9999,
+            "per_partition": {1: {"min_cosine": 0.9, "max_abs": 1.0,
+                                  "max_mse": 1.0, "rtol": 0.5, "atol": 0.5}},
+        },
+    )
+    return MvteeSystem.deploy(
+        small_resnet, num_partitions=3, config=config, seed=0,
+        verify_partitions=False, verify_variants=False,
+    )
+
+
+class TestPerPartitionPolicies:
+    def test_policies_installed(self, noisy_system):
+        monitor = noisy_system.monitor
+        assert monitor.policy_for(0).min_cosine == 0.9999
+        assert monitor.policy_for(1).min_cosine == 0.9
+        assert monitor.policy_for(1).max_abs == 1.0
+        assert monitor.policy_for(2) is monitor.policy_for(0)
+
+    def test_loose_partition_tolerates_noise(self, noisy_system, small_input):
+        """A mildly perturbed variant passes the loosened checkpoint."""
+        victim = noisy_system.monitor.stage_connections(1)[0]
+        runtime = victim.host.runtime
+        assert runtime.kernel_context is not None
+
+        def small_noise(node, inputs, outputs):
+            rng = np.random.default_rng(0)
+            return [
+                out + rng.normal(scale=5e-3, size=out.shape).astype(out.dtype)
+                for out in outputs
+            ]
+
+        runtime.kernel_context.op_hooks["Conv"] = small_noise
+        noisy_system.infer({"input": small_input})  # must not halt
+        assert not noisy_system.monitor.divergence_events()
+
+    def test_strict_default_flags_same_noise(self, small_resnet, small_input):
+        system = MvteeSystem.deploy(
+            small_resnet,
+            num_partitions=3,
+            config=MvxConfig.selective(
+                3, {1: 3},
+                consistency={"min_cosine": 0.999999999, "max_abs": 1e-7,
+                             "max_mse": 1e-12, "atol": 1e-8, "rtol": 1e-8},
+            ),
+            seed=0,
+            verify_partitions=False,
+            verify_variants=False,
+        )
+        victim = system.monitor.stage_connections(1)[0]
+        runtime = victim.host.runtime
+
+        def small_noise(node, inputs, outputs):
+            rng = np.random.default_rng(0)
+            return [
+                out + rng.normal(scale=5e-3, size=out.shape).astype(out.dtype)
+                for out in outputs
+            ]
+
+        runtime.kernel_context.op_hooks["Conv"] = small_noise
+        with pytest.raises(MonitorError):
+            system.infer({"input": small_input})
+
+    def test_config_json_carries_overrides(self, noisy_system):
+        config = noisy_system.config
+        restored = MvxConfig.from_json(config.to_json())
+        overrides = restored.consistency["per_partition"]
+        entry = overrides.get(1, overrides.get("1"))
+        assert entry["min_cosine"] == 0.9
+
+    def test_large_attack_still_detected_under_loose_policy(self, noisy_system, small_input):
+        from repro.runtime.faults import FaultInjector
+
+        victim = noisy_system.monitor.stage_connections(1)[0]
+        FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
+        with pytest.raises(MonitorError):
+            noisy_system.infer({"input": small_input})
+        assert noisy_system.monitor.divergence_events()

@@ -1,0 +1,78 @@
+"""AES block cipher: FIPS-197 vectors and structural checks."""
+
+import pytest
+
+from repro.crypto.aes import AesBlockCipher
+
+
+class TestAesVectors:
+    def test_fips197_aes128(self):
+        cipher = AesBlockCipher(bytes(range(16)))
+        out = cipher.encrypt_block(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert out.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_fips197_aes192(self):
+        cipher = AesBlockCipher(bytes(range(24)))
+        out = cipher.encrypt_block(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert out.hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+    def test_fips197_aes256(self):
+        cipher = AesBlockCipher(bytes(range(32)))
+        out = cipher.encrypt_block(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert out.hex() == "8ea2b7ca516745bfeafc49904b496089"
+
+    def test_sp800_38a_aes128_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        block = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        assert AesBlockCipher(key).encrypt_block(block).hex() == (
+            "3ad77bb40d7a3660a89ecaf32466ef97"
+        )
+
+
+class TestAesInterface:
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(ValueError, match="AES key"):
+            AesBlockCipher(b"short")
+
+    def test_rejects_bad_block_length(self):
+        with pytest.raises(ValueError, match="16 bytes"):
+            AesBlockCipher(bytes(16)).encrypt_block(b"tiny")
+
+    def test_deterministic(self):
+        cipher = AesBlockCipher(bytes(16))
+        assert cipher.encrypt_block(bytes(16)) == cipher.encrypt_block(bytes(16))
+
+    def test_different_keys_different_output(self):
+        a = AesBlockCipher(bytes(16)).encrypt_block(bytes(16))
+        b = AesBlockCipher(bytes([1] * 16)).encrypt_block(bytes(16))
+        assert a != b
+
+
+class TestCtrKeystream:
+    def test_length_exact(self):
+        cipher = AesBlockCipher(bytes(16))
+        for n in (0, 1, 15, 16, 17, 100):
+            assert len(cipher.ctr_keystream(bytes(16), n)) == n
+
+    def test_prefix_property(self):
+        cipher = AesBlockCipher(bytes(16))
+        long = cipher.ctr_keystream(bytes(16), 64)
+        short = cipher.ctr_keystream(bytes(16), 20)
+        assert long[:20] == short
+
+    def test_counter_increments_across_blocks(self):
+        cipher = AesBlockCipher(bytes(16))
+        ks = cipher.ctr_keystream(bytes(16), 32)
+        assert ks[:16] != ks[16:]
+
+    def test_counter_wraps_32bit(self):
+        cipher = AesBlockCipher(bytes(16))
+        start = bytes(12) + b"\xff\xff\xff\xff"
+        ks = cipher.ctr_keystream(start, 32)
+        # second block uses counter 0
+        expected_second = cipher.encrypt_block(bytes(16))
+        assert ks[16:] == expected_second
+
+    def test_rejects_bad_start_block(self):
+        with pytest.raises(ValueError, match="16 bytes"):
+            AesBlockCipher(bytes(16)).ctr_keystream(bytes(8), 16)

@@ -1,0 +1,102 @@
+"""ChaCha20-Poly1305: RFC 8439 vectors and security properties."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.chacha import (
+    ChaCha20Poly1305,
+    ChaChaAuthError,
+    chacha20_xor,
+    poly1305_mac,
+)
+
+SUNSCREEN = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+
+
+class TestChaCha20Vectors:
+    def test_rfc8439_section_2_4_2(self):
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000000000004a00000000")
+        ct = chacha20_xor(key, nonce, 1, SUNSCREEN)
+        assert ct.hex().startswith("6e2e359a2568f98041ba0728dd0d6981")
+        assert ct.hex().endswith("874d")
+
+    def test_xor_is_involution(self):
+        key = bytes(32)
+        nonce = bytes(12)
+        data = bytes(range(256))
+        assert chacha20_xor(key, nonce, 7, chacha20_xor(key, nonce, 7, data)) == data
+
+    def test_counter_offsets_differ(self):
+        key, nonce = bytes(32), bytes(12)
+        assert chacha20_xor(key, nonce, 0, bytes(64)) != chacha20_xor(key, nonce, 1, bytes(64))
+
+    def test_empty_data(self):
+        assert chacha20_xor(bytes(32), bytes(12), 1, b"") == b""
+
+    def test_bad_key_nonce_rejected(self):
+        with pytest.raises(ValueError):
+            chacha20_xor(bytes(16), bytes(12), 0, b"x")
+        with pytest.raises(ValueError):
+            chacha20_xor(bytes(32), bytes(8), 0, b"x")
+
+
+class TestPoly1305:
+    def test_rfc8439_section_2_5_2(self):
+        key = bytes.fromhex(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"
+        )
+        tag = poly1305_mac(key, b"Cryptographic Forum Research Group")
+        assert tag.hex() == "a8061dc1305136c6c22b8baf0c0127a9"
+
+    def test_distinct_messages_distinct_tags(self):
+        key = bytes(range(32))
+        assert poly1305_mac(key, b"a") != poly1305_mac(key, b"b")
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(ValueError):
+            poly1305_mac(bytes(16), b"x")
+
+
+class TestChaChaPolyAead:
+    def test_rfc8439_section_2_8_2(self):
+        key = bytes.fromhex(
+            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f"
+        )
+        nonce = bytes.fromhex("070000004041424344454647")
+        aad = bytes.fromhex("50515253c0c1c2c3c4c5c6c7")
+        aead = ChaCha20Poly1305(key)
+        out = aead.encrypt(nonce, SUNSCREEN, aad)
+        assert out[-16:].hex() == "1ae10b594f09e26a7e902ecbd0600691"
+        assert aead.decrypt(nonce, out, aad) == SUNSCREEN
+
+    def test_tamper_detected(self):
+        aead = ChaCha20Poly1305(bytes(32))
+        out = bytearray(aead.encrypt(bytes(12), b"tensor bytes"))
+        out[3] ^= 0x80
+        with pytest.raises(ChaChaAuthError):
+            aead.decrypt(bytes(12), bytes(out))
+
+    def test_aad_binding(self):
+        aead = ChaCha20Poly1305(bytes(32))
+        out = aead.encrypt(bytes(12), b"x", b"good")
+        with pytest.raises(ChaChaAuthError):
+            aead.decrypt(bytes(12), out, b"evil")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ChaChaAuthError, match="shorter"):
+            ChaCha20Poly1305(bytes(32)).decrypt(bytes(12), b"abc")
+
+    def test_large_tensor_payload_roundtrip(self):
+        rng = np.random.default_rng(1)
+        payload = rng.integers(0, 256, size=1_000_000, dtype=np.uint8).tobytes()
+        aead = ChaCha20Poly1305(bytes(32))
+        out = aead.encrypt(bytes(12), payload)
+        assert aead.decrypt(bytes(12), out) == payload
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            ChaCha20Poly1305(bytes(16))

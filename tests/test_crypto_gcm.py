@@ -1,0 +1,88 @@
+"""AES-GCM: NIST vectors, tamper detection, AAD binding."""
+
+import pytest
+
+from repro.crypto.gcm import AesGcm, GcmAuthError
+
+NIST_KEY = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+NIST_IV = bytes.fromhex("cafebabefacedbaddecaf888")
+NIST_PT = bytes.fromhex(
+    "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39"
+)
+NIST_AAD = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+
+
+class TestGcmVectors:
+    def test_nist_case_1_empty(self):
+        # GCM test case 1: zero key, zero IV, empty everything.
+        aead = AesGcm(bytes(16))
+        out = aead.encrypt(bytes(12), b"")
+        assert out.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+    def test_nist_case_2_zero_block(self):
+        aead = AesGcm(bytes(16))
+        out = aead.encrypt(bytes(12), bytes(16))
+        assert out[:16].hex() == "0388dace60b6a392f328c2b971b2fe78"
+        assert out[16:].hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+    def test_nist_case_4_with_aad(self):
+        aead = AesGcm(NIST_KEY)
+        out = aead.encrypt(NIST_IV, NIST_PT, NIST_AAD)
+        assert out[-16:].hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+
+    def test_roundtrip_aes256(self):
+        aead = AesGcm(bytes(32))
+        out = aead.encrypt(bytes(12), b"secret tensor data", b"header")
+        assert aead.decrypt(bytes(12), out, b"header") == b"secret tensor data"
+
+
+class TestGcmSecurity:
+    @pytest.fixture()
+    def aead(self):
+        return AesGcm(bytes(32))
+
+    def test_ciphertext_tamper_detected(self, aead):
+        out = bytearray(aead.encrypt(bytes(12), b"payload"))
+        out[0] ^= 1
+        with pytest.raises(GcmAuthError):
+            aead.decrypt(bytes(12), bytes(out))
+
+    def test_tag_tamper_detected(self, aead):
+        out = bytearray(aead.encrypt(bytes(12), b"payload"))
+        out[-1] ^= 1
+        with pytest.raises(GcmAuthError):
+            aead.decrypt(bytes(12), bytes(out))
+
+    def test_wrong_aad_detected(self, aead):
+        out = aead.encrypt(bytes(12), b"payload", b"aad-a")
+        with pytest.raises(GcmAuthError):
+            aead.decrypt(bytes(12), out, b"aad-b")
+
+    def test_wrong_nonce_detected(self, aead):
+        out = aead.encrypt(bytes(12), b"payload")
+        with pytest.raises(GcmAuthError):
+            aead.decrypt(b"\x01" + bytes(11), out)
+
+    def test_wrong_key_detected(self):
+        out = AesGcm(bytes(32)).encrypt(bytes(12), b"payload")
+        with pytest.raises(GcmAuthError):
+            AesGcm(b"\x01" * 32).decrypt(bytes(12), out)
+
+    def test_truncated_record_rejected(self, aead):
+        with pytest.raises(GcmAuthError, match="shorter"):
+            aead.decrypt(bytes(12), b"short")
+
+    def test_empty_plaintext_roundtrip(self, aead):
+        out = aead.encrypt(bytes(12), b"", b"aad")
+        assert aead.decrypt(bytes(12), out, b"aad") == b""
+
+    def test_distinct_nonces_distinct_ciphertexts(self, aead):
+        a = aead.encrypt(bytes(12), b"same")
+        b = aead.encrypt(b"\x01" + bytes(11), b"same")
+        assert a != b
+
+    def test_non_96bit_nonce_supported(self, aead):
+        nonce = bytes(range(16))
+        out = aead.encrypt(nonce, b"data")
+        assert aead.decrypt(nonce, out) == b"data"

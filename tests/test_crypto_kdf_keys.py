@@ -1,0 +1,111 @@
+"""HKDF vectors, key manager accounting and rotation."""
+
+import pytest
+
+from repro.crypto.kdf import hkdf_expand, hkdf_extract, hkdf_sha256, hmac_sha256
+from repro.crypto.keys import KeyManager, KeyRecord, KeyUsageExceeded
+
+
+class TestHkdf:
+    def test_rfc5869_case_1(self):
+        ikm = bytes([0x0B] * 22)
+        salt = bytes(range(13))
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_one_call_form(self):
+        assert len(hkdf_sha256(b"ikm", salt=b"s", info=b"i", length=64)) == 64
+
+    def test_info_separation(self):
+        assert hkdf_sha256(b"k", info=b"a") != hkdf_sha256(b"k", info=b"b")
+
+    def test_output_length_cap(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(bytes(32), b"", 255 * 32 + 1)
+
+    def test_hmac_known_answer(self):
+        # RFC 4231 test case 2.
+        tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+        assert tag.hex() == (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+
+
+class TestKeyRecord:
+    def test_derivations_distinct(self):
+        record = KeyRecord(key_id="k", key=bytes(32))
+        assert record.derive("p") != record.derive("p")
+
+    def test_purpose_separation(self):
+        a = KeyRecord(key_id="k", key=bytes(32))
+        b = KeyRecord(key_id="k", key=bytes(32))
+        assert a.derive("file") != b.derive("channel")
+
+    def test_usage_limit_enforced(self):
+        record = KeyRecord(key_id="k", key=bytes(32), usage_limit=2)
+        record.derive("p")
+        record.derive("p")
+        with pytest.raises(KeyUsageExceeded):
+            record.derive("p")
+
+    def test_retired_key_unusable(self):
+        record = KeyRecord(key_id="k", key=bytes(32), retired=True)
+        with pytest.raises(KeyUsageExceeded):
+            record.derive("p")
+
+
+class TestKeyManager:
+    def test_create_and_get(self):
+        manager = KeyManager()
+        record = manager.create_key("v0")
+        assert manager.get("v0") is record
+        assert manager.key_ids() == ["v0"]
+
+    def test_duplicate_rejected(self):
+        manager = KeyManager()
+        manager.create_key("v0")
+        with pytest.raises(ValueError):
+            manager.create_key("v0")
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            KeyManager().get("nope")
+
+    def test_rotation_replaces_key(self):
+        manager = KeyManager()
+        old = manager.create_key("v0")
+        new = manager.rotate("v0")
+        assert old.retired
+        assert not new.retired
+        assert new.generation == old.generation + 1
+        assert new.key != old.key
+
+    def test_rotated_old_key_unusable(self):
+        manager = KeyManager()
+        old = manager.create_key("v0")
+        manager.rotate("v0")
+        with pytest.raises(KeyUsageExceeded):
+            old.derive("p")
+
+    def test_needs_rotation_threshold(self):
+        manager = KeyManager(usage_limit=10)
+        manager.create_key("v0")
+        assert not manager.needs_rotation("v0")
+        for _ in range(9):
+            manager.derive("v0", "p")
+        assert manager.needs_rotation("v0")
+
+    def test_recreate_after_retire(self):
+        manager = KeyManager()
+        manager.create_key("v0")
+        manager.get("v0").retired = True
+        fresh = manager.create_key("v0")
+        assert fresh.generation == 1

@@ -1,0 +1,97 @@
+"""Fused operators and the level-2 optimization pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import RuntimeConfig, create_runtime
+from repro.runtime.optimizations import optimize
+from repro.variants.transforms import TransformError, apply_transforms, verify_equivalent
+from repro.zoo import build_model
+
+
+class TestFusionTransforms:
+    def test_fuse_conv_relu_equivalent(self, small_resnet):
+        # Convs are followed by BatchNorm in the raw graph; fold BN first
+        # (selective-optimize), then Conv->Relu pairs exist to fuse.
+        folded = apply_transforms(small_resnet, ["selective-optimize"], seed=0)
+        fused = apply_transforms(folded, ["fuse-conv-relu"], seed=0)
+        verify_equivalent(small_resnet, fused, trials=1)
+        assert any(n.op_type == "FusedConvRelu" for n in fused.nodes)
+        # Every fused pair removed one Relu node.
+        fused_count = sum(1 for n in fused.nodes if n.op_type == "FusedConvRelu")
+        assert len(fused.nodes) == len(folded.nodes) - fused_count
+
+    def test_fuse_gemm_relu_on_mlp(self, tiny_mlp):
+        fused = apply_transforms(tiny_mlp, ["fuse-gemm-relu"], seed=0)
+        verify_equivalent(tiny_mlp, fused, trials=2)
+        assert any(n.op_type == "FusedGemmRelu" for n in fused.nodes)
+
+    def test_nothing_to_fuse_raises(self, tiny_mlp):
+        # tiny-mlp has no Conv at all.
+        with pytest.raises(TransformError, match="no Conv"):
+            apply_transforms(tiny_mlp, ["fuse-conv-relu"], seed=0)
+
+    def test_fusion_changes_structural_hash(self, small_resnet):
+        fused = apply_transforms(
+            small_resnet, ["selective-optimize", "fuse-conv-relu"], seed=0
+        )
+        assert fused.structural_hash() != small_resnet.structural_hash()
+
+
+class TestOptimizationLevel2:
+    def test_level2_fuses_after_bn_fold(self, small_resnet):
+        # BN folding first removes Conv->BN->Relu indirection, exposing
+        # Conv->Relu pairs; level 2 then fuses them.
+        optimized = optimize(small_resnet, 2)
+        assert any(n.op_type == "FusedConvRelu" for n in optimized.nodes)
+        assert not any(n.op_type == "BatchNormalization" for n in optimized.nodes)
+
+    def test_level2_runtime_agrees(self, small_resnet, small_input, small_resnet_reference):
+        runtime = create_runtime(RuntimeConfig(optimization_level=2))
+        runtime.prepare(small_resnet)
+        out = runtime.run({"input": small_input})
+        for name, expected in small_resnet_reference.items():
+            assert np.allclose(out[name], expected, atol=1e-3)
+
+    def test_level2_on_compiled_engine(self, small_resnet, small_input, small_resnet_reference):
+        runtime = create_runtime(
+            RuntimeConfig(engine="compiled", optimization_level=2, blas_backend="eigen-sim")
+        )
+        runtime.prepare(small_resnet)
+        out = runtime.run({"input": small_input})
+        for name, expected in small_resnet_reference.items():
+            assert np.allclose(out[name], expected, atol=1e-3)
+
+    def test_level2_mlp(self, tiny_mlp):
+        optimized = optimize(tiny_mlp, 2)
+        assert any(n.op_type == "FusedGemmRelu" for n in optimized.nodes)
+
+
+class TestFusedAsMvxVariant:
+    def test_fused_variant_in_deployment(self, small_resnet, small_input, small_resnet_reference):
+        from repro.mvx import MvteeSystem
+        from repro.partition import ContractionSettings, random_contraction
+        from repro.variants.pool import build_pool
+        from repro.variants.spec import VariantSpec
+        from repro.mvx.config import MvxConfig
+        from repro.mvx.bootstrap import bootstrap_deployment
+
+        ps = random_contraction(small_resnet, ContractionSettings(2, seed=0))
+        specs = [
+            VariantSpec(variant_id="p0-plain", partition_index=0),
+            VariantSpec(
+                variant_id="p0-fused",
+                partition_index=0,
+                graph_transforms=("selective-optimize", "fuse-conv-relu"),
+            ),
+            VariantSpec(variant_id="p1-plain", partition_index=1),
+        ]
+        pool = build_pool(ps, specs, verify=True)
+        config = MvxConfig.selective(2, {0: 2})
+        _, monitor, _, _ = bootstrap_deployment(pool, config)
+        from repro.mvx.scheduler import run_sequential
+
+        results, stats = run_sequential(monitor, [{"input": small_input}])
+        name = next(iter(small_resnet_reference))
+        assert np.allclose(results[0][name], small_resnet_reference[name], atol=1e-2)
+        assert stats.divergences == 0

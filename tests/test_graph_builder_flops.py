@@ -1,0 +1,104 @@
+"""GraphBuilder ergonomics and FLOP/byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, graph_flops, infer_shapes
+from repro.graph.flops import (
+    graph_activation_bytes,
+    humanize_flops,
+    node_flops,
+    parameter_bytes,
+)
+
+
+class TestBuilder:
+    def test_auto_names_unique(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (1, 3, 8, 8))
+        y1 = b.conv(x, 4)
+        y2 = b.conv(x, 4)
+        assert y1 != y2
+
+    def test_duplicate_initializer_rejected(self):
+        b = GraphBuilder("m")
+        b.add_initializer("w", np.zeros(3))
+        with pytest.raises(ValueError, match="already registered"):
+            b.add_initializer("w", np.zeros(3))
+
+    def test_weights_seeded_reproducible(self):
+        def build(seed):
+            b = GraphBuilder("m", seed=seed)
+            x = b.input("x", (1, 3, 8, 8))
+            b.set_output(b.conv(x, 4))
+            return b.finish()
+
+        a, b_, c = build(0), build(0), build(1)
+        w = next(iter(a.initializers))
+        assert np.array_equal(a.initializers[w], b_.initializers[w])
+        assert not np.array_equal(a.initializers[w], c.initializers[w])
+
+    def test_fc_flattens_4d(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (1, 4, 2, 2))
+        y = b.fc(x, 10)
+        assert b._current_shape(y) == (1, 10)
+
+    def test_group_divisibility_checked(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (1, 3, 8, 8))
+        with pytest.raises(ValueError, match="divisible"):
+            b.conv(x, 4, group=2)
+
+    def test_finish_validates(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (1, 4))
+        b.set_output(b.relu(x))
+        model = b.finish()
+        model.validate()
+        assert len(model.outputs) == 1
+
+    def test_unknown_tensor_query(self):
+        b = GraphBuilder("m")
+        with pytest.raises(KeyError):
+            b._current_shape("ghost")
+
+
+class TestFlops:
+    def test_conv_flops_formula(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (1, 3, 8, 8))
+        b.set_output(b.conv(x, 16, kernel=3, pad=1))
+        m = b.finish()
+        specs = infer_shapes(m)
+        conv = next(n for n in m.nodes if n.op_type == "Conv")
+        # 2 * out_elems * C*kh*kw = 2 * (16*8*8) * 27
+        assert node_flops(conv, specs) == 2 * 16 * 8 * 8 * 3 * 3 * 3
+
+    def test_gemm_flops_formula(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (1, 64))
+        b.set_output(b.fc(x, 10, flatten=False))
+        m = b.finish()
+        specs = infer_shapes(m)
+        gemm = next(n for n in m.nodes if n.op_type == "Gemm")
+        assert node_flops(gemm, specs) == 2 * 10 * 64
+
+    def test_graph_flops_additive(self, small_resnet):
+        specs = infer_shapes(small_resnet)
+        total = sum(node_flops(n, specs) for n in small_resnet.nodes)
+        assert graph_flops(small_resnet) == total
+
+    def test_parameter_bytes(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (1, 4))
+        b.set_output(b.fc(x, 2, flatten=False))  # w: 2x4, b: 2
+        assert parameter_bytes(b.finish()) == (8 + 2) * 4
+
+    def test_activation_bytes_positive(self, small_resnet):
+        assert graph_activation_bytes(small_resnet) > 0
+
+    def test_humanize(self):
+        assert humanize_flops(0) == "0 FLOPs"
+        assert humanize_flops(2_500_000_000) == "2.5 GFLOPs"
+        assert humanize_flops(999) == "999.0 FLOPs"

@@ -1,0 +1,171 @@
+"""Graph IR: validation invariants, topological order, subgraphs, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DataType, GraphBuilder, GraphError, ModelGraph, Node, TensorSpec
+
+
+def chain_model() -> ModelGraph:
+    b = GraphBuilder("chain", seed=0)
+    x = b.input("x", (1, 8))
+    y = b.relu(b.fc(x, 8, flatten=False))
+    z = b.fc(y, 4, flatten=False)
+    b.set_output(z)
+    return b.finish()
+
+
+class TestValidation:
+    def test_valid_model_passes(self):
+        chain_model().validate()
+
+    def test_duplicate_node_names(self):
+        m = chain_model()
+        m.nodes.append(Node(name=m.nodes[0].name, op_type="Relu",
+                            inputs=["x"], outputs=["dup:out"]))
+        with pytest.raises(GraphError, match="duplicate node names"):
+            m.validate()
+
+    def test_duplicate_tensor_producers(self):
+        m = chain_model()
+        m.nodes.append(Node(name="evil", op_type="Relu",
+                            inputs=["x"], outputs=[m.nodes[0].outputs[0]]))
+        with pytest.raises(GraphError, match="produced by both"):
+            m.validate()
+
+    def test_unknown_input_tensor(self):
+        m = chain_model()
+        m.nodes.append(Node(name="orphan", op_type="Relu",
+                            inputs=["ghost"], outputs=["o:out"]))
+        with pytest.raises(GraphError, match="unknown tensor"):
+            m.validate()
+
+    def test_cycle_detected(self):
+        m = ModelGraph(
+            name="cyclic",
+            inputs=[TensorSpec("x", (1, 4))],
+            outputs=[TensorSpec("a:out", (1, 4))],
+            nodes=[
+                Node(name="a", op_type="Add", inputs=["x", "b:out"], outputs=["a:out"]),
+                Node(name="b", op_type="Relu", inputs=["a:out"], outputs=["b:out"]),
+            ],
+        )
+        with pytest.raises(GraphError, match="cycle"):
+            m.validate()
+
+    def test_missing_output(self):
+        m = chain_model()
+        m.outputs = [TensorSpec("never", (1, 4))]
+        with pytest.raises(GraphError, match="never produced"):
+            m.validate()
+
+    def test_node_requires_outputs(self):
+        with pytest.raises(ValueError, match="no outputs"):
+            Node(name="n", op_type="Relu", inputs=["x"], outputs=[])
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self):
+        m = chain_model()
+        order = [n.name for n in m.topological_order()]
+        producers = m.producers()
+        seen = set()
+        for node in m.topological_order():
+            for inp in node.inputs:
+                if inp in producers:
+                    assert producers[inp].name in seen
+            seen.add(node.name)
+        assert len(order) == len(m.nodes)
+
+    def test_deterministic(self):
+        m = chain_model()
+        assert [n.name for n in m.topological_order()] == [
+            n.name for n in m.topological_order()
+        ]
+
+    def test_shuffled_input_same_result(self):
+        m = chain_model()
+        names_before = [n.name for n in m.topological_order()]
+        m.nodes = list(reversed(m.nodes))
+        m.toposort_inplace()
+        m.validate()
+        assert {n.name for n in m.nodes} == set(names_before)
+
+
+class TestSubgraphExtraction:
+    def test_boundary_tensors(self, small_resnet):
+        order = [n.name for n in small_resnet.topological_order()]
+        front = small_resnet.extract_subgraph(order[:5])
+        back = small_resnet.extract_subgraph(order[5:])
+        front_outs = {s.name for s in front.outputs}
+        back_ins = {s.name for s in back.inputs}
+        assert front_outs == back_ins
+
+    def test_initializers_copied(self, small_resnet):
+        order = [n.name for n in small_resnet.topological_order()]
+        sub = small_resnet.extract_subgraph(order[:3])
+        for node in sub.nodes:
+            for inp in node.inputs:
+                if inp in small_resnet.initializers:
+                    assert inp in sub.initializers
+
+    def test_unknown_node_rejected(self, small_resnet):
+        with pytest.raises(GraphError, match="unknown nodes"):
+            small_resnet.extract_subgraph(["not-a-node"])
+
+    def test_graph_output_preserved(self, small_resnet):
+        order = [n.name for n in small_resnet.topological_order()]
+        sub = small_resnet.extract_subgraph(order[-3:])
+        assert {s.name for s in sub.outputs} >= small_resnet.output_names()
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_hashes(self, small_resnet):
+        blob = small_resnet.to_bytes()
+        restored = ModelGraph.from_bytes(blob)
+        assert restored.structural_hash() == small_resnet.structural_hash()
+        assert restored.weights_hash() == small_resnet.weights_hash()
+
+    def test_roundtrip_preserves_weights(self):
+        m = chain_model()
+        restored = ModelGraph.from_bytes(m.to_bytes())
+        for name, arr in m.initializers.items():
+            assert np.array_equal(restored.initializers[name], arr)
+
+    def test_structural_hash_ignores_weight_values(self):
+        a = chain_model()
+        b = chain_model()
+        first = next(iter(b.initializers))
+        b.initializers[first] = b.initializers[first] + 1.0
+        assert a.structural_hash() == b.structural_hash()
+        assert a.weights_hash() != b.weights_hash()
+
+    def test_copy_is_independent(self):
+        m = chain_model()
+        c = m.copy()
+        c.nodes[0].attrs["marker"] = 1
+        assert "marker" not in m.nodes[0].attrs
+
+    def test_summary_mentions_all_nodes(self):
+        m = chain_model()
+        text = m.summary()
+        for node in m.nodes:
+            assert node.name in text
+
+
+class TestTensorSpec:
+    def test_nbytes(self):
+        spec = TensorSpec("t", (1, 3, 224, 224), DataType.FLOAT32)
+        assert spec.nbytes == 1 * 3 * 224 * 224 * 4
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("t", (1, -3))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("", (1,))
+
+    def test_json_roundtrip(self):
+        spec = TensorSpec("t", (2, 3), DataType.INT64)
+        assert TensorSpec.from_json(spec.to_json()) == spec

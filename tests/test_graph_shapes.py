@@ -1,0 +1,154 @@
+"""Shape inference rules for every operator family."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, ModelGraph, Node, ShapeInferenceError, TensorSpec, infer_shapes
+
+
+def infer_single(op_type: str, input_shapes: list[tuple[int, ...]], attrs: dict) -> tuple[int, ...]:
+    inputs = [TensorSpec(f"in{i}", s) for i, s in enumerate(input_shapes)]
+    node = Node(
+        name="n",
+        op_type=op_type,
+        inputs=[s.name for s in inputs],
+        outputs=["n:out"],
+        attrs=attrs,
+    )
+    model = ModelGraph(name="single", inputs=inputs, outputs=[], nodes=[node])
+    return infer_shapes(model)["n:out"].shape
+
+
+class TestConvShapes:
+    def test_same_padding(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (1, 3, 32, 32))
+        y = b.conv(x, 8, kernel=3, pad=1)
+        assert b._current_shape(y) == (1, 8, 32, 32)
+
+    def test_stride_2(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (1, 3, 32, 32))
+        y = b.conv(x, 8, kernel=3, stride=2, pad=1)
+        assert b._current_shape(y) == (1, 8, 16, 16)
+
+    def test_7x7_stride2_pad3(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (1, 3, 224, 224))
+        y = b.conv(x, 64, kernel=7, stride=2, pad=3)
+        assert b._current_shape(y) == (1, 64, 112, 112)
+
+    def test_asymmetric_kernel(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (1, 4, 17, 17))
+        y = b.conv(x, 8, kernel=(1, 7), pad=(0, 3))
+        assert b._current_shape(y) == (1, 8, 17, 17)
+
+    def test_depthwise(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (1, 6, 10, 10))
+        y = b.depthwise_conv(x, kernel=3, pad=1)
+        assert b._current_shape(y) == (1, 6, 10, 10)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ShapeInferenceError, match="channels"):
+            infer_single("Conv", [(1, 3, 8, 8), (4, 5, 3, 3)], {"strides": [1, 1], "pads": [1, 1, 1, 1]})
+
+    def test_collapsed_output_rejected(self):
+        with pytest.raises(ShapeInferenceError, match="collapsed"):
+            infer_single("Conv", [(1, 3, 2, 2), (4, 3, 5, 5)], {})
+
+
+class TestPoolShapes:
+    def test_maxpool_floor(self):
+        assert infer_single("MaxPool", [(1, 4, 7, 7)], {"kernel_shape": [2, 2], "strides": [2, 2]}) == (1, 4, 3, 3)
+
+    def test_maxpool_ceil(self):
+        assert infer_single(
+            "MaxPool",
+            [(1, 4, 7, 7)],
+            {"kernel_shape": [2, 2], "strides": [2, 2], "ceil_mode": 1},
+        ) == (1, 4, 4, 4)
+
+    def test_global_avg_pool(self):
+        assert infer_single("GlobalAveragePool", [(2, 16, 9, 9)], {}) == (2, 16, 1, 1)
+
+    def test_avgpool_padded(self):
+        assert infer_single(
+            "AveragePool",
+            [(1, 4, 8, 8)],
+            {"kernel_shape": [3, 3], "strides": [1, 1], "pads": [1, 1, 1, 1]},
+        ) == (1, 4, 8, 8)
+
+
+class TestDenseAndElementwise:
+    def test_gemm_transb(self):
+        assert infer_single("Gemm", [(1, 64), (10, 64)], {"transB": 1}) == (1, 10)
+
+    def test_gemm_inner_mismatch(self):
+        with pytest.raises(ShapeInferenceError, match="inner"):
+            infer_single("Gemm", [(1, 64), (32, 10)], {})
+
+    def test_matmul(self):
+        assert infer_single("MatMul", [(3, 4), (4, 5)], {}) == (3, 5)
+
+    def test_add_broadcast(self):
+        assert infer_single("Add", [(1, 8, 4, 4), (1, 8, 1, 1)], {}) == (1, 8, 4, 4)
+
+    def test_add_incompatible(self):
+        with pytest.raises(ShapeInferenceError, match="broadcast"):
+            infer_single("Add", [(1, 8), (1, 7)], {})
+
+    def test_unary_preserves(self):
+        for op in ("Relu", "Sigmoid", "HardSwish", "Silu", "Softmax", "Identity"):
+            assert infer_single(op, [(2, 3, 4)], {}) == (2, 3, 4)
+
+
+class TestStructuralOps:
+    def test_concat(self):
+        assert infer_single("Concat", [(1, 3, 8, 8), (1, 5, 8, 8)], {"axis": 1}) == (1, 8, 8, 8)
+
+    def test_concat_mismatch(self):
+        with pytest.raises(ShapeInferenceError, match="concat"):
+            infer_single("Concat", [(1, 3, 8, 8), (1, 5, 9, 8)], {"axis": 1})
+
+    def test_flatten(self):
+        assert infer_single("Flatten", [(2, 3, 4, 5)], {"axis": 1}) == (2, 60)
+
+    def test_reshape_with_minus_one(self):
+        assert infer_single("Reshape", [(1, 6, 4)], {"shape": [3, -1]}) == (3, 8)
+
+    def test_reshape_size_mismatch(self):
+        with pytest.raises(ShapeInferenceError):
+            infer_single("Reshape", [(1, 6)], {"shape": [4, 2]})
+
+    def test_pad(self):
+        assert infer_single("Pad", [(1, 2, 4, 4)], {"pads": [0, 0, 1, 1, 0, 0, 1, 1]}) == (1, 2, 6, 6)
+
+    def test_transpose(self):
+        assert infer_single("Transpose", [(2, 3, 4)], {"perm": [2, 0, 1]}) == (4, 2, 3)
+
+    def test_squeeze_unsqueeze(self):
+        assert infer_single("Squeeze", [(1, 8, 1, 1)], {"axes": [2, 3]}) == (1, 8)
+        assert infer_single("Unsqueeze", [(1, 8)], {"axes": [2, 3]}) == (1, 8, 1, 1)
+
+    def test_reduce_mean(self):
+        assert infer_single("ReduceMean", [(1, 8, 4, 4)], {"axes": [2, 3], "keepdims": 1}) == (1, 8, 1, 1)
+        assert infer_single("ReduceMean", [(1, 8, 4, 4)], {"axes": [2, 3], "keepdims": 0}) == (1, 8)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ShapeInferenceError, match="no shape rule"):
+            infer_single("Quantum", [(1,)], {})
+
+
+class TestWholeGraphInference:
+    def test_covers_every_tensor(self, small_resnet):
+        specs = infer_shapes(small_resnet)
+        for node in small_resnet.nodes:
+            for out in node.outputs:
+                assert out in specs
+
+    def test_matches_execution_shapes(self, small_resnet, small_input, small_resnet_reference):
+        specs = infer_shapes(small_resnet)
+        for name, arr in small_resnet_reference.items():
+            assert specs[name].shape == arr.shape

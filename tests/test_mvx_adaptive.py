@@ -1,0 +1,150 @@
+"""Adaptive scaling, fork-attack prevention, variant retirement,
+oblivious record padding."""
+
+import numpy as np
+import pytest
+
+from repro.mvx import AdaptiveController, MonitorError, MvteeSystem, ResponseAction
+from repro.mvx.variant_host import VariantHost
+from repro.runtime.faults import FaultInjector
+from repro.tee.channel import SecureChannel
+from repro.zoo import build_model
+
+
+@pytest.fixture()
+def system(small_resnet):
+    deployed = MvteeSystem.deploy(
+        small_resnet,
+        num_partitions=3,
+        mvx_partitions={1: 3},
+        seed=0,
+        verify_partitions=False,
+        verify_variants=False,
+    )
+    deployed.monitor.response_action = ResponseAction.DROP_VARIANT
+    return deployed
+
+
+class TestAdaptiveController:
+    def test_quiet_period_scales_down_to_floor(self, system, small_input):
+        controller = AdaptiveController(system)
+        for _ in range(4):
+            system.infer({"input": small_input})
+            controller.observe()
+        # No threats: the MVX partition shrinks to its protection floor (2).
+        assert len(system.monitor.stage_connections(1)) == 2
+        assert any(a.action == "scale-down" for a in controller.actions)
+
+    def test_attack_triggers_scale_up(self, system, small_input):
+        controller = AdaptiveController(system, scale_down_threshold=-1.0)
+        victim = system.monitor.stage_connections(1)[0]
+        FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
+        system.infer({"input": small_input})  # divergence -> victim dropped
+        actions = controller.observe()
+        assert any(a.action == "scale-up" and a.partition_index == 1 for a in actions)
+        assert len(system.monitor.stage_connections(1)) == 3  # 2 survivors + 1 new
+
+    def test_scores_decay(self, system, small_input):
+        controller = AdaptiveController(system, decay=0.0, scale_down_threshold=-1.0)
+        victim = system.monitor.stage_connections(1)[0]
+        FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
+        system.infer({"input": small_input})
+        controller.observe()  # consumes the event, scales up
+        actions = controller.observe()  # score decayed to zero
+        assert not any(a.action == "scale-up" for a in actions)
+
+    def test_fast_path_partitions_not_scaled_below_one(self, system, small_input):
+        controller = AdaptiveController(system)
+        for _ in range(5):
+            system.infer({"input": small_input})
+            controller.observe()
+        assert len(system.monitor.stage_connections(0)) == 1
+        assert len(system.monitor.stage_connections(2)) == 1
+
+    def test_respects_max_variants(self, system, small_input):
+        controller = AdaptiveController(system, max_variants=3, scale_down_threshold=-1)
+        victim = system.monitor.stage_connections(1)[0]
+        FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
+        system.infer({"input": small_input})
+        controller.observe()
+        count = len(system.monitor.stage_connections(1))
+        assert count <= 3
+
+
+class TestForkAttackPrevention:
+    def test_double_binding_rejected(self, system):
+        artifact = system.pool.for_partition(1)[0]
+        clone = VariantHost.place(artifact, system.orchestrator._pick_cpu())
+        with pytest.raises(MonitorError, match="fork attack"):
+            system.monitor._bootstrap_variant(1, artifact, clone, "init")
+
+    def test_rebinding_after_retire_allowed(self, system, small_input):
+        victim = system.monitor.stage_connections(1)[0]
+        artifact = next(
+            a for a in system.pool.for_partition(1) if a.variant_id == victim.variant_id
+        )
+        system.monitor.retire_variant(victim.variant_id)
+        fresh = VariantHost.place(
+            artifact, system.orchestrator._pick_cpu(), enclave_id="fresh-tee"
+        )
+        system.monitor._bootstrap_variant(1, artifact, fresh, "update")
+        assert system.infer({"input": small_input})
+
+
+class TestRetireVariant:
+    def test_retire_removes_and_logs(self, system):
+        victim = system.monitor.stage_connections(1)[0]
+        system.monitor.retire_variant(victim.variant_id)
+        assert victim.variant_id not in [
+            c.variant_id for c in system.monitor.stage_connections(1)
+        ]
+        assert victim.host.crashed
+        assert system.monitor.ledger.entries[-1].event == "retire"
+        system.monitor.ledger.verify_chain()
+
+    def test_retire_unknown_rejected(self, system):
+        with pytest.raises(MonitorError, match="no bound variant"):
+            system.monitor.retire_variant("ghost")
+
+
+class TestObliviousChannels:
+    @staticmethod
+    def _pair(oblivious: bool):
+        from repro.crypto.kdf import hkdf_sha256
+
+        key_a = hkdf_sha256(b"a", length=32)
+        key_b = hkdf_sha256(b"b", length=32)
+        sender = SecureChannel(
+            send_key=key_a, recv_key=key_b, aead_name="chacha20-poly1305",
+            peer_report=None, channel_id="t", oblivious=oblivious,
+        )
+        receiver = SecureChannel(
+            send_key=key_b, recv_key=key_a, aead_name="chacha20-poly1305",
+            peer_report=None, channel_id="t", oblivious=oblivious,
+        )
+        return sender, receiver
+
+    def test_roundtrip(self):
+        sender, receiver = self._pair(True)
+        for payload in (b"", b"x", b"y" * 1000, b"z" * 300):
+            assert receiver.open(sender.protect(payload)) == payload
+
+    def test_sizes_bucketed(self):
+        sender, _ = self._pair(True)
+        sizes = {len(sender.protect(bytes(n))) for n in (1, 50, 100, 200)}
+        # 1..200 byte payloads (+8B frame) all fit the 256B bucket.
+        assert len(sizes) == 1
+
+    def test_distinct_buckets_for_large(self):
+        sender, _ = self._pair(True)
+        small = len(sender.protect(bytes(100)))
+        large = len(sender.protect(bytes(10_000)))
+        assert large > small
+        # Bucket sizes are powers of two times MIN_BUCKET.
+        assert (large - 16) % 256 == 0
+
+    def test_non_oblivious_leaks_exact_size(self):
+        sender, _ = self._pair(False)
+        a = len(sender.protect(bytes(100)))
+        b = len(sender.protect(bytes(101)))
+        assert b == a + 1

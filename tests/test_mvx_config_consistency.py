@@ -1,0 +1,143 @@
+"""MVX configuration and consistency metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mvx.config import MvxConfig, PartitionClaim
+from repro.mvx.consistency import (
+    ConsistencyPolicy,
+    cosine_similarity,
+    max_abs_diff,
+    mean_squared_error,
+)
+
+
+class TestPartitionClaim:
+    def test_mvx_enabled_threshold(self):
+        assert not PartitionClaim(0, 1).mvx_enabled
+        assert PartitionClaim(0, 2).mvx_enabled
+
+    def test_zero_variants_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionClaim(0, 0)
+
+    def test_json_roundtrip(self):
+        claim = PartitionClaim(2, 3, selection_seed=7)
+        assert PartitionClaim.from_json(claim.to_json()) == claim
+
+
+class TestMvxConfig:
+    def test_uniform(self):
+        config = MvxConfig.uniform(5, 3)
+        assert config.total_variants() == 15
+        assert config.mvx_partition_indices() == [0, 1, 2, 3, 4]
+
+    def test_selective(self):
+        config = MvxConfig.selective(5, {2: 3})
+        assert config.total_variants() == 7
+        assert config.mvx_partition_indices() == [2]
+
+    def test_hybrid_path_rule(self):
+        config = MvxConfig.selective(3, {1: 3})
+        assert not config.uses_slow_path(0)
+        assert config.uses_slow_path(1)
+
+    def test_forced_paths(self):
+        slow = MvxConfig.uniform(2, 1, path_mode="slow")
+        fast = MvxConfig.uniform(2, 3, path_mode="fast")
+        assert slow.uses_slow_path(0)
+        assert not fast.uses_slow_path(0)
+
+    def test_claims_must_cover_partitions(self):
+        with pytest.raises(ValueError, match="cover partitions"):
+            MvxConfig(claims=(PartitionClaim(0, 1), PartitionClaim(2, 1)))
+
+    def test_invalid_enums_rejected(self):
+        with pytest.raises(ValueError):
+            MvxConfig.uniform(2, 1, voting="dictatorship")
+        with pytest.raises(ValueError):
+            MvxConfig.uniform(2, 1, execution_mode="warp")
+        with pytest.raises(ValueError):
+            MvxConfig.uniform(2, 1, path_mode="medium")
+
+    def test_json_roundtrip(self):
+        config = MvxConfig.selective(
+            4, {1: 3, 2: 5}, voting="majority", execution_mode="async",
+            consistency={"min_cosine": 0.99},
+        )
+        assert MvxConfig.from_json(config.to_json()) == config
+
+
+class TestMetrics:
+    def test_cosine_identical(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(x, x) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_cosine_zero_vectors(self):
+        assert cosine_similarity(np.zeros(3), np.zeros(3)) == 1.0
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_mse(self):
+        assert mean_squared_error(np.array([1.0, 3.0]), np.array([2.0, 1.0])) == pytest.approx(2.5)
+
+    def test_max_abs(self):
+        assert max_abs_diff(np.array([1.0, -5.0]), np.array([1.5, 0.0])) == 5.0
+
+
+class TestConsistencyPolicy:
+    def test_identical_pass(self):
+        policy = ConsistencyPolicy()
+        x = np.random.default_rng(0).normal(size=(4, 4)).astype(np.float32)
+        report = policy.check_tensor("t", x, x)
+        assert report.consistent
+        assert report.allclose
+
+    def test_small_noise_tolerated(self):
+        policy = ConsistencyPolicy()
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100).astype(np.float32)
+        y = x + rng.normal(scale=1e-5, size=100).astype(np.float32)
+        assert policy.check_tensor("t", x, y).consistent
+
+    def test_gross_corruption_flagged(self):
+        policy = ConsistencyPolicy()
+        x = np.ones(10, dtype=np.float32)
+        y = x.copy()
+        y[0] = 100.0
+        report = policy.check_tensor("t", x, y)
+        assert not report.consistent
+        assert "max_abs" in report.reason
+
+    def test_shape_mismatch(self):
+        policy = ConsistencyPolicy()
+        report = policy.check_tensor("t", np.ones(3), np.ones(4))
+        assert not report.consistent
+        assert "shape" in report.reason
+
+    def test_nan_flagged(self):
+        policy = ConsistencyPolicy()
+        x = np.ones(4, dtype=np.float32)
+        y = x.copy()
+        y[2] = np.nan
+        report = policy.check_tensor("t", x, y)
+        assert not report.consistent
+        assert "non-finite" in report.reason
+
+    def test_output_key_mismatch(self):
+        policy = ConsistencyPolicy()
+        reports = policy.check_outputs({"a": np.ones(2)}, {"b": np.ones(2)})
+        assert not reports[0].consistent
+
+    def test_thresholds_tunable(self):
+        loose = ConsistencyPolicy(min_cosine=0.0, max_mse=1e9, max_abs=1e9,
+                                  use_allclose=False)
+        x = np.ones(4)
+        y = x * 3
+        assert loose.check_tensor("t", x, y).consistent
+
+    def test_from_kwargs(self):
+        policy = ConsistencyPolicy.from_kwargs({"min_cosine": 0.5})
+        assert policy.min_cosine == 0.5

@@ -1,0 +1,139 @@
+"""Monitor snapshot, rollback protection, and recovery re-binding."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.keys import KeyManager
+from repro.mvx import MonitorError, MvteeSystem
+from repro.mvx.recovery import (
+    MonitorStateStore,
+    recover_monitor,
+    snapshot_monitor,
+)
+from repro.tee.filesystem import MonotonicCounterService, RollbackError
+
+
+@pytest.fixture()
+def system(small_resnet):
+    return MvteeSystem.deploy(
+        small_resnet,
+        num_partitions=3,
+        mvx_partitions={1: 3},
+        seed=0,
+        verify_partitions=False,
+        verify_variants=False,
+    )
+
+
+@pytest.fixture()
+def store():
+    return MonitorStateStore(
+        key_record=KeyManager().create_key("monitor-state"),
+        counters=MonotonicCounterService(),
+    )
+
+
+def restart_monitor(system, store):
+    """Simulate a monitor TEE restart: fresh enclave, recovered state."""
+    fresh_enclave = system.orchestrator.place_monitor()
+    system.verifier_for_test = system.monitor.verifier
+    hosts = {c.host.variant_id: c.host
+             for conns in system.monitor.connections.values() for c in conns}
+    return recover_monitor(
+        enclave=fresh_enclave,
+        verifier=system.monitor.verifier,
+        pool=system.pool,
+        store=store,
+        hosts=hosts,
+    )
+
+
+class TestSnapshot:
+    def test_snapshot_roundtrip(self, system, store):
+        snapshot_monitor(system.monitor, store)
+        blob = store.load()
+        assert b'"config"' in blob and b'"ledger"' in blob
+
+    def test_unprovisioned_monitor_rejected(self, system, store):
+        system.monitor.config = None
+        with pytest.raises(MonitorError, match="unprovisioned"):
+            snapshot_monitor(system.monitor, store)
+
+    def test_missing_snapshot_rejected(self, store):
+        with pytest.raises(MonitorError, match="no monitor snapshot"):
+            store.load()
+
+    def test_rollback_to_older_snapshot_detected(self, system, store):
+        snapshot_monitor(system.monitor, store)
+        old = dict(store.host_store)
+        system.update_partition(1, seed=11)  # state changes (more ledger entries)
+        snapshot_monitor(system.monitor, store)
+        store.host_store.clear()
+        store.host_store.update(old)  # host reverts the state file
+        with pytest.raises(RollbackError, match="rollback"):
+            store.load()
+
+
+class TestRecovery:
+    def test_recovered_monitor_serves(self, system, store, small_input, small_resnet_reference):
+        reference = system.infer({"input": small_input})
+        snapshot_monitor(system.monitor, store)
+        monitor = restart_monitor(system, store)
+        assert monitor.config == system.monitor.config
+        from repro.mvx.scheduler import run_sequential
+
+        results, stats = run_sequential(monitor, [{"input": small_input}])
+        name = next(iter(reference))
+        assert np.allclose(results[0][name], reference[name], atol=1e-5)
+        assert stats.divergences == 0
+
+    def test_rebind_events_logged(self, system, store):
+        snapshot_monitor(system.monitor, store)
+        monitor = restart_monitor(system, store)
+        rebinds = [e for e in monitor.ledger.entries if e.channel_id.endswith("-rebind")]
+        assert len(rebinds) == 5
+        monitor.ledger.verify_chain()
+
+    def test_dead_variant_retired_on_recovery(self, system, store):
+        victim = system.monitor.stage_connections(1)[0]
+        snapshot_monitor(system.monitor, store)
+        victim.host.terminate()
+        monitor = restart_monitor(system, store)
+        assert victim.variant_id not in [
+            c.variant_id for c in monitor.stage_connections(1)
+        ]
+        assert len(monitor.stage_connections(1)) == 2
+
+    def test_substituted_variant_rejected(self, system, store):
+        from repro.mvx.variant_host import VariantHost
+
+        snapshot_monitor(system.monitor, store)
+        # The attacker replaces one variant TEE with a fresh instance of
+        # the same artifact (different enclave identity).
+        victim = system.monitor.stage_connections(1)[0]
+        artifact = next(
+            a for a in system.pool.for_partition(1)
+            if a.variant_id == victim.variant_id
+        )
+        impostor = VariantHost.place(
+            artifact, system.orchestrator._pick_cpu(), enclave_id="impostor"
+        )
+        hosts = {c.host.variant_id: c.host
+                 for conns in system.monitor.connections.values() for c in conns}
+        hosts[victim.variant_id] = impostor
+        fresh_enclave = system.orchestrator.place_monitor()
+        with pytest.raises(MonitorError, match="enclave identity changed"):
+            recover_monitor(
+                enclave=fresh_enclave,
+                verifier=system.monitor.verifier,
+                pool=system.pool,
+                store=store,
+                hosts=hosts,
+            )
+
+    def test_replayed_nonces_survive_recovery(self, system, store):
+        used = next(iter(system.monitor._provision_nonces))
+        snapshot_monitor(system.monitor, store)
+        monitor = restart_monitor(system, store)
+        with pytest.raises(MonitorError, match="replayed"):
+            monitor.provision_config(system.config, used)

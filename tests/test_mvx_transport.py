@@ -1,0 +1,131 @@
+"""Distributed deployment: records through the untrusted network fabric.
+
+The RA-TLS channel layer must turn every network-adversary action into a
+detected failure: tampering becomes an authentication error, dropping
+becomes a missing response -- never silent corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mvx import FabricTransport, MonitorError, MvteeSystem, ResponseAction
+from repro.mvx.transport import MONITOR_ENDPOINT, DirectTransport
+from repro.mvx.variant_host import VariantUnavailable
+from repro.tee.network import Fabric
+from repro.zoo import build_model
+
+
+def deploy(small_resnet, transport, mvx={1: 3}):
+    system = MvteeSystem.deploy(
+        small_resnet,
+        num_partitions=3,
+        mvx_partitions=mvx,
+        seed=0,
+        verify_partitions=False,
+        verify_variants=False,
+        transport=transport,
+    )
+    system.monitor.response_action = ResponseAction.DROP_VARIANT
+    return system
+
+
+class TestFabricTransport:
+    def test_inference_over_fabric(self, small_resnet, small_input, small_resnet_reference):
+        transport = FabricTransport()
+        system = deploy(small_resnet, transport)
+        outputs = system.infer({"input": small_input})
+        name = next(iter(small_resnet_reference))
+        assert np.allclose(outputs[name], small_resnet_reference[name], atol=1e-2)
+
+    def test_bytes_actually_cross_the_fabric(self, small_resnet, small_input):
+        transport = FabricTransport()
+        system = deploy(small_resnet, transport)
+        before = transport.fabric.total_bytes()
+        system.infer({"input": small_input})
+        moved = transport.fabric.total_bytes() - before
+        # Stage inputs/outputs for 5 variant TEEs: well over the raw
+        # input size, every byte AEAD-protected.
+        assert moved > small_input.nbytes
+
+    def test_matches_direct_transport(self, small_resnet, small_input):
+        direct = deploy(small_resnet, None)
+        fabric = deploy(small_resnet, FabricTransport())
+        out_a = direct.infer({"input": small_input})
+        out_b = fabric.infer({"input": small_input})
+        for name in out_a:
+            assert np.allclose(out_a[name], out_b[name], atol=1e-5)
+
+    def test_unknown_variant_route(self):
+        transport = FabricTransport()
+        with pytest.raises(VariantUnavailable, match="no transport route"):
+            transport.exchange("ghost", b"record")
+
+
+class TestNetworkAdversary:
+    def test_tampering_detected_not_silent(self, small_resnet, small_input):
+        """Flipping bits in transit must never alter accepted outputs."""
+        state = {"armed": False}
+
+        def adversary(src, dst, record):
+            if state["armed"] and src == MONITOR_ENDPOINT:
+                mutated = bytearray(record)
+                mutated[len(mutated) // 2] ^= 0xFF
+                return bytes(mutated)
+            return record
+
+        transport = FabricTransport(fabric=Fabric(adversary=adversary))
+        system = deploy(small_resnet, transport)
+        clean = system.infer({"input": small_input})
+        state["armed"] = True
+        # With MVX on partition 1 the tampered variants drop out; the
+        # fast-path partitions lose their only variant -> the monitor
+        # halts rather than accept unauthenticated data.
+        with pytest.raises(MonitorError):
+            system.infer({"input": small_input})
+        # Nothing silently wrong was ever returned.
+        assert clean
+
+    def test_dropped_responses_look_like_crashes(self, small_resnet, small_input):
+        state = {"drop": False}
+
+        def adversary(src, dst, record):
+            if state["drop"] and dst == MONITOR_ENDPOINT:
+                return None
+            return record
+
+        transport = FabricTransport(fabric=Fabric(adversary=adversary))
+        system = deploy(small_resnet, transport)
+        system.infer({"input": small_input})
+        state["drop"] = True
+        with pytest.raises(MonitorError):
+            system.infer({"input": small_input})
+
+    def test_selective_tamper_outvoted(self, small_resnet, small_input, small_resnet_reference):
+        """Tampering with ONE variant's traffic: survivors keep serving."""
+        target_holder = {}
+
+        def adversary(src, dst, record):
+            if dst == target_holder.get("endpoint"):
+                mutated = bytearray(record)
+                mutated[0] ^= 1
+                return bytes(mutated)
+            return record
+
+        transport = FabricTransport(fabric=Fabric(adversary=adversary))
+        system = deploy(small_resnet, transport)
+        victim = system.monitor.stage_connections(1)[0].variant_id
+        target_holder["endpoint"] = f"mvtee-variant-{victim}"
+        outputs = system.infer({"input": small_input})
+        name = next(iter(small_resnet_reference))
+        assert np.allclose(outputs[name], small_resnet_reference[name], atol=1e-2)
+        assert victim not in [c.variant_id for c in system.monitor.stage_connections(1)]
+
+
+class TestDirectTransport:
+    def test_explicit_direct_transport(self, small_resnet, small_input):
+        system = deploy(small_resnet, DirectTransport())
+        assert system.infer({"input": small_input})
+
+    def test_unknown_route(self):
+        with pytest.raises(VariantUnavailable):
+            DirectTransport().exchange("ghost", b"x")

@@ -1,0 +1,136 @@
+"""Voting strategies and the binding ledger."""
+
+import numpy as np
+import pytest
+
+from repro.mvx.binding import BindingLedger, LedgerError
+from repro.mvx.voting import VariantOutput, vote
+
+
+def out(variant_id: str, value: float, *, crashed: bool = False) -> VariantOutput:
+    if crashed:
+        return VariantOutput(variant_id=variant_id, outputs=None, error="crash")
+    return VariantOutput(
+        variant_id=variant_id, outputs={"t": np.full(4, value, dtype=np.float32)}
+    )
+
+
+class TestUnanimous:
+    def test_all_agree(self):
+        result = vote([out("a", 1.0), out("b", 1.0), out("c", 1.0)])
+        assert result.passed and result.unanimous
+        assert result.agreeing == ("a", "b", "c")
+
+    def test_one_dissenter_fails(self):
+        result = vote([out("a", 1.0), out("b", 1.0), out("c", 9.0)])
+        assert not result.passed
+        assert result.dissenting == ("c",)
+        assert result.agreeing == ("a", "b")
+
+    def test_crash_breaks_unanimity(self):
+        result = vote([out("a", 1.0), out("b", 1.0, crashed=True)])
+        assert not result.passed
+        assert result.crashed == ("b",)
+
+    def test_single_variant_trivially_unanimous(self):
+        assert vote([out("a", 2.0)]).passed
+
+    def test_all_crashed(self):
+        result = vote([out("a", 0, crashed=True), out("b", 0, crashed=True)])
+        assert not result.passed
+        assert result.crashed == ("a", "b")
+
+
+class TestMajority:
+    def test_majority_wins_over_dissenter(self):
+        result = vote(
+            [out("a", 1.0), out("b", 1.0), out("c", 9.0)], strategy="majority"
+        )
+        assert result.passed
+        assert np.allclose(result.accepted["t"], 1.0)
+
+    def test_majority_counts_crashed_in_denominator(self):
+        # 2 agree out of 4 total -> not a strict majority.
+        result = vote(
+            [out("a", 1.0), out("b", 1.0), out("c", 9.0, crashed=True), out("d", 5.0)],
+            strategy="majority",
+        )
+        assert not result.passed
+
+    def test_split_vote_fails(self):
+        result = vote([out("a", 1.0), out("b", 9.0)], strategy="majority")
+        assert not result.passed
+
+
+class TestPlurality:
+    def test_largest_cluster_wins(self):
+        result = vote(
+            [out("a", 1.0), out("b", 1.0), out("c", 9.0), out("d", 5.0)],
+            strategy="plurality",
+        )
+        assert result.passed
+        assert result.agreeing == ("a", "b")
+
+    def test_tie_fails(self):
+        result = vote(
+            [out("a", 1.0), out("b", 1.0), out("c", 9.0), out("d", 9.0)],
+            strategy="plurality",
+        )
+        assert not result.passed
+
+
+class TestVoteMisc:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown voting strategy"):
+            vote([out("a", 1.0)], strategy="coin-flip")
+
+    def test_benign_float_noise_clusters_together(self):
+        a = VariantOutput("a", {"t": np.ones(4, dtype=np.float32)})
+        b = VariantOutput("b", {"t": np.ones(4, dtype=np.float32) + 1e-6})
+        assert vote([a, b]).unanimous
+
+    def test_reports_attached_on_divergence(self):
+        result = vote([out("a", 1.0), out("b", 9.0)])
+        assert result.reports
+        assert not result.reports[0].consistent
+
+
+class TestBindingLedger:
+    def test_append_and_verify(self):
+        ledger = BindingLedger()
+        for i in range(3):
+            ledger.append(
+                variant_id=f"v{i}", partition_index=0, enclave_id=f"e{i}",
+                measurement="m" * 64, channel_id=f"c{i}",
+            )
+        ledger.verify_chain()
+        assert len(ledger.entries) == 3
+
+    def test_chain_tamper_detected(self):
+        ledger = BindingLedger()
+        ledger.append(variant_id="v0", partition_index=0, enclave_id="e0",
+                      measurement="m", channel_id="c0")
+        ledger.append(variant_id="v1", partition_index=0, enclave_id="e1",
+                      measurement="m", channel_id="c1")
+        # Mutate history.
+        from dataclasses import replace
+
+        ledger.entries[0] = replace(ledger.entries[0], variant_id="evil")
+        with pytest.raises(LedgerError, match="chain broken"):
+            ledger.verify_chain()
+
+    def test_retire_removes_active(self):
+        ledger = BindingLedger()
+        ledger.append(variant_id="v0", partition_index=0, enclave_id="e0",
+                      measurement="m", channel_id="c0")
+        ledger.append(variant_id="v0", partition_index=0, enclave_id="e0",
+                      measurement="m", channel_id="c0", event="retire")
+        assert "v0" not in ledger.active_bindings()
+
+    def test_update_replaces_active(self):
+        ledger = BindingLedger()
+        ledger.append(variant_id="v0", partition_index=0, enclave_id="e0",
+                      measurement="m", channel_id="c0")
+        ledger.append(variant_id="v0", partition_index=0, enclave_id="e1",
+                      measurement="m2", channel_id="c1", event="update")
+        assert ledger.active_bindings()["v0"].enclave_id == "e1"

@@ -1,0 +1,92 @@
+"""Bundle persistence: build on machine A, deploy from disk on machine B."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.mvx import ResponseAction
+from repro.mvx.bootstrap import bootstrap_deployment
+from repro.mvx.config import MvxConfig
+from repro.mvx.scheduler import run_sequential
+from repro.offline import OfflineTool, ToolConfig
+from repro.offline.bundle import load_bundle, save_bundle
+from repro.runtime.faults import FaultInjector
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(small_resnet, tmp_path_factory):
+    tool = OfflineTool(
+        ToolConfig(num_partitions=3, variants_per_partition=3,
+                   verify_partitions=False, verify_variants=False, seed=0)
+    )
+    output = tool.run(small_resnet)
+    return save_bundle(output, tmp_path_factory.mktemp("bundle")), output
+
+
+class TestBundleRoundtrip:
+    def test_structure_on_disk(self, bundle_dir):
+        root, output = bundle_dir
+        assert (root / "model.bin").exists()
+        assert (root / "keys.json").exists()
+        variant_dirs = list((root / "variants").iterdir())
+        assert len(variant_dirs) == output.pool.total_variants()
+        for variant_dir in variant_dirs:
+            assert (variant_dir / "spec.json").exists()
+            assert (variant_dir / "model.bin").exists()
+
+    def test_loaded_bundle_matches(self, bundle_dir):
+        root, output = bundle_dir
+        loaded = load_bundle(root)
+        assert loaded.partition_set.model.structural_hash() == (
+            output.partition_set.model.structural_hash()
+        )
+        assert len(loaded.partition_set) == len(output.partition_set)
+        assert loaded.pool.total_variants() == output.pool.total_variants()
+        original = output.pool.for_partition(0)[0]
+        restored = next(
+            a for a in loaded.pool.for_partition(0)
+            if a.variant_id == original.variant_id
+        )
+        assert restored.key_record.key == original.key_record.key
+        assert restored.model.structural_hash() == original.model.structural_hash()
+
+    def test_keys_file_is_owner_secret(self, bundle_dir):
+        root, output = bundle_dir
+        keys = json.loads((root / "keys.json").read_text())
+        artifact = output.pool.for_partition(0)[0]
+        assert keys[artifact.variant_id]["key"] == artifact.key_record.key.hex()
+
+    def test_deploy_from_loaded_bundle(self, bundle_dir, small_input, small_resnet_reference):
+        root, _ = bundle_dir
+        loaded = load_bundle(root)
+        config = MvxConfig.selective(3, {1: 3})
+        _, monitor, _, _ = bootstrap_deployment(loaded.pool, config)
+        monitor.response_action = ResponseAction.DROP_VARIANT
+        results, stats = run_sequential(monitor, [{"input": small_input}])
+        name = next(iter(small_resnet_reference))
+        assert np.allclose(results[0][name], small_resnet_reference[name], atol=1e-2)
+        assert stats.divergences == 0
+
+
+class TestRestartBatchResponse:
+    def test_restart_recovers_after_dropping_dissenter(
+        self, small_resnet, small_input, small_resnet_reference
+    ):
+        from repro.mvx import MvteeSystem
+
+        system = MvteeSystem.deploy(
+            small_resnet, num_partitions=3, mvx_partitions={1: 3}, seed=0,
+            verify_partitions=False, verify_variants=False,
+        )
+        system.monitor.response_action = ResponseAction.RESTART_BATCH
+        victim = system.monitor.stage_connections(1)[0]
+        FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
+        outputs = system.infer({"input": small_input})
+        name = next(iter(small_resnet_reference))
+        assert np.allclose(outputs[name], small_resnet_reference[name], atol=1e-2)
+        # The dissenting variant was dropped and the stage re-executed on
+        # the two survivors (each serving the batch twice).
+        survivors = system.monitor.stage_connections(1)
+        assert len(survivors) == 2
+        assert all(c.host.inferences_served == 2 for c in survivors)

@@ -1,0 +1,84 @@
+"""The offline tool CLI."""
+
+import json
+
+import pytest
+
+from repro.offline.cli import main
+
+
+class TestCliModels:
+    def test_lists_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet-50" in out and "tiny-gpt" in out
+
+
+class TestCliInspect:
+    def test_human_readable(self, capsys):
+        assert main(["inspect", "tiny-cnn"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:" in out and "Conv" in out
+
+    def test_json_output(self, capsys):
+        assert main(["inspect", "tiny-cnn", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "tiny-cnn"
+
+    def test_input_size_forwarded(self, capsys):
+        assert main(["inspect", "small-resnet", "--input-size", "16"]) == 0
+        assert "16" in capsys.readouterr().out
+
+    def test_unknown_model_errors(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            main(["inspect", "alexnet-9000"])
+
+
+class TestCliPartition:
+    def test_auto_mode(self, capsys):
+        assert main(
+            ["partition", "small-resnet", "--input-size", "16",
+             "--partitions", "3", "--no-verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 (balance score" in out
+        assert "p0:" in out and "p2:" in out
+
+    def test_verified_run(self, capsys):
+        assert main(
+            ["partition", "tiny-cnn", "--partitions", "2"]
+        ) == 0
+        assert "correctness: staged execution verified" in capsys.readouterr().out
+
+    def test_manual_cuts(self, capsys):
+        assert main(
+            ["partition", "tiny-cnn", "--cuts", "2", "4", "--no-verify"]
+        ) == 0
+        assert "3 (balance score" in capsys.readouterr().out
+
+
+class TestCliBuild:
+    def test_build_bundle(self, tmp_path, capsys):
+        assert main(
+            ["build", "tiny-cnn", "--partitions", "2", "--variants", "2",
+             "--out", str(tmp_path / "bundle"), "--no-verify"]
+        ) == 0
+        bundle = tmp_path / "bundle"
+        assert (bundle / "report.json").exists()
+        assert (bundle / "partitions.json").exists()
+        assert (bundle / "images.json").exists()
+        assert (bundle / "monitor" / "manifest.json").exists()
+        index = json.loads((bundle / "images.json").read_text())
+        assert len(index) == 4
+        partitions = json.loads((bundle / "partitions.json").read_text())
+        assert set(partitions) == {"p0", "p1"}
+        # Variant dirs hold the sealed private files.
+        variant_dir = bundle / "variants" / index[0]["variant_id"]
+        sealed = [p for p in variant_dir.iterdir() if p.name.endswith(".enc")]
+        assert sealed
+        for path in sealed:
+            assert b'"magic": "mvtee-sealed-v1"' in path.read_bytes()
+
+    def test_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["build", "tiny-cnn"])

@@ -1,0 +1,112 @@
+"""Offline tool: inspection, configured runs, container images."""
+
+import json
+
+import pytest
+
+from repro.offline import (
+    OfflineTool,
+    ToolConfig,
+    build_monitor_image,
+    build_variant_image,
+    inspect_model,
+)
+
+
+class TestInspection:
+    def test_report_fields(self, small_resnet):
+        report = inspect_model(small_resnet)
+        assert report.num_nodes == len(small_resnet.nodes)
+        assert report.total_flops > 0
+        assert report.parameter_bytes > 0
+        assert report.op_histogram["Conv"] > 0
+
+    def test_node_indices_follow_topo_order(self, small_resnet):
+        report = inspect_model(small_resnet)
+        assert [n.index for n in report.nodes] == list(range(report.num_nodes))
+
+    def test_json_serializable(self, small_resnet):
+        blob = json.dumps(inspect_model(small_resnet).to_json())
+        restored = json.loads(blob)
+        assert restored["name"] == small_resnet.name
+
+
+class TestToolConfig:
+    def test_from_json_defaults(self):
+        config = ToolConfig.from_json({})
+        assert config.num_partitions == 5
+        assert config.partition_mode == "auto"
+
+    def test_from_json_manual(self):
+        config = ToolConfig.from_json(
+            {"partition_mode": "manual", "manual_cut_indices": [3, 7]}
+        )
+        assert config.manual_cut_indices == (3, 7)
+
+
+class TestToolRuns:
+    def test_auto_mode(self, small_resnet):
+        tool = OfflineTool(ToolConfig(num_partitions=3, variants_per_partition=2,
+                                      verify_variants=False))
+        output = tool.run(small_resnet)
+        assert len(output.partition_set) == 3
+        assert output.pool.total_variants() == 6
+        assert len(output.variant_images) == 6
+
+    def test_manual_mode(self, tiny_cnn):
+        tool = OfflineTool(ToolConfig(partition_mode="manual",
+                                      manual_cut_indices=(2, 4),
+                                      variants_per_partition=1,
+                                      verify_variants=False))
+        output = tool.run(tiny_cnn)
+        assert len(output.partition_set) == 3
+
+    def test_manual_without_cuts_rejected(self, tiny_cnn):
+        tool = OfflineTool(ToolConfig(partition_mode="manual"))
+        with pytest.raises(ValueError, match="manual mode requires"):
+            tool.run(tiny_cnn)
+
+    def test_unknown_mode_rejected(self, tiny_cnn):
+        tool = OfflineTool(ToolConfig(partition_mode="genetic"))
+        with pytest.raises(ValueError, match="unknown partition mode"):
+            tool.run(tiny_cnn)
+
+    def test_from_json_file_content(self, tiny_cnn):
+        content = json.dumps(
+            {"num_partitions": 2, "variants_per_partition": 1, "verify_variants": False}
+        )
+        output = OfflineTool.from_json_file_content(content).run(tiny_cnn)
+        assert len(output.partition_set) == 2
+
+    def test_explicit_specs(self, tiny_cnn):
+        from repro.variants.spec import VariantSpec
+
+        specs = [
+            VariantSpec(variant_id=f"p{i}-custom", partition_index=i).to_json()
+            for i in range(2)
+        ]
+        tool = OfflineTool(ToolConfig(num_partitions=2, explicit_specs=tuple(specs),
+                                      verify_variants=False))
+        output = tool.run(tiny_cnn)
+        assert output.pool.total_variants() == 2
+
+
+class TestImages:
+    def test_monitor_image_digest_stable(self):
+        assert build_monitor_image().digest() == build_monitor_image().digest()
+
+    def test_variant_image_contains_sealed_files(self, small_resnet):
+        tool = OfflineTool(ToolConfig(num_partitions=2, variants_per_partition=1,
+                                      verify_variants=False, verify_partitions=False))
+        output = tool.run(small_resnet)
+        artifact = output.pool.for_partition(0)[0]
+        image = build_variant_image(artifact)
+        assert artifact.paths["model"] in image.files
+        assert image.total_bytes() > 0
+
+    def test_different_variants_different_digests(self, small_resnet):
+        tool = OfflineTool(ToolConfig(num_partitions=2, variants_per_partition=2,
+                                      verify_variants=False, verify_partitions=False))
+        output = tool.run(small_resnet)
+        digests = {img.digest() for img in output.variant_images.values()}
+        assert len(digests) == len(output.variant_images)

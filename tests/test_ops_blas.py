@@ -1,0 +1,57 @@
+"""BLAS backends: agreement, diversity and fault hooks."""
+
+import numpy as np
+import pytest
+
+from repro.ops.blas import available_backends, get_backend
+from repro.runtime.faults import backend_bitflip_fault
+
+
+class TestBackends:
+    def test_three_backends_registered(self):
+        assert available_backends() == ["eigen-sim", "mkl-sim", "openblas-sim"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown BLAS backend"):
+            get_backend("cublas")
+
+    @pytest.mark.parametrize("name", ["mkl-sim", "openblas-sim", "eigen-sim"])
+    def test_gemm_correct(self, name):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(17, 33)).astype(np.float32)
+        b = rng.normal(size=(33, 9)).astype(np.float32)
+        out = get_backend(name).gemm(a, b)
+        assert np.allclose(out, a @ b, atol=1e-4)
+
+    def test_backends_numerically_close_not_required_identical(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(64, 200)).astype(np.float32)
+        b = rng.normal(size=(200, 64)).astype(np.float32)
+        results = [get_backend(n).gemm(a, b) for n in available_backends()]
+        for r in results[1:]:
+            assert np.allclose(results[0], r, atol=1e-3)
+
+    def test_fresh_instances_isolated(self):
+        one = get_backend("mkl-sim")
+        two = get_backend("mkl-sim")
+        one.fault_hook = backend_bitflip_fault()
+        a = np.ones((2, 2), dtype=np.float32)
+        assert not np.array_equal(one.gemm(a, a), two.gemm(a, a))
+
+    def test_fault_hook_applies_and_clears(self):
+        backend = get_backend("openblas-sim")
+        a = np.ones((4, 4), dtype=np.float32)
+        clean = backend.gemm(a, a)
+        backend.fault_hook = backend_bitflip_fault(flat_index=0, bit=30)
+        dirty = backend.gemm(a, a)
+        assert not np.array_equal(clean, dirty)
+        backend.clear_fault()
+        assert np.array_equal(backend.gemm(a, a), clean)
+
+    def test_bitflip_corrupts_exactly_one_element(self):
+        backend = get_backend("mkl-sim")
+        backend.fault_hook = backend_bitflip_fault(flat_index=5, bit=30)
+        a = np.eye(4, dtype=np.float32)
+        out = backend.gemm(a, a)
+        diff = (out != np.eye(4, dtype=np.float32)).sum()
+        assert diff == 1

@@ -1,0 +1,212 @@
+"""Numpy kernels: numerical correctness against hand-computed references."""
+
+import numpy as np
+import pytest
+
+from repro.graph.node import Node
+from repro.ops import KernelContext, KernelError, evaluate_node, get_backend, registered_ops
+
+
+def run_op(op_type: str, inputs: list[np.ndarray], attrs: dict | None = None,
+           backend: str = "mkl-sim") -> np.ndarray:
+    node = Node(
+        name="n",
+        op_type=op_type,
+        inputs=[f"i{k}" for k in range(len(inputs))],
+        outputs=["o"],
+        attrs=attrs or {},
+    )
+    ctx = KernelContext(blas=get_backend(backend))
+    return evaluate_node(node, inputs, ctx)[0]
+
+
+class TestConv:
+    def test_identity_kernel(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        w = np.ones((1, 1, 1, 1), dtype=np.float32)
+        assert np.array_equal(run_op("Conv", [x, w]), x)
+
+    def test_sum_kernel_3x3(self):
+        x = np.ones((1, 1, 3, 3), dtype=np.float32)
+        w = np.ones((1, 1, 3, 3), dtype=np.float32)
+        out = run_op("Conv", [x, w], {"pads": [0, 0, 0, 0]})
+        assert out.shape == (1, 1, 1, 1)
+        assert out[0, 0, 0, 0] == 9.0
+
+    def test_stride_and_padding(self):
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        w = np.ones((1, 1, 3, 3), dtype=np.float32)
+        out = run_op("Conv", [x, w], {"strides": [2, 2], "pads": [1, 1, 1, 1]})
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 0, 0] == 4.0  # corner sees 2x2 valid window
+
+    def test_bias(self):
+        x = np.zeros((1, 2, 2, 2), dtype=np.float32)
+        w = np.zeros((3, 2, 1, 1), dtype=np.float32)
+        b = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        out = run_op("Conv", [x, w, b])
+        assert np.allclose(out[0, :, 0, 0], [1, 2, 3])
+
+    def test_grouped_conv_independence(self):
+        x = np.stack(
+            [np.ones((4, 4), dtype=np.float32), 2 * np.ones((4, 4), dtype=np.float32)]
+        ).reshape(1, 2, 4, 4)
+        w = np.ones((2, 1, 1, 1), dtype=np.float32)
+        out = run_op("Conv", [x, w], {"group": 2})
+        assert np.allclose(out[0, 0], 1.0)
+        assert np.allclose(out[0, 1], 2.0)
+
+    def test_dilation(self):
+        x = np.arange(25, dtype=np.float32).reshape(1, 1, 5, 5)
+        w = np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = run_op("Conv", [x, w], {"dilations": [2, 2]})
+        # window = {x[0,0], x[0,2], x[2,0], x[2,2]} = 0+2+10+12
+        assert out[0, 0, 0, 0] == 24.0
+
+    def test_matches_scipy_correlation(self):
+        from scipy.signal import correlate2d
+
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 1, 9, 9)).astype(np.float32)
+        w = rng.normal(size=(1, 1, 3, 3)).astype(np.float32)
+        out = run_op("Conv", [x, w], {"pads": [0, 0, 0, 0]})
+        expected = correlate2d(x[0, 0], w[0, 0], mode="valid")
+        assert np.allclose(out[0, 0], expected, atol=1e-4)
+
+
+class TestDense:
+    def test_gemm_with_bias(self):
+        a = np.array([[1.0, 2.0]], dtype=np.float32)
+        b = np.array([[3.0], [4.0]], dtype=np.float32)
+        c = np.array([10.0], dtype=np.float32)
+        assert run_op("Gemm", [a, b, c])[0, 0] == 21.0
+
+    def test_gemm_transb(self):
+        a = np.array([[1.0, 2.0]], dtype=np.float32)
+        b = np.array([[3.0, 4.0]], dtype=np.float32)  # (1,2), transB -> (2,1)
+        assert run_op("Gemm", [a, b], {"transB": 1})[0, 0] == 11.0
+
+    def test_gemm_alpha_beta(self):
+        a = np.eye(2, dtype=np.float32)
+        b = np.eye(2, dtype=np.float32)
+        c = np.ones((2, 2), dtype=np.float32)
+        out = run_op("Gemm", [a, b, c], {"alpha": 2.0, "beta": 3.0})
+        assert np.allclose(out, 2 * np.eye(2) + 3)
+
+    def test_matmul(self):
+        a = np.arange(6, dtype=np.float32).reshape(2, 3)
+        b = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert np.allclose(run_op("MatMul", [a, b]), a @ b)
+
+
+class TestNormalizationActivations:
+    def test_batch_norm_formula(self):
+        x = np.array([[[[2.0]]]], dtype=np.float32)
+        scale = np.array([3.0], dtype=np.float32)
+        shift = np.array([1.0], dtype=np.float32)
+        mean = np.array([1.0], dtype=np.float32)
+        var = np.array([4.0], dtype=np.float32)
+        out = run_op("BatchNormalization", [x, scale, shift, mean, var], {"epsilon": 0.0})
+        assert np.isclose(out[0, 0, 0, 0], 3.0 * (2 - 1) / 2 + 1)
+
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0], dtype=np.float32)
+        assert np.array_equal(run_op("Relu", [x]), [0, 0, 2])
+
+    def test_sigmoid_midpoint(self):
+        assert np.isclose(run_op("Sigmoid", [np.zeros(1, dtype=np.float32)])[0], 0.5)
+
+    def test_hard_swish(self):
+        x = np.array([-4.0, 0.0, 4.0], dtype=np.float32)
+        out = run_op("HardSwish", [x])
+        assert np.allclose(out, [0.0, 0.0, 4.0])
+
+    def test_silu(self):
+        x = np.array([0.0], dtype=np.float32)
+        assert np.isclose(run_op("Silu", [x])[0], 0.0)
+
+    def test_clip_relu6(self):
+        x = np.array([-1.0, 3.0, 9.0], dtype=np.float32)
+        assert np.array_equal(run_op("Clip", [x], {"min": 0.0, "max": 6.0}), [0, 3, 6])
+
+    def test_softmax_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 7)).astype(np.float32)
+        out = run_op("Softmax", [x], {"axis": -1})
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_softmax_stable_large_inputs(self):
+        x = np.array([[1000.0, 1000.0]], dtype=np.float32)
+        out = run_op("Softmax", [x], {"axis": -1})
+        assert np.allclose(out, 0.5)
+
+
+class TestPooling:
+    def test_maxpool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = run_op("MaxPool", [x], {"kernel_shape": [2, 2], "strides": [2, 2]})
+        assert np.array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_with_padding_ignores_pad(self):
+        x = np.full((1, 1, 2, 2), -5.0, dtype=np.float32)
+        out = run_op("MaxPool", [x], {"kernel_shape": [3, 3], "strides": [1, 1], "pads": [1, 1, 1, 1]})
+        assert np.all(out == -5.0)  # padding must not contribute zeros
+
+    def test_avgpool_excludes_padding(self):
+        x = np.full((1, 1, 2, 2), 4.0, dtype=np.float32)
+        out = run_op("AveragePool", [x], {"kernel_shape": [2, 2], "strides": [1, 1], "pads": [1, 1, 1, 1]})
+        assert np.allclose(out[0, 0, 0, 0], 4.0)  # count_include_pad = 0
+
+    def test_global_avg_pool(self):
+        x = np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2)
+        out = run_op("GlobalAveragePool", [x])
+        assert np.allclose(out.reshape(2), [1.5, 5.5])
+
+
+class TestStructural:
+    def test_concat_axis1(self):
+        a = np.ones((1, 2, 2, 2), dtype=np.float32)
+        b = np.zeros((1, 3, 2, 2), dtype=np.float32)
+        out = run_op("Concat", [a, b], {"axis": 1})
+        assert out.shape == (1, 5, 2, 2)
+
+    def test_identity_and_dropout(self):
+        x = np.arange(4, dtype=np.float32)
+        assert np.array_equal(run_op("Identity", [x]), x)
+        assert np.array_equal(run_op("Dropout", [x]), x)
+
+    def test_zero_add_exact(self):
+        x = np.arange(4, dtype=np.float32)
+        assert np.array_equal(run_op("ZeroAdd", [x]), x)
+
+    def test_reshape_flatten(self):
+        x = np.arange(12, dtype=np.float32).reshape(2, 3, 2)
+        assert run_op("Reshape", [x], {"shape": [4, 3]}).shape == (4, 3)
+        assert run_op("Flatten", [x], {"axis": 1}).shape == (2, 6)
+
+    def test_transpose(self):
+        x = np.arange(6, dtype=np.float32).reshape(2, 3)
+        assert np.array_equal(run_op("Transpose", [x], {"perm": [1, 0]}), x.T)
+
+    def test_pad_constant(self):
+        x = np.ones((1, 1), dtype=np.float32)
+        out = run_op("Pad", [x], {"pads": [1, 1, 1, 1], "value": 7.0})
+        assert out.shape == (3, 3)
+        assert out[0, 0] == 7.0
+
+
+class TestRegistry:
+    def test_unknown_op(self):
+        node = Node(name="n", op_type="Nope", inputs=[], outputs=["o"])
+        with pytest.raises(KernelError, match="no kernel"):
+            evaluate_node(node, [], KernelContext())
+
+    def test_all_shape_rules_have_kernels(self):
+        # Every op the zoo emits must be executable.
+        needed = {
+            "Conv", "Gemm", "MatMul", "BatchNormalization", "Relu", "Sigmoid",
+            "HardSigmoid", "HardSwish", "Silu", "Clip", "Softmax", "MaxPool",
+            "AveragePool", "GlobalAveragePool", "Add", "Mul", "Concat",
+            "Flatten", "Reshape", "Identity",
+        }
+        assert needed <= set(registered_ops())

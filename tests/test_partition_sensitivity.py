@@ -1,0 +1,107 @@
+"""Sensitivity-aware partitioning: isolate the fine-tuned layers."""
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    ContractionSettings,
+    PartitionError,
+    random_contraction,
+    sensitivity_partition,
+    verify_partition_set,
+)
+from repro.zoo import build_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("small-resnet", input_size=16, blocks_per_stage=1)
+
+
+@pytest.fixture(scope="module")
+def tail_nodes(model):
+    """The 'fine-tuned' layers: the classifier head (last 5 topo nodes)."""
+    order = [n.name for n in model.topological_order()]
+    return set(order[-5:])
+
+
+class TestSensitivityPartition:
+    def test_sensitive_nodes_isolated(self, model, tail_nodes):
+        plan = sensitivity_partition(model, 4, tail_nodes, seed=0)
+        assert plan.purity == 1.0
+        assignment = plan.partition_set.assignment()
+        sensitive_parts = {assignment[n] for n in tail_nodes}
+        assert sensitive_parts <= set(plan.sensitive_partitions)
+        # No sensitive partition contains an insensitive node.
+        for index in plan.sensitive_partitions:
+            members = set(plan.partition_set.partitions[index].node_names)
+            assert members <= tail_nodes
+
+    def test_partitioning_still_correct(self, model, tail_nodes):
+        plan = sensitivity_partition(model, 4, tail_nodes, seed=0)
+        verify_partition_set(plan.partition_set)
+
+    def test_mvx_map_targets_sensitive(self, model, tail_nodes):
+        plan = sensitivity_partition(model, 4, tail_nodes, seed=0)
+        mvx = plan.mvx_partitions(variants=3)
+        assert set(mvx) == set(plan.sensitive_partitions)
+        assert all(v == 3 for v in mvx.values())
+
+    def test_deployment_protects_exactly_the_head(self, model, tail_nodes, small_input):
+        from repro.mvx import MvteeSystem
+        from repro.mvx.config import MvxConfig
+        from repro.mvx.bootstrap import bootstrap_deployment
+        from repro.mvx.scheduler import run_sequential
+        from repro.variants.pool import build_pool, diversified_specs
+
+        plan = sensitivity_partition(model, 4, tail_nodes, seed=0)
+        n = len(plan.partition_set)
+        config = MvxConfig.selective(n, plan.mvx_partitions())
+        specs = [
+            s
+            for claim in config.claims
+            for s in diversified_specs(claim.partition_index, claim.num_variants, seed=0)
+        ]
+        pool = build_pool(plan.partition_set, specs, verify=False)
+        _, monitor, _, _ = bootstrap_deployment(pool, config)
+        results, stats = run_sequential(monitor, [{"input": small_input}])
+        assert stats.checkpoints_evaluated == len(plan.sensitive_partitions)
+
+    def test_unknown_sensitive_node_rejected(self, model):
+        with pytest.raises(PartitionError, match="unknown sensitive"):
+            sensitivity_partition(model, 3, {"ghost"})
+
+    def test_empty_sensitive_set_rejected(self, model):
+        with pytest.raises(PartitionError, match="non-empty"):
+            sensitivity_partition(model, 3, set())
+
+    def test_plain_contraction_usually_mixes(self, model, tail_nodes):
+        """Without the veto the head typically shares a partition with body nodes."""
+        ps = random_contraction(model, ContractionSettings(4, seed=0))
+        assignment = ps.assignment()
+        head_parts = {assignment[n] for n in tail_nodes}
+        mixed = any(
+            not set(ps.partitions[p].node_names) <= tail_nodes for p in head_parts
+        )
+        assert mixed  # motivates the sensitivity-aware mode
+
+
+class TestMergeVetoMechanism:
+    def test_veto_respected_when_feasible(self, model):
+        order = [n.name for n in model.topological_order()]
+        forbidden = set(order[:3])
+
+        def veto(a, b):
+            a_in = any(m in forbidden for m in a)
+            b_in = any(m in forbidden for m in b)
+            return a_in != b_in
+
+        ps = random_contraction(
+            model,
+            ContractionSettings(5, seed=1, balance_slack=3.0, merge_veto=veto),
+        )
+        assignment = ps.assignment()
+        parts_of_forbidden = {assignment[n] for n in forbidden}
+        for index in parts_of_forbidden:
+            members = set(ps.partitions[index].node_names)
+            assert members <= forbidden  # the veto kept the group pure

@@ -1,0 +1,116 @@
+"""Extended property-based tests: transforms, channels, slicing, padding."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.kdf import hkdf_sha256
+from repro.partition import slice_by_indices, verify_partition_set
+from repro.tee.channel import ChannelError, SecureChannel
+from repro.variants.transforms import TransformError, apply_transforms, verify_equivalent
+from repro.zoo import build_model
+
+SLOW = settings(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+# Transforms applicable to small-resnet regardless of seed.
+SAFE_TRANSFORMS = [
+    "dummy-identity",
+    "dummy-zero-add",
+    "commute-add",
+    "channel-shuffle",
+    "channel-duplicate",
+    "dead-channel-insert",
+    "split-conv",
+    "selective-optimize",
+]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("small-resnet", input_size=16, blocks_per_stage=1)
+
+
+class TestTransformPipelineProperties:
+    @given(
+        pipeline=st.lists(st.sampled_from(SAFE_TRANSFORMS), min_size=1, max_size=4),
+        seed=st.integers(0, 500),
+    )
+    @SLOW
+    def test_random_pipelines_preserve_semantics(self, model, pipeline, seed):
+        try:
+            transformed = apply_transforms(model, pipeline, seed=seed)
+        except TransformError:
+            return  # a transform became inapplicable mid-pipeline: fine
+        verify_equivalent(model, transformed, trials=1)
+
+    @given(seed=st.integers(0, 500))
+    @SLOW
+    def test_transforms_never_change_io_signature(self, model, seed):
+        transformed = apply_transforms(
+            model, ["channel-shuffle", "split-conv"], seed=seed
+        )
+        assert [s.name for s in transformed.inputs] == [s.name for s in model.inputs]
+        assert {s.name for s in transformed.outputs} == {s.name for s in model.outputs}
+        assert [s.shape for s in transformed.outputs] == [s.shape for s in model.outputs]
+
+
+class TestSlicerProperties:
+    @given(cuts=st.sets(st.integers(min_value=0, max_value=5), min_size=1, max_size=3))
+    @settings(max_examples=15, deadline=None)
+    def test_any_valid_cut_set_verifies(self, cuts):
+        model = build_model("tiny-cnn")
+        ps = slice_by_indices(model, sorted(cuts))
+        assert len(ps) == len(cuts) + 1
+        verify_partition_set(ps)
+
+
+def _channel_pair(oblivious: bool = False):
+    key_a = hkdf_sha256(b"prop-a", length=32)
+    key_b = hkdf_sha256(b"prop-b", length=32)
+    sender = SecureChannel(
+        send_key=key_a, recv_key=key_b, aead_name="chacha20-poly1305",
+        peer_report=None, channel_id="prop", oblivious=oblivious,
+    )
+    receiver = SecureChannel(
+        send_key=key_b, recv_key=key_a, aead_name="chacha20-poly1305",
+        peer_report=None, channel_id="prop", oblivious=oblivious,
+    )
+    return sender, receiver
+
+
+class TestChannelProperties:
+    @given(
+        payloads=st.lists(st.binary(max_size=600), min_size=1, max_size=12),
+        oblivious=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_message_sequence_roundtrips_in_order(self, payloads, oblivious):
+        sender, receiver = _channel_pair(oblivious)
+        for payload in payloads:
+            assert receiver.open(sender.protect(payload)) == payload
+
+    @given(
+        payloads=st.lists(st.binary(min_size=1, max_size=200), min_size=2, max_size=6),
+        skip=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_skipping_any_record_breaks_the_stream(self, payloads, skip):
+        sender, receiver = _channel_pair()
+        records = [sender.protect(p) for p in payloads]
+        skip = skip % len(records)
+        with pytest.raises(ChannelError):
+            for record in records[:skip]:
+                receiver.open(record)
+            receiver.open(records[skip + 1] if skip + 1 < len(records) else records[0])
+
+    @given(size=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=40, deadline=None)
+    def test_oblivious_records_are_bucketed(self, size):
+        sender, _ = _channel_pair(oblivious=True)
+        record = sender.protect(bytes(size))
+        body = len(record) - 16  # strip the AEAD tag
+        assert body >= SecureChannel.MIN_BUCKET
+        assert (body & (body - 1)) == 0 or body % SecureChannel.MIN_BUCKET == 0
+        assert body >= size + 8

@@ -1,0 +1,121 @@
+"""Negative paths of the bootstrap protocol: every failure is loud.
+
+The initialization workflow (Figure 6) must reject -- not degrade --
+when the environment misbehaves: tampered sealed files, wrong keys,
+artifact/host mismatches, unknown platforms.
+"""
+
+import pytest
+
+from repro.mvx import MonitorError, MvteeSystem
+from repro.mvx.bootstrap import ModelOwner, Orchestrator
+from repro.mvx.config import MvxConfig
+from repro.mvx.monitor import Monitor
+from repro.mvx.variant_host import VariantHost
+from repro.partition import ContractionSettings, random_contraction
+from repro.tee.attestation import Verifier
+from repro.tee.hardware import SimulatedCpu
+from repro.variants.pool import build_pool, diversified_specs
+
+
+@pytest.fixture()
+def setup(small_resnet):
+    ps = random_contraction(small_resnet, ContractionSettings(2, seed=0))
+    specs = [s for p in range(2) for s in diversified_specs(p, 1, seed=0)]
+    pool = build_pool(ps, specs, verify=False)
+    cpus = [SimulatedCpu("plat-0")]
+    orchestrator = Orchestrator(cpus=cpus)
+    monitor_enclave = orchestrator.place_monitor()
+    verifier = Verifier()
+    verifier.register_platform(cpus[0])
+    verifier.trust_measurement(monitor_enclave.measurement)
+    monitor = Monitor(enclave=monitor_enclave, verifier=verifier, pool=pool)
+    owner = ModelOwner(verifier=verifier)
+    config = MvxConfig.uniform(2, 1)
+    return pool, orchestrator, monitor, owner, config
+
+
+class TestBootstrapFailures:
+    def test_tampered_stage2_manifest_fails_init(self, setup):
+        pool, orchestrator, monitor, owner, config = setup
+        artifact = pool.for_partition(0)[0]
+        path = artifact.paths["stage2_manifest"]
+        blob = bytearray(artifact.host_files[path])
+        blob[-1] ^= 0xFF
+        artifact.host_files[path] = bytes(blob)
+        with pytest.raises(MonitorError, match="failed init"):
+            owner.deploy(monitor, orchestrator, config)
+
+    def test_tampered_model_blob_fails_init(self, setup):
+        pool, orchestrator, monitor, owner, config = setup
+        artifact = pool.for_partition(1)[0]
+        path = artifact.paths["model"]
+        blob = bytearray(artifact.host_files[path])
+        blob[len(blob) // 2] ^= 0x01
+        artifact.host_files[path] = bytes(blob)
+        with pytest.raises(MonitorError, match="failed init"):
+            owner.deploy(monitor, orchestrator, config)
+
+    def test_tampered_init_binary_blocks_launch(self, setup):
+        from repro.tee.enclave import EnclaveError
+
+        pool, orchestrator, monitor, owner, config = setup
+        artifact = pool.for_partition(0)[0]
+        artifact.host_files[artifact.paths["init"]] = b"trojaned init"
+        with pytest.raises(EnclaveError, match="hash mismatch"):
+            owner.deploy(monitor, orchestrator, config)
+
+    def test_wrong_key_fails_init(self, setup):
+        pool, orchestrator, monitor, owner, config = setup
+        # Swap the key records of the two artifacts: each variant gets a
+        # key that cannot unseal its files.
+        a = pool.for_partition(0)[0]
+        b = pool.for_partition(1)[0]
+        a.key_record, b.key_record = b.key_record, a.key_record
+        with pytest.raises(MonitorError, match="failed init"):
+            owner.deploy(monitor, orchestrator, config)
+
+    def test_unknown_platform_fails_ra_tls(self, setup, small_resnet):
+        pool, orchestrator, monitor, owner, config = setup
+        rogue_cpu = SimulatedCpu("rogue-platform")  # no collateral registered
+        artifact = pool.for_partition(0)[0]
+        host = VariantHost.place(artifact, rogue_cpu)
+        with pytest.raises(MonitorError, match="RA-TLS.*failed"):
+            monitor.config = config
+            monitor._bootstrap_variant(0, artifact, host, "init")
+
+    def test_missing_host_placement_rejected(self, setup):
+        pool, orchestrator, monitor, owner, config = setup
+        nonce = b"\x01" * 32
+        owner.attest_monitor(monitor, nonce)
+        monitor.provision_config(config, nonce)
+        with pytest.raises(MonitorError, match="did not place"):
+            monitor.initialize_variants({})  # orchestrator placed nothing
+
+    def test_config_partition_mismatch_rejected(self, setup):
+        pool, orchestrator, monitor, owner, config = setup
+        bad = MvxConfig.uniform(3, 1)  # deployment has 2 partitions
+        with pytest.raises(MonitorError, match="config covers"):
+            monitor.provision_config(bad, b"\x02" * 32)
+
+    def test_init_failure_leaves_no_binding(self, setup):
+        pool, orchestrator, monitor, owner, config = setup
+        artifact = pool.for_partition(0)[0]
+        path = artifact.paths["stage2_manifest"]
+        artifact.host_files[path] = b"garbage"
+        with pytest.raises(MonitorError):
+            owner.deploy(monitor, orchestrator, config)
+        assert artifact.variant_id not in monitor.ledger.active_bindings()
+
+
+class TestSystemLevelGuards:
+    def test_too_few_pool_variants_rejected(self, small_resnet):
+        with pytest.raises(ValueError, match="requested"):
+            MvteeSystem.deploy(
+                small_resnet,
+                num_partitions=2,
+                mvx_partitions={0: 3},
+                pool_variants_per_partition=1,  # pool smaller than the claim
+                verify_partitions=False,
+                verify_variants=False,
+            )

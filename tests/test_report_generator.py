@@ -1,0 +1,51 @@
+"""The benchmark report generator (benchmarks/make_report.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SPEC_PATH = Path(__file__).parent.parent / "benchmarks" / "make_report.py"
+
+
+@pytest.fixture()
+def report_module(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location("make_report", SPEC_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "RESULTS", tmp_path)
+    return module, tmp_path
+
+
+class TestReportBuilder:
+    def test_empty_results_graceful(self, report_module):
+        module, _ = report_module
+        report = module.build_report()
+        assert report.startswith("# Regenerated evaluation report")
+
+    def test_fig9_table_rendered(self, report_module):
+        module, results = report_module
+        payload = {
+            "resnet-50": {
+                "2": {"seq_tput": 0.98, "seq_lat": 1.02, "pipe_tput": 1.9, "pipe_lat": 0.54}
+            }
+        }
+        (results / "fig9_partitioning.json").write_text(json.dumps(payload))
+        report = module.build_report()
+        assert "Figure 9" in report
+        assert "| resnet-50 | 2 | 0.98x" in report
+
+    def test_accuracy_section(self, report_module):
+        module, results = report_module
+        (results / "security_accuracy.json").write_text(
+            json.dumps({"unprotected_agreement": 0.34, "protected_agreement": 1.0})
+        )
+        report = module.build_report()
+        assert "34.0%" in report and "100.0%" in report
+
+    def test_main_writes_file(self, report_module):
+        module, results = report_module
+        assert module.main() == 0
+        assert (results / "REPORT.md").exists()

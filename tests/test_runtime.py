@@ -1,0 +1,131 @@
+"""Runtimes: interpreter vs compiled agreement, optimizations, executors."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CompiledRuntime,
+    InterpreterRuntime,
+    RuntimeConfig,
+    RuntimeError_,
+    create_runtime,
+)
+from repro.runtime.optimizations import eliminate_identities, fold_batch_norm, optimize
+from repro.variants.transforms import apply_transforms
+
+ALL_CONFIGS = [
+    RuntimeConfig(engine="interpreter", blas_backend="mkl-sim", optimization_level=0),
+    RuntimeConfig(engine="interpreter", blas_backend="openblas-sim", optimization_level=1),
+    RuntimeConfig(engine="interpreter", blas_backend="eigen-sim", optimization_level=1),
+    RuntimeConfig(engine="compiled", blas_backend="mkl-sim", executor="graph"),
+    RuntimeConfig(engine="compiled", blas_backend="eigen-sim", executor="vm"),
+]
+
+
+class TestRuntimeAgreement:
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: f"{c.engine}-{c.blas_backend}-{c.executor}")
+    def test_matches_reference(self, config, small_resnet, small_input, small_resnet_reference):
+        runtime = create_runtime(config)
+        runtime.prepare(small_resnet)
+        outputs = runtime.run({"input": small_input})
+        for name, expected in small_resnet_reference.items():
+            assert np.allclose(outputs[name], expected, atol=1e-3)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            create_runtime(RuntimeConfig(engine="onnx"))
+
+    def test_unprepared_run_rejected(self):
+        runtime = InterpreterRuntime(RuntimeConfig())
+        with pytest.raises(RuntimeError_, match="not prepared"):
+            runtime.run({})
+
+    def test_missing_feed_rejected(self, small_resnet):
+        runtime = InterpreterRuntime(RuntimeConfig())
+        runtime.prepare(small_resnet)
+        with pytest.raises(RuntimeError_, match="missing input"):
+            runtime.run({})
+
+    def test_config_identity_stable(self):
+        a = RuntimeConfig(engine="compiled", blas_backend="mkl-sim")
+        b = RuntimeConfig(engine="compiled", blas_backend="mkl-sim")
+        assert a.identity() == b.identity()
+        assert a.identity() != RuntimeConfig(engine="interpreter").identity()
+
+    def test_config_json_roundtrip(self):
+        config = RuntimeConfig(
+            engine="compiled",
+            blas_backend="eigen-sim",
+            executor="vm",
+            compiler_flags=("asan",),
+            label="v3",
+        )
+        assert RuntimeConfig.from_json(config.to_json()) == config
+
+
+class TestOptimizations:
+    def test_identity_elimination(self, small_resnet, small_input, small_resnet_reference):
+        transformed = apply_transforms(small_resnet, ["dummy-identity", "dummy-zero-add"], seed=0)
+        cleaned = eliminate_identities(transformed)
+        assert len(cleaned.nodes) == len(small_resnet.nodes)
+        runtime = InterpreterRuntime(RuntimeConfig(optimization_level=0))
+        runtime.prepare(cleaned)
+        out = runtime.run({"input": small_input})
+        for name, expected in small_resnet_reference.items():
+            assert np.allclose(out[name], expected, atol=1e-5)
+
+    def test_bn_folding_removes_bn_nodes(self, small_resnet):
+        folded = fold_batch_norm(small_resnet)
+        original_bn = sum(1 for n in small_resnet.nodes if n.op_type == "BatchNormalization")
+        remaining_bn = sum(1 for n in folded.nodes if n.op_type == "BatchNormalization")
+        assert original_bn > 0
+        assert remaining_bn == 0
+
+    def test_bn_folding_numerically_equivalent(self, small_resnet, small_input, small_resnet_reference):
+        folded = fold_batch_norm(small_resnet)
+        runtime = InterpreterRuntime(RuntimeConfig(optimization_level=0))
+        runtime.prepare(folded)
+        out = runtime.run({"input": small_input})
+        for name, expected in small_resnet_reference.items():
+            assert np.allclose(out[name], expected, atol=1e-3)
+
+    def test_level_zero_is_noop(self, small_resnet):
+        assert optimize(small_resnet, 0) is small_resnet
+
+    def test_orphaned_initializers_dropped(self, small_resnet):
+        folded = fold_batch_norm(small_resnet)
+        used = {i for n in folded.nodes for i in n.inputs}
+        assert set(folded.initializers) <= used
+
+
+class TestCompiledRuntime:
+    def test_autotune_produces_schedules(self, small_resnet):
+        runtime = CompiledRuntime(RuntimeConfig(engine="compiled", tuning_trials=3))
+        runtime.prepare(small_resnet)
+        schedules = {c.schedule for c in runtime._program if c.node.op_type == "Conv"}
+        assert any(s.startswith("tile=") for s in schedules)
+
+    def test_tuning_disabled(self, small_resnet):
+        runtime = CompiledRuntime(RuntimeConfig(engine="compiled", tuning_trials=0))
+        runtime.prepare(small_resnet)
+        assert all(c.schedule == "default" for c in runtime._program)
+
+    def test_vm_and_graph_agree(self, small_resnet, small_input):
+        outs = []
+        for executor in ("graph", "vm"):
+            runtime = CompiledRuntime(RuntimeConfig(engine="compiled", executor=executor))
+            runtime.prepare(small_resnet)
+            outs.append(runtime.run({"input": small_input}))
+        for name in outs[0]:
+            assert np.allclose(outs[0][name], outs[1][name], atol=1e-5)
+
+    def test_backend_fault_reaches_tuned_layers(self, small_resnet, small_input):
+        from repro.runtime.faults import backend_bitflip_fault
+
+        runtime = CompiledRuntime(RuntimeConfig(engine="compiled"))
+        runtime.prepare(small_resnet)
+        clean = runtime.run({"input": small_input})
+        runtime.install_backend_fault(backend_bitflip_fault(bit=30))
+        dirty = runtime.run({"input": small_input})
+        name = next(iter(clean))
+        assert not np.allclose(clean[name], dirty[name], atol=1e-3, equal_nan=False)

@@ -1,0 +1,105 @@
+"""Fault injection: single-implementation impact, crash semantics."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    FaultInjector,
+    InterpreterRuntime,
+    RuntimeConfig,
+    RuntimeCrash,
+    create_runtime,
+    flip_weight_bit,
+)
+
+
+@pytest.fixture()
+def prepared(small_resnet):
+    runtime = InterpreterRuntime(RuntimeConfig(optimization_level=0))
+    runtime.prepare(small_resnet)
+    return runtime
+
+
+class TestWeightBitFlip:
+    def test_high_exponent_flip_changes_output(self, small_resnet, small_input, small_resnet_reference):
+        model = small_resnet.copy()
+        name = next(k for k in model.initializers if k.endswith(".w"))
+        model.initializers[name] = model.initializers[name].copy()
+        flip_weight_bit(model, name, 0, 30)
+        runtime = InterpreterRuntime(RuntimeConfig(optimization_level=0))
+        runtime.prepare(model)
+        out = runtime.run({"input": small_input})
+        ref_name = next(iter(small_resnet_reference))
+        assert not np.allclose(
+            out[ref_name], small_resnet_reference[ref_name], atol=1e-3, equal_nan=False
+        )
+
+    def test_flip_is_involution(self, small_resnet):
+        model = small_resnet.copy()
+        name = next(k for k in model.initializers if k.endswith(".w"))
+        model.initializers[name] = model.initializers[name].copy()
+        before = model.initializers[name].copy()
+        flip_weight_bit(model, name, 3, 17)
+        flip_weight_bit(model, name, 3, 17)
+        assert np.array_equal(model.initializers[name], before)
+
+    def test_low_mantissa_flip_is_benign(self, small_resnet, small_input, small_resnet_reference):
+        model = small_resnet.copy()
+        name = next(k for k in model.initializers if k.endswith(".w"))
+        model.initializers[name] = model.initializers[name].copy()
+        flip_weight_bit(model, name, 0, 0)  # lowest mantissa bit
+        runtime = InterpreterRuntime(RuntimeConfig(optimization_level=0))
+        runtime.prepare(model)
+        out = runtime.run({"input": small_input})
+        ref_name = next(iter(small_resnet_reference))
+        assert np.allclose(out[ref_name], small_resnet_reference[ref_name], atol=1e-2)
+
+    def test_bad_arguments(self, small_resnet):
+        with pytest.raises(KeyError):
+            flip_weight_bit(small_resnet, "ghost", 0, 0)
+        name = next(k for k in small_resnet.initializers if k.endswith(".w"))
+        with pytest.raises(IndexError):
+            flip_weight_bit(small_resnet, name, 10**9, 0)
+        with pytest.raises(ValueError):
+            flip_weight_bit(small_resnet, name, 0, 40)
+
+
+class TestFaultInjector:
+    def test_crash_only_on_trigger(self, prepared, small_input):
+        injector = FaultInjector(prepared)
+        injector.arm_op_crash(
+            "Conv", lambda node, ins: bool(np.any(np.abs(ins[0]) > 1e30))
+        )
+        prepared.run({"input": small_input})  # benign passes
+        evil = small_input.copy()
+        evil[0, 0, 0, 0] = 1e38
+        with pytest.raises(RuntimeCrash):
+            prepared.run({"input": evil})
+
+    def test_corruption_changes_output(self, prepared, small_input, small_resnet_reference):
+        injector = FaultInjector(prepared)
+        injector.arm_op_corruption("Gemm", scale=50.0)
+        out = prepared.run({"input": small_input})
+        name = next(iter(out))
+        assert not np.allclose(out[name], small_resnet_reference[name], atol=1e-3)
+
+    def test_disarm_restores(self, prepared, small_input, small_resnet_reference):
+        injector = FaultInjector(prepared)
+        injector.arm_backend_bitflip(bit=30)
+        injector.arm_op_corruption("Gemm")
+        injector.disarm()
+        assert injector.armed == []
+        out = prepared.run({"input": small_input})
+        name = next(iter(out))
+        assert np.allclose(out[name], small_resnet_reference[name], atol=1e-4)
+
+    def test_fault_isolated_to_one_runtime(self, small_resnet, small_input):
+        a = create_runtime(RuntimeConfig(blas_backend="openblas-sim", optimization_level=0))
+        b = create_runtime(RuntimeConfig(blas_backend="openblas-sim", optimization_level=0))
+        a.prepare(small_resnet)
+        b.prepare(small_resnet)
+        FaultInjector(a).arm_backend_bitflip(bit=30)
+        out_a = a.run({"input": small_input})
+        out_b = b.run({"input": small_input})
+        name = next(iter(out_a))
+        assert not np.allclose(out_a[name], out_b[name], atol=1e-3, equal_nan=False)

@@ -1,0 +1,166 @@
+"""The performance simulator: structural properties of the cost model.
+
+These assert the *relationships* the paper's figures rest on (pipelined
+beats sequential, slow path costs more than fast, async beats sync with
+a laggard, ...); the benchmarks regenerate the figures themselves.
+"""
+
+import pytest
+
+from repro.mvx.config import MvxConfig
+from repro.simulation import CostModel, StagePlan, VariantSim, simulate
+from repro.simulation.scenarios import (
+    baseline_result,
+    cached_model,
+    cached_partition,
+    plan_from_partition_set,
+)
+
+COST = CostModel()
+
+
+def chain(n_stages: int, *, flops=1e9, out_bytes=400_000, variants=1, slow=False,
+          factors=None) -> list[StagePlan]:
+    stages = []
+    for i in range(n_stages):
+        fs = factors or [1.0] * variants
+        stages.append(
+            StagePlan(
+                index=i,
+                flops=flops,
+                output_bytes=out_bytes,
+                variants=[VariantSim(f"p{i}v{j}", runtime_factor=f) for j, f in enumerate(fs)],
+                slow_path=slow,
+            )
+        )
+    return stages
+
+
+class TestBasicProperties:
+    def test_pipelined_throughput_exceeds_sequential(self):
+        stages = chain(5)
+        seq = simulate(stages, COST, pipelined=False)
+        pipe = simulate(stages, COST, pipelined=True)
+        assert pipe.throughput > 1.5 * seq.throughput
+
+    def test_pipelined_latency_below_sequential(self):
+        stages = chain(5)
+        seq = simulate(stages, COST, pipelined=False)
+        pipe = simulate(stages, COST, pipelined=True)
+        assert pipe.avg_latency < seq.avg_latency
+
+    def test_more_partitions_more_sequential_overhead(self):
+        seq2 = simulate(chain(2), COST, pipelined=False, num_batches=8)
+        seq8 = simulate(chain(8, flops=0.25e9), COST, pipelined=False, num_batches=8)
+        # Same total compute, more checkpoints -> lower throughput.
+        assert seq8.throughput < seq2.throughput
+
+    def test_encryption_costs(self):
+        stages = chain(5)
+        enc = simulate(stages, COST, pipelined=False, encrypted=True)
+        plain = simulate(stages, COST, pipelined=False, encrypted=False)
+        assert enc.throughput < plain.throughput
+
+    def test_slow_path_costs_more_than_fast(self):
+        fast = simulate(chain(5, slow=False), COST, pipelined=False)
+        slow = simulate(chain(5, slow=True), COST, pipelined=False)
+        assert slow.throughput < fast.throughput
+
+    def test_more_variants_cost_more_in_pipeline(self):
+        one = simulate(chain(5, variants=1, slow=True), COST, pipelined=True)
+        three = simulate(chain(5, variants=3, slow=True), COST, pipelined=True)
+        assert three.throughput < one.throughput
+
+    def test_throughput_latency_consistency(self):
+        result = simulate(chain(3), COST, num_batches=16)
+        assert result.makespan == max(result.batch_completions)
+        assert result.throughput == pytest.approx(16 / result.makespan)
+
+    def test_deterministic(self):
+        a = simulate(chain(4), COST)
+        b = simulate(chain(4), COST)
+        assert a.batch_completions == b.batch_completions
+
+
+class TestAsyncMode:
+    def test_async_beats_sync_with_laggard(self):
+        stages = chain(5, variants=3, slow=True, factors=[1.0, 1.0, 0.4])
+        sync = simulate(stages, COST, pipelined=False, execution_mode="sync")
+        asy = simulate(stages, COST, pipelined=False, execution_mode="async")
+        assert asy.throughput > sync.throughput
+        assert asy.avg_latency < sync.avg_latency
+
+    def test_async_equals_sync_without_laggard_within_noise(self):
+        stages = chain(5, variants=3, slow=True)
+        sync = simulate(stages, COST, pipelined=False, execution_mode="sync")
+        asy = simulate(stages, COST, pipelined=False, execution_mode="async")
+        assert asy.throughput == pytest.approx(sync.throughput, rel=0.1)
+
+    def test_async_needs_three_variants(self):
+        stages = chain(5, variants=2, slow=True, factors=[1.0, 0.4])
+        sync = simulate(stages, COST, pipelined=False, execution_mode="sync")
+        asy = simulate(stages, COST, pipelined=False, execution_mode="async")
+        assert asy.throughput == pytest.approx(sync.throughput, rel=1e-6)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(chain(2), COST, execution_mode="warp")
+
+
+class TestSelectiveScaling:
+    def test_selective_cheaper_than_full(self):
+        selective = [
+            StagePlan(i, 1e9, 400_000,
+                      [VariantSim(f"v{i}{j}") for j in range(3 if i == 2 else 1)],
+                      slow_path=(i == 2))
+            for i in range(5)
+        ]
+        full = chain(5, variants=3, slow=True)
+        sel = simulate(selective, COST, pipelined=False)
+        ful = simulate(full, COST, pipelined=False)
+        assert sel.throughput > ful.throughput
+
+    def test_contention_model(self):
+        light = CostModel(mvx_compute_contention=0.0)
+        heavy = CostModel(mvx_compute_contention=0.5)
+        stages = chain(3, variants=3, slow=True)
+        assert (
+            simulate(stages, heavy, pipelined=False).throughput
+            < simulate(stages, light, pipelined=False).throughput
+        )
+
+
+class TestScenarioBridge:
+    def test_plan_matches_config(self):
+        ps = cached_partition("mobilenet-v3", 5)
+        config = MvxConfig.selective(5, {2: 3})
+        plan = plan_from_partition_set(ps, config)
+        assert len(plan) == 5
+        assert len(plan[2].variants) == 3
+        assert plan[2].slow_path and not plan[0].slow_path
+
+    def test_variant_factor_override(self):
+        ps = cached_partition("mobilenet-v3", 5)
+        config = MvxConfig.selective(5, {2: 3})
+        plan = plan_from_partition_set(ps, config, variant_factors={2: [1.0, 1.1, 0.4]})
+        assert plan[2].variants[2].runtime_factor == 0.4
+
+    def test_factor_count_mismatch_rejected(self):
+        ps = cached_partition("mobilenet-v3", 5)
+        config = MvxConfig.selective(5, {2: 3})
+        with pytest.raises(ValueError, match="factors"):
+            plan_from_partition_set(ps, config, variant_factors={2: [1.0]})
+
+    def test_baseline_reasonable(self):
+        model = cached_model("mobilenet-v3")
+        base = baseline_result(model, COST)
+        # ~0.46 GFLOPs at 60 GFLOP/s -> several ms per batch.
+        assert 0.001 < 1 / base.throughput < 0.1
+
+    def test_resource_lanes(self):
+        from repro.simulation.pipeline import _Resource
+
+        r = _Resource(workers=2)
+        assert r.acquire(0.0, 1.0) == 1.0
+        assert r.acquire(0.0, 1.0) == 1.0  # second lane
+        assert r.acquire(0.0, 1.0) == 2.0  # queues behind lane 1

@@ -1,0 +1,91 @@
+"""The automatic MVX plan search."""
+
+import pytest
+
+from repro.simulation import CostModel, search_plans
+from repro.simulation.scenarios import cached_partition
+
+COST = CostModel()
+
+
+@pytest.fixture(scope="module")
+def partition_set():
+    return cached_partition("mobilenet-v3", 5)
+
+
+@pytest.fixture(scope="module")
+def result(partition_set):
+    return search_plans(
+        partition_set,
+        COST,
+        required_mvx={4},
+        min_throughput_ratio=1.0,
+        panel_sizes=(3,),
+        max_mvx_partitions=3,
+    )
+
+
+class TestSearch:
+    def test_candidates_enumerated(self, result):
+        # subsets of size 1..3 containing partition 4 (plus none rejected
+        # by required), sync+async each.
+        assert len(result.candidates) > 10
+
+    def test_best_meets_constraints(self, result):
+        best = result.best
+        assert best is not None
+        assert 4 in best.config.mvx_partition_indices()
+        assert best.throughput_ratio >= 1.0
+
+    def test_pareto_frontier_is_nondominated(self, result):
+        for plan in result.pareto:
+            assert not any(
+                other.dominates(plan) for other in result.candidates
+            )
+
+    def test_pareto_contains_extremes(self, result):
+        securities = [c.security_score for c in result.candidates]
+        frontier_securities = [c.security_score for c in result.pareto]
+        assert max(securities) == max(frontier_securities)
+        tputs = [c.throughput_ratio for c in result.candidates]
+        assert max(tputs) == pytest.approx(max(c.throughput_ratio for c in result.pareto))
+
+    def test_security_score_monotone_in_coverage(self, partition_set):
+        from repro.mvx.config import MvxConfig
+        from repro.partition.balance import partition_costs
+        from repro.simulation.planner import _security_score
+
+        costs = partition_costs(partition_set)
+        one = _security_score(MvxConfig.selective(5, {2: 3}), costs)
+        three = _security_score(MvxConfig.selective(5, {2: 3, 3: 3, 4: 3}), costs)
+        full = _security_score(MvxConfig.uniform(5, 3), costs)
+        assert 0 < one < three < full <= 1.0
+
+    def test_bigger_panels_score_higher(self, partition_set):
+        from repro.mvx.config import MvxConfig
+        from repro.partition.balance import partition_costs
+        from repro.simulation.planner import _security_score
+
+        costs = partition_costs(partition_set)
+        small = _security_score(MvxConfig.selective(5, {2: 3}), costs)
+        large = _security_score(MvxConfig.selective(5, {2: 5}), costs)
+        assert large > small
+
+    def test_impossible_constraints_yield_none(self, partition_set):
+        result = search_plans(
+            partition_set,
+            COST,
+            required_mvx={0, 1, 2, 3, 4},
+            min_throughput_ratio=10.0,  # unreachable
+            panel_sizes=(3,),
+        )
+        assert result.best is None
+        assert result.candidates  # still enumerated
+
+    def test_bad_required_partition_rejected(self, partition_set):
+        with pytest.raises(ValueError, match="outside partitions"):
+            search_plans(partition_set, COST, required_mvx={99})
+
+    def test_describe_readable(self, result):
+        text = result.best.describe()
+        assert "security=" in text and "tput=" in text

@@ -1,0 +1,128 @@
+"""Edge cases across the TEE substrate and small helper modules."""
+
+import hashlib
+
+import pytest
+
+from repro.mvx.events import CrashEvent, DivergenceEvent
+from repro.mvx.wire import decode_message, encode_message
+from repro.tee import Enclave, GramineError, Manifest, SimulatedCpu, TeeType
+from repro.tee.hardware import TeeType as TT
+
+
+class TestTeeTypeProperties:
+    def test_sgx1_has_integrity_tree(self):
+        assert TT.SGX1.memory_integrity_tree
+        assert not TT.SGX2.memory_integrity_tree
+        assert not TT.TDX.memory_integrity_tree
+
+    def test_epc_ordering(self):
+        assert TT.SGX1.epc_bytes < TT.SGX2.epc_bytes < TT.TDX.epc_bytes
+
+    def test_dynamic_memory(self):
+        assert not TT.SGX1.dynamic_memory
+        assert TT.SGX2.dynamic_memory
+
+
+class TestCpuAccounting:
+    def test_release_never_negative(self):
+        cpu = SimulatedCpu("p")
+        cpu.reserve_epc(TeeType.SGX2, 100)
+        cpu.release_epc(TeeType.SGX2, 500)
+        assert cpu.epc_in_use(TeeType.SGX2) == 0
+
+    def test_signing_stable(self):
+        cpu = SimulatedCpu("p")
+        assert cpu.sign_report(b"r") == cpu.sign_report(b"r")
+        assert cpu.sign_report(b"r") != cpu.sign_report(b"s")
+
+    def test_distinct_platforms_distinct_keys(self):
+        assert SimulatedCpu("a").verification_key() != SimulatedCpu("b").verification_key()
+
+
+class TestGramineEnv:
+    @pytest.fixture()
+    def enclave(self):
+        code = b"app"
+        manifest = Manifest(
+            entrypoint="/app",
+            trusted_files={"/app": hashlib.sha256(code).hexdigest()},
+            allowed_files={"/tmp/log"},
+            env_allowlist={"MODE"},
+        )
+        return Enclave.launch(
+            SimulatedCpu("p"), TeeType.SGX2, manifest, {"/app": code, "/tmp/log": b"x"}
+        )
+
+    def test_allowed_file_passthrough(self, enclave):
+        assert enclave.os.read_file("/tmp/log") == b"x"
+
+    def test_allowed_file_missing(self, enclave):
+        enclave.os.host_files.pop("/tmp/log")
+        with pytest.raises(GramineError, match="missing"):
+            enclave.os.read_file("/tmp/log")
+
+    def test_env_accept_and_block(self, enclave):
+        enclave.os.set_env("MODE", "prod")
+        assert enclave.os.get_env("MODE") == "prod"
+        with pytest.raises(GramineError, match="blocked"):
+            enclave.os.set_env("LD_PRELOAD", "/evil.so")
+
+    def test_wipe_clears_keys(self, enclave):
+        enclave.os.install_key("k", bytes(32))
+        enclave.os.wipe()
+        assert not enclave.os.has_key("k")
+
+    def test_double_terminate_idempotent(self, enclave):
+        enclave.terminate()
+        enclave.terminate()
+        assert enclave.cpu.epc_in_use(TeeType.SGX2) == 0
+
+    def test_exec_without_two_stage_keeps_manifest(self, enclave):
+        before = enclave.os.manifest
+        enclave.os.exec("/app")
+        assert enclave.os.manifest == before
+        assert enclave.os.stage == 2
+
+
+class TestWireEdgeCases:
+    def test_empty_meta(self):
+        msg_type, meta, tensors = decode_message(encode_message("ping"))
+        assert msg_type == "ping" and meta == {} and tensors == {}
+
+    def test_meta_roundtrip_types(self):
+        meta = {"i": 3, "f": 1.5, "s": "x", "b": True, "n": None, "l": [1, 2]}
+        _, decoded, _ = decode_message(encode_message("m", meta))
+        assert decoded == meta
+
+    def test_multiple_tensors(self):
+        import numpy as np
+
+        tensors = {
+            "a": np.zeros((2, 2), dtype=np.float32),
+            "b": np.ones(5, dtype=np.int64),
+        }
+        _, _, decoded = decode_message(encode_message("m", {}, tensors))
+        assert set(decoded) == {"a", "b"}
+        assert decoded["b"].dtype == np.int64
+
+
+class TestEventSummaries:
+    def test_divergence_summary(self):
+        event = DivergenceEvent(
+            batch_id=3, partition_index=1,
+            dissenting_variants=("bad",), agreeing_variants=("good-1", "good-2"),
+        )
+        text = event.summary()
+        assert "batch 3" in text and "bad" in text and "checkpoint" in text
+
+    def test_async_summary_labelled(self):
+        event = DivergenceEvent(
+            batch_id=0, partition_index=0,
+            dissenting_variants=("v",), agreeing_variants=(), detected_async=True,
+        )
+        assert "async cross-validation" in event.summary()
+
+    def test_crash_event_fields(self):
+        event = CrashEvent(batch_id=1, partition_index=2, variant_id="v", error="boom")
+        assert event.error == "boom"

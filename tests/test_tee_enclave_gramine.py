@@ -1,0 +1,235 @@
+"""Enclave lifecycle, measurements, and the two-stage Gramine TEE OS."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.keys import KeyManager
+from repro.crypto.sealed import seal_bytes
+from repro.tee import Enclave, EnclaveError, GramineError, Manifest, SimulatedCpu, TeeType
+
+INIT_CODE = b"init binary"
+MAIN_CODE = b"main variant binary"
+
+
+@pytest.fixture()
+def cpu():
+    return SimulatedCpu("test-platform")
+
+
+@pytest.fixture()
+def kdk_record():
+    return KeyManager().create_key("var-x")
+
+
+def two_stage_setup(kdk_record):
+    stage2 = Manifest(
+        entrypoint="/app/main.enc",
+        encrypted_files={"/app/main.enc"},
+        syscalls={"read", "write", "exit"},
+    )
+    host = {
+        "/app/init": INIT_CODE,
+        "/app/manifest2.enc": seal_bytes(
+            kdk_record, "/app/manifest2.enc", stage2.to_bytes(), freshness=1
+        ).to_bytes(),
+        "/app/main.enc": seal_bytes(
+            kdk_record, "/app/main.enc", MAIN_CODE, freshness=1
+        ).to_bytes(),
+    }
+    init_manifest = Manifest(
+        entrypoint="/app/init",
+        trusted_files={"/app/init": hashlib.sha256(INIT_CODE).hexdigest()},
+        encrypted_files={"/app/manifest2.enc"},
+        two_stage=True,
+    )
+    return init_manifest, host, stage2
+
+
+class TestEnclaveLifecycle:
+    def test_launch_measures(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        assert len(enclave.measurement) == 64
+
+    def test_measurement_covers_manifest(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        a = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        other = Manifest(
+            entrypoint=manifest.entrypoint,
+            trusted_files=manifest.trusted_files,
+            encrypted_files=manifest.encrypted_files,
+            two_stage=True,
+            extra={"note": "different"},
+        )
+        b = Enclave.launch(cpu, TeeType.SGX2, other, host)
+        assert a.measurement != b.measurement
+
+    def test_tampered_trusted_file_blocks_launch(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        host["/app/init"] = b"evil binary"
+        with pytest.raises(EnclaveError, match="hash mismatch"):
+            Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+
+    def test_unsupported_tee_type(self, kdk_record):
+        cpu = SimulatedCpu("sgx-only", tee_types=(TeeType.SGX1,))
+        manifest, host, _ = two_stage_setup(kdk_record)
+        with pytest.raises(EnclaveError, match="does not support"):
+            Enclave.launch(cpu, TeeType.TDX, manifest, host)
+
+    def test_epc_accounting(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host, epc_bytes=1 << 20)
+        assert cpu.epc_in_use(TeeType.SGX2) == 1 << 20
+        enclave.terminate()
+        assert cpu.epc_in_use(TeeType.SGX2) == 0
+
+    def test_epc_exhaustion(self, kdk_record):
+        cpu = SimulatedCpu("small")
+        manifest, host, _ = two_stage_setup(kdk_record)
+        Enclave.launch(cpu, TeeType.SGX1, manifest, host, epc_bytes=100 << 20)
+        with pytest.raises(MemoryError):
+            Enclave.launch(cpu, TeeType.SGX1, manifest, host, epc_bytes=100 << 20)
+
+    def test_terminated_enclave_rejects_operations(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        enclave.terminate()
+        with pytest.raises(EnclaveError, match="terminated"):
+            enclave.require_running()
+
+
+class TestGramineFileAccess:
+    def test_trusted_file_verified(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        assert enclave.os.read_file("/app/init") == INIT_CODE
+
+    def test_trusted_file_mutation_detected_at_read(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        host["/app/init"] = b"swapped after launch"
+        with pytest.raises(GramineError, match="integrity"):
+            enclave.os.read_file("/app/init")
+
+    def test_unlisted_file_denied(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        with pytest.raises(GramineError, match="not permitted"):
+            enclave.os.read_file("/etc/passwd")
+
+    def test_encrypted_file_requires_key(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        with pytest.raises(GramineError, match="no key"):
+            enclave.os.read_file("/app/manifest2.enc")
+
+    def test_encrypted_file_with_key(self, cpu, kdk_record):
+        manifest, host, stage2 = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        enclave.os.install_key("var-x", kdk_record.key)
+        assert enclave.os.read_file("/app/manifest2.enc") == stage2.to_bytes()
+
+
+class TestTwoStageTransition:
+    def _booted(self, cpu, kdk_record):
+        manifest, host, stage2 = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        enclave.os.install_key("var-x", kdk_record.key)
+        enclave.os.install_second_stage_manifest(
+            enclave.os.read_file("/app/manifest2.enc")
+        )
+        return enclave, stage2
+
+    def test_full_transition(self, cpu, kdk_record):
+        enclave, stage2 = self._booted(cpu, kdk_record)
+        enclave.os.exec("/app/main.enc")
+        assert enclave.os.stage == 2
+        assert enclave.os.manifest == stage2
+        assert enclave.os.read_file("/app/main.enc") == MAIN_CODE
+
+    def test_one_time_installation(self, cpu, kdk_record):
+        enclave, stage2 = self._booted(cpu, kdk_record)
+        with pytest.raises(GramineError, match="already installed"):
+            enclave.os.install_second_stage_manifest(stage2.to_bytes())
+
+    def test_exec_is_one_way(self, cpu, kdk_record):
+        enclave, _ = self._booted(cpu, kdk_record)
+        enclave.os.exec("/app/main.enc")
+        with pytest.raises(GramineError, match="one-way"):
+            enclave.os.exec("/app/main.enc")
+
+    def test_exec_before_install_rejected(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        enclave.os.install_key("var-x", kdk_record.key)
+        with pytest.raises(GramineError, match="before second-stage"):
+            enclave.os.exec("/app/main.enc")
+
+    def test_entrypoint_must_be_encrypted_file(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        bad_stage2 = Manifest(entrypoint="/app/plain", allowed_files={"/app/plain"})
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        enclave.os.install_key("var-x", kdk_record.key)
+        enclave.os.install_second_stage_manifest(bad_stage2.to_bytes())
+        with pytest.raises(GramineError, match="encrypted files"):
+            enclave.os.exec("/app/plain")
+
+    def test_key_manipulation_blocked_in_stage2(self, cpu, kdk_record):
+        enclave, _ = self._booted(cpu, kdk_record)
+        enclave.os.exec("/app/main.enc")
+        with pytest.raises(GramineError, match="second stage"):
+            enclave.os.install_key("other", bytes(32))
+
+    def test_manifest_install_blocked_in_stage2(self, cpu, kdk_record):
+        enclave, stage2 = self._booted(cpu, kdk_record)
+        enclave.os.exec("/app/main.enc")
+        with pytest.raises(GramineError, match="disabled in stage 2"):
+            enclave.os.install_second_stage_manifest(stage2.to_bytes())
+
+    def test_state_reset_on_exec(self, cpu, kdk_record):
+        manifest, host, stage2 = two_stage_setup(kdk_record)
+        init_manifest = Manifest(
+            entrypoint=manifest.entrypoint,
+            trusted_files=manifest.trusted_files,
+            encrypted_files=manifest.encrypted_files,
+            env_allowlist={"MVTEE_MONITOR_ADDR"},
+            two_stage=True,
+        )
+        enclave = Enclave.launch(cpu, TeeType.SGX2, init_manifest, host)
+        enclave.os.set_env("MVTEE_MONITOR_ADDR", "10.0.0.1")
+        enclave.os.install_key("var-x", kdk_record.key)
+        enclave.os.install_second_stage_manifest(
+            enclave.os.read_file("/app/manifest2.enc")
+        )
+        enclave.os.exec("/app/main.enc")
+        assert enclave.os.get_env("MVTEE_MONITOR_ADDR") is None
+
+    def test_extension_register_tracks_events(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        initial = enclave.extension_register
+        enclave.os.install_key("var-x", kdk_record.key)
+        after_key = enclave.extension_register
+        assert initial != after_key
+
+    def test_second_stage_cannot_be_two_stage(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        nested = Manifest(entrypoint="/x", encrypted_files={"/x"}, two_stage=True)
+        with pytest.raises(Exception, match="cannot itself"):
+            enclave.os.install_second_stage_manifest(nested.to_bytes())
+
+
+class TestSignalCrossVerification:
+    def test_tracked_request_accepted(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        enclave.os.record_request("open", "/app/init")
+        enclave.os.verify_host_signal("open", "/app/init")
+
+    def test_injected_signal_rejected(self, cpu, kdk_record):
+        manifest, host, _ = two_stage_setup(kdk_record)
+        enclave = Enclave.launch(cpu, TeeType.SGX2, manifest, host)
+        with pytest.raises(GramineError, match="signal injection"):
+            enclave.os.verify_host_signal("open", "/never/requested")

@@ -1,0 +1,115 @@
+"""Protected filesystem rollback detection and the network fabric."""
+
+import pytest
+
+from repro.crypto.keys import KeyManager
+from repro.crypto.sealed import SealError, seal_bytes
+from repro.tee.filesystem import MonotonicCounterService, ProtectedFs, RollbackError
+from repro.tee.network import Fabric, NetworkError
+
+
+@pytest.fixture()
+def record():
+    return KeyManager().create_key("v")
+
+
+@pytest.fixture()
+def pfs(record):
+    return ProtectedFs(kdk=record.key, key_id="v")
+
+
+class TestProtectedFs:
+    def test_write_read(self, pfs, record):
+        pfs.write(seal_bytes(record, "f", b"v1", freshness=1))
+        assert pfs.read("f") == b"v1"
+
+    def test_update_advances(self, pfs, record):
+        pfs.write(seal_bytes(record, "f", b"v1", freshness=1))
+        pfs.write(seal_bytes(record, "f", b"v2", freshness=2))
+        assert pfs.read("f") == b"v2"
+
+    def test_stale_write_rejected(self, pfs, record):
+        pfs.write(seal_bytes(record, "f", b"v2", freshness=2))
+        with pytest.raises(RollbackError):
+            pfs.write(seal_bytes(record, "f", b"v1", freshness=1))
+
+    def test_host_rollback_detected(self, pfs, record):
+        old = seal_bytes(record, "f", b"v1", freshness=1)
+        pfs.write(old)
+        pfs.write(seal_bytes(record, "f", b"v2", freshness=2))
+        pfs.host_store["f"] = old.to_bytes()  # untrusted host reverts
+        with pytest.raises(RollbackError, match="rolled back"):
+            pfs.read("f")
+
+    def test_path_confusion_detected(self, pfs, record):
+        blob = seal_bytes(record, "a", b"x", freshness=1)
+        pfs.host_store["b"] = blob.to_bytes()
+        with pytest.raises(SealError, match="claims path"):
+            pfs.read("b")
+
+    def test_missing_file(self, pfs):
+        with pytest.raises(SealError, match="no sealed file"):
+            pfs.read("ghost")
+
+    def test_monotonic_counter_survives_fs_state_loss(self, record):
+        counters = MonotonicCounterService()
+        fs1 = ProtectedFs(kdk=record.key, key_id="v", counters=counters)
+        old = seal_bytes(record, "f", b"v1", freshness=1)
+        fs1.write(old)
+        fs1.write(seal_bytes(record, "f", b"v2", freshness=2))
+        # TEE restarts: fresh FS state, same host store, same counter service.
+        fs2 = ProtectedFs(
+            kdk=record.key, key_id="v", counters=counters, host_store=fs1.host_store
+        )
+        fs2.host_store["f"] = old.to_bytes()
+        with pytest.raises(RollbackError):
+            fs2.read("f")
+
+    def test_counter_service_strictness(self):
+        counters = MonotonicCounterService()
+        counters.advance("c", 1)
+        with pytest.raises(RollbackError):
+            counters.advance("c", 1)
+        assert counters.latest("c") == 1
+        assert counters.latest("unknown") == -1
+
+
+class TestFabric:
+    def test_send_recv_fifo(self):
+        fabric = Fabric()
+        fabric.register("a")
+        fabric.register("b")
+        fabric.send("a", "b", b"one")
+        fabric.send("a", "b", b"two")
+        assert fabric.recv("a", "b") == b"one"
+        assert fabric.recv("a", "b") == b"two"
+
+    def test_unknown_endpoint(self):
+        fabric = Fabric()
+        with pytest.raises(NetworkError, match="unknown endpoint"):
+            fabric.send("a", "ghost", b"x")
+
+    def test_empty_queue(self):
+        fabric = Fabric()
+        fabric.register("b")
+        with pytest.raises(NetworkError, match="no message"):
+            fabric.recv("a", "b")
+
+    def test_adversary_tamper(self):
+        fabric = Fabric(adversary=lambda s, d, m: m + b"!corrupted")
+        fabric.register("b")
+        fabric.send("a", "b", b"clean")
+        assert fabric.recv("a", "b") == b"clean!corrupted"
+
+    def test_adversary_drop(self):
+        fabric = Fabric(adversary=lambda s, d, m: None)
+        fabric.register("b")
+        fabric.send("a", "b", b"lost")
+        assert fabric.pending("a", "b") == 0
+
+    def test_byte_accounting(self):
+        fabric = Fabric()
+        fabric.register("b")
+        fabric.send("a", "b", bytes(10))
+        fabric.send("a", "b", bytes(5))
+        assert fabric.total_bytes() == 15

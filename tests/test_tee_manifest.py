@@ -1,0 +1,66 @@
+"""Manifests: policy fields, serialization, hashing."""
+
+import pytest
+
+from repro.tee.manifest import DEFAULT_SYSCALLS, Manifest, ManifestError
+
+
+def sample_manifest(**overrides) -> Manifest:
+    kwargs = dict(
+        entrypoint="/app/run",
+        trusted_files={"/app/run": "ab" * 32},
+        encrypted_files={"/app/model.enc"},
+        allowed_files={"/tmp/scratch"},
+        env_allowlist={"MVTEE_MONITOR_ADDR"},
+        two_stage=True,
+    )
+    kwargs.update(overrides)
+    return Manifest(**kwargs)
+
+
+class TestManifestConstruction:
+    def test_empty_entrypoint_rejected(self):
+        with pytest.raises(ManifestError):
+            Manifest(entrypoint="")
+
+    def test_trusted_and_encrypted_overlap_rejected(self):
+        with pytest.raises(ManifestError, match="both trusted and encrypted"):
+            Manifest(
+                entrypoint="/a",
+                trusted_files={"/f": "00" * 32},
+                encrypted_files={"/f"},
+            )
+
+    def test_default_syscalls(self):
+        assert Manifest(entrypoint="/a").syscalls == DEFAULT_SYSCALLS
+
+
+class TestManifestPolicy:
+    def test_syscall_allowlist(self):
+        m = sample_manifest(syscalls={"read", "exit"})
+        assert m.allows_syscall("read")
+        assert not m.allows_syscall("mmap")
+
+    def test_env_allowlist(self):
+        m = sample_manifest()
+        assert m.allows_env("MVTEE_MONITOR_ADDR")
+        assert not m.allows_env("LD_PRELOAD")
+
+
+class TestManifestSerialization:
+    def test_roundtrip(self):
+        m = sample_manifest()
+        restored = Manifest.from_bytes(m.to_bytes())
+        assert restored == m
+
+    def test_hash_stable(self):
+        assert sample_manifest().hash() == sample_manifest().hash()
+
+    def test_hash_sensitive_to_policy(self):
+        a = sample_manifest()
+        b = sample_manifest(syscalls={"read"})
+        assert a.hash() != b.hash()
+
+    def test_malformed_bytes_rejected(self):
+        with pytest.raises(ManifestError, match="malformed"):
+            Manifest.from_bytes(b"not json at all")

@@ -1,0 +1,169 @@
+"""Transformer support (§7.4 future work): ops, models, MVX deployment."""
+
+import numpy as np
+import pytest
+
+from repro.graph.flops import graph_flops
+from repro.graph.node import Node
+from repro.mvx import MvteeSystem, ResponseAction
+from repro.ops import KernelContext, evaluate_node, get_backend
+from repro.partition import find_balanced_partition, verify_partition_set
+from repro.runtime import RuntimeConfig, create_runtime
+from repro.runtime.faults import FaultInjector
+from repro.zoo import build_model
+
+
+def run_op(op_type, inputs, attrs=None, n_outputs=1):
+    node = Node(
+        name="n",
+        op_type=op_type,
+        inputs=[f"i{k}" for k in range(len(inputs))],
+        outputs=[f"o{k}" for k in range(n_outputs)],
+        attrs=attrs or {},
+    )
+    return evaluate_node(node, inputs, KernelContext(blas=get_backend("mkl-sim")))
+
+
+@pytest.fixture(scope="module")
+def tiny_gpt():
+    return build_model("tiny-gpt")
+
+
+@pytest.fixture(scope="module")
+def gpt_input():
+    return np.random.default_rng(0).normal(size=(1, 8, 32)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def gpt_reference(tiny_gpt, gpt_input):
+    runtime = create_runtime(RuntimeConfig(optimization_level=0))
+    runtime.prepare(tiny_gpt)
+    return runtime.run({"embeddings": gpt_input})
+
+
+class TestTransformerKernels:
+    def test_layer_norm_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=5.0, scale=3.0, size=(2, 4, 16)).astype(np.float32)
+        scale = np.ones(16, dtype=np.float32)
+        shift = np.zeros(16, dtype=np.float32)
+        out = run_op("LayerNormalization", [x, scale, shift])[0]
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_layer_norm_affine(self):
+        x = np.zeros((1, 2, 4), dtype=np.float32)
+        scale = np.full(4, 2.0, dtype=np.float32)
+        shift = np.full(4, 7.0, dtype=np.float32)
+        out = run_op("LayerNormalization", [x, scale, shift])[0]
+        assert np.allclose(out, 7.0)
+
+    def test_gelu_known_values(self):
+        x = np.array([0.0, 1.0, -1.0], dtype=np.float32)
+        out = run_op("Gelu", [x])[0]
+        assert np.isclose(out[0], 0.0, atol=1e-6)
+        assert np.isclose(out[1], 0.8412, atol=1e-3)
+        assert np.isclose(out[2], -0.1588, atol=1e-3)
+
+    def test_batch_matmul_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(2, 3, 4, 5)).astype(np.float32)
+        b = rng.normal(size=(2, 3, 5, 6)).astype(np.float32)
+        out = run_op("BatchMatMul", [a, b])[0]
+        assert np.allclose(out, a @ b, atol=1e-5)
+
+    def test_batch_matmul_transb_scale(self):
+        rng = np.random.default_rng(1)
+        q = rng.normal(size=(1, 2, 4, 8)).astype(np.float32)
+        k = rng.normal(size=(1, 2, 4, 8)).astype(np.float32)
+        out = run_op("BatchMatMul", [q, k], {"transB": 1, "scale": 0.5})[0]
+        assert np.allclose(out, 0.5 * (q @ np.swapaxes(k, -1, -2)), atol=1e-5)
+
+    def test_split_equal_parts(self):
+        x = np.arange(24, dtype=np.float32).reshape(2, 12)
+        parts = run_op("Split", [x], {"axis": -1, "num_outputs": 3}, n_outputs=3)
+        assert len(parts) == 3
+        assert np.array_equal(np.concatenate(parts, axis=-1), x)
+
+    def test_split_indivisible_rejected(self):
+        from repro.ops import KernelError
+
+        x = np.zeros((2, 7), dtype=np.float32)
+        with pytest.raises(KernelError, match="not divisible"):
+            run_op("Split", [x], {"axis": -1, "num_outputs": 3}, n_outputs=3)
+
+    def test_causal_mask_structure(self):
+        scores = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        out = run_op("CausalMask", [scores])[0]
+        assert np.all(out[..., np.triu_indices(4, k=1)[0], np.triu_indices(4, k=1)[1]] <= -1e8)
+        assert np.all(np.tril(out[0, 0]) == 0.0)
+
+
+class TestTransformerModel:
+    def test_builds_and_validates(self, tiny_gpt):
+        tiny_gpt.validate()
+        assert any(n.op_type == "BatchMatMul" for n in tiny_gpt.nodes)
+
+    def test_output_is_distribution(self, gpt_reference):
+        out = next(iter(gpt_reference.values()))
+        assert out.shape == (1, 8, 50)
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-4)
+
+    def test_causality(self, tiny_gpt, gpt_input, gpt_reference):
+        """Perturbing the last token's embedding must not change earlier rows."""
+        runtime = create_runtime(RuntimeConfig(optimization_level=0))
+        runtime.prepare(tiny_gpt)
+        perturbed = gpt_input.copy()
+        perturbed[0, -1, 3] += 2.5  # single feature, survives LayerNorm
+        out = next(iter(runtime.run({"embeddings": perturbed}).values()))
+        ref = next(iter(gpt_reference.values()))
+        assert np.allclose(out[0, :-1], ref[0, :-1], atol=1e-5)
+        assert not np.allclose(out[0, -1], ref[0, -1], atol=1e-5)
+
+    def test_engines_agree(self, tiny_gpt, gpt_input, gpt_reference):
+        runtime = create_runtime(
+            RuntimeConfig(engine="compiled", blas_backend="openblas-sim", executor="vm")
+        )
+        runtime.prepare(tiny_gpt)
+        out = runtime.run({"embeddings": gpt_input})
+        for name, expected in gpt_reference.items():
+            assert np.allclose(out[name], expected, atol=1e-3)
+
+    def test_gpt_small_sim_flops_scale(self):
+        big = build_model("gpt-small-sim", n_layers=2)
+        small = build_model("tiny-gpt")
+        assert graph_flops(big) > 100 * graph_flops(small)
+
+
+class TestTransformerPartitioning:
+    def test_partition_and_verify(self, tiny_gpt):
+        ps = find_balanced_partition(tiny_gpt, 4, restarts=4, seed=0)
+        verify_partition_set(ps, rtol=1e-3, atol=1e-4)
+
+    def test_mvx_deployment(self, tiny_gpt, gpt_input, gpt_reference):
+        system = MvteeSystem.deploy(
+            tiny_gpt,
+            num_partitions=3,
+            mvx_partitions={1: 3},
+            seed=0,
+            verify_partitions=False,
+            verify_variants=False,
+        )
+        out = system.infer({"embeddings": gpt_input})
+        for name, expected in gpt_reference.items():
+            assert np.allclose(out[name], expected, atol=1e-2)
+
+    def test_mvx_detects_transformer_fault(self, tiny_gpt, gpt_input):
+        system = MvteeSystem.deploy(
+            tiny_gpt,
+            num_partitions=3,
+            mvx_partitions={1: 3},
+            seed=0,
+            verify_partitions=False,
+            verify_variants=False,
+        )
+        system.monitor.response_action = ResponseAction.DROP_VARIANT
+        victim = system.monitor.stage_connections(1)[0]
+        FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
+        system.infer({"embeddings": gpt_input})
+        assert system.monitor.divergence_events() or system.monitor.crash_events()

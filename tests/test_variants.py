@@ -1,0 +1,204 @@
+"""Variant generation: transforms, specs, pools, manifests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.crypto.keys import KeyManager
+from repro.crypto.sealed import SealedBlob, unseal_bytes
+from repro.graph import GraphBuilder
+from repro.partition import ContractionSettings, random_contraction
+from repro.runtime.base import RuntimeConfig
+from repro.tee.hardware import TeeType
+from repro.variants import (
+    TransformError,
+    VariantSpec,
+    apply_transforms,
+    available_transforms,
+    build_pool,
+    verify_equivalent,
+)
+from repro.variants.manifests import INIT_VARIANT_CODE, bootstrap_script, variant_manifests, variant_paths
+from repro.variants.pool import diversified_specs
+
+
+@pytest.fixture(scope="module")
+def partitioned(small_resnet):
+    return random_contraction(small_resnet, ContractionSettings(3, seed=1))
+
+
+def bottleneck_model():
+    """A model with a 1x1 stride-1 conv (conv1x1-to-gemm target)."""
+    b = GraphBuilder("bottleneck", seed=0)
+    x = b.input("input", (1, 4, 8, 8))
+    y = b.relu(b.conv(x, 8, kernel=1, pad=0))
+    y = b.conv(y, 4, kernel=3, pad=1)
+    b.set_output(b.softmax(b.fc(b.global_avg_pool(y), 5)))
+    return b.finish()
+
+
+class TestTransformEquivalence:
+    @pytest.mark.parametrize(
+        "name",
+        ["dummy-identity", "dummy-zero-add", "commute-add", "channel-shuffle",
+         "channel-duplicate", "split-conv", "selective-optimize"],
+    )
+    def test_preserves_semantics_on_resnet(self, small_resnet, name):
+        transformed = apply_transforms(small_resnet, [name], seed=11)
+        verify_equivalent(small_resnet, transformed, trials=1)
+
+    def test_conv1x1_to_gemm(self):
+        model = bottleneck_model()
+        transformed = apply_transforms(model, ["conv1x1-to-gemm"], seed=0)
+        verify_equivalent(model, transformed, trials=2)
+        assert any(n.op_type == "Gemm" and ".fc_gemm" in n.name for n in transformed.nodes)
+
+    def test_transform_pipeline(self, small_resnet):
+        transformed = apply_transforms(
+            small_resnet,
+            ["dummy-zero-add", "channel-shuffle", "commute-add", "split-conv"],
+            seed=5,
+        )
+        verify_equivalent(small_resnet, transformed, trials=1)
+        assert transformed.structural_hash() != small_resnet.structural_hash()
+
+    def test_unknown_transform_rejected(self, small_resnet):
+        with pytest.raises(TransformError, match="unknown transform"):
+            apply_transforms(small_resnet, ["quantum-entangle"])
+
+    def test_inapplicable_transform_raises(self, tiny_mlp):
+        with pytest.raises(TransformError):
+            apply_transforms(tiny_mlp, ["channel-shuffle"])
+
+    def test_channel_shuffle_actually_permutes(self, small_resnet):
+        transformed = apply_transforms(small_resnet, ["channel-shuffle"], seed=1)
+        assert transformed.weights_hash() != small_resnet.weights_hash()
+
+    def test_verify_detects_broken_transform(self, small_resnet):
+        broken = small_resnet.copy()
+        name = next(k for k in broken.initializers if k.endswith(".w"))
+        broken.initializers[name] = broken.initializers[name] * 1.5
+        with pytest.raises(TransformError, match="equivalence"):
+            verify_equivalent(small_resnet, broken, trials=1)
+
+    def test_registry_lists_all(self):
+        assert len(available_transforms()) >= 8
+
+
+class TestVariantSpec:
+    def test_json_roundtrip(self):
+        spec = VariantSpec(
+            variant_id="p0-v1-xyz",
+            partition_index=0,
+            runtime=RuntimeConfig(engine="compiled", executor="vm"),
+            graph_transforms=("commute-add",),
+            tee_type=TeeType.TDX,
+            system_measures=("aslr",),
+        )
+        assert VariantSpec.from_json(spec.to_json()) == spec
+
+    def test_identity_differs_by_any_field(self):
+        base = VariantSpec(variant_id="v", partition_index=0)
+        assert base.identity() != VariantSpec(variant_id="v2", partition_index=0).identity()
+        assert (
+            base.identity()
+            != VariantSpec(variant_id="v", partition_index=0, graph_transforms=("commute-add",)).identity()
+        )
+
+    def test_summary_mentions_levels(self):
+        spec = VariantSpec(
+            variant_id="v",
+            partition_index=0,
+            graph_transforms=("channel-shuffle",),
+            system_measures=("asan",),
+        )
+        text = spec.diversification_summary()
+        assert "channel-shuffle" in text and "asan" in text
+
+
+class TestPool:
+    def test_build_and_select(self, partitioned):
+        specs = [s for p in range(3) for s in diversified_specs(p, 3, seed=0)]
+        pool = build_pool(partitioned, specs, verify=False)
+        assert pool.total_variants() == 9
+        chosen = pool.select(1, 2)
+        assert len(chosen) == 2
+
+    def test_random_selection_seeded(self, partitioned):
+        specs = [s for s in diversified_specs(0, 4, seed=0)] + [
+            s for p in (1, 2) for s in diversified_specs(p, 1, seed=0)
+        ]
+        pool = build_pool(partitioned, specs, verify=False)
+        a = [x.variant_id for x in pool.select(0, 2, seed=7)]
+        b = [x.variant_id for x in pool.select(0, 2, seed=7)]
+        assert a == b
+
+    def test_overdraw_rejected(self, partitioned):
+        pool = build_pool(partitioned, diversified_specs(0, 1, seed=0) +
+                          [s for p in (1, 2) for s in diversified_specs(p, 1, seed=0)],
+                          verify=False)
+        with pytest.raises(ValueError, match="pool has"):
+            pool.select(0, 5)
+
+    def test_bad_partition_index_rejected(self, partitioned):
+        spec = VariantSpec(variant_id="v", partition_index=99)
+        with pytest.raises(ValueError, match="targets partition"):
+            build_pool(partitioned, [spec], verify=False)
+
+    def test_sealed_files_decrypt_with_variant_key(self, partitioned):
+        specs = [s for p in range(3) for s in diversified_specs(p, 1, seed=0)]
+        pool = build_pool(partitioned, specs, verify=False)
+        artifact = pool.for_partition(0)[0]
+        blob = SealedBlob.from_bytes(artifact.host_files[artifact.paths["config"]])
+        plain = unseal_bytes(artifact.key_record.key, artifact.key_record.key_id, blob)
+        assert json.loads(plain)["variant_id"] == artifact.variant_id
+
+    def test_transformed_variant_equivalent_to_subgraph(self, partitioned):
+        specs = [
+            VariantSpec(
+                variant_id="t0",
+                partition_index=0,
+                graph_transforms=("commute-add",),
+            )
+        ] + [s for p in (1, 2) for s in diversified_specs(p, 1, seed=0)]
+        pool = build_pool(partitioned, specs, verify=True)  # verify must pass
+        assert pool.total_variants() == 3
+
+    def test_variant_zero_is_reference(self):
+        specs = diversified_specs(2, 3, seed=0)
+        assert specs[0].graph_transforms == ()
+        assert specs[0].runtime.engine == "interpreter"
+
+
+class TestManifests:
+    def test_init_manifest_public_and_two_stage(self):
+        spec = VariantSpec(variant_id="v7", partition_index=1)
+        init_m, second_m = variant_manifests(spec)
+        assert init_m.two_stage
+        assert not second_m.two_stage
+        paths = variant_paths(spec)
+        assert paths["init"] in init_m.trusted_files
+        assert paths["stage2_manifest"] in init_m.encrypted_files
+
+    def test_second_stage_blocks_env(self):
+        _, second_m = variant_manifests(VariantSpec(variant_id="v", partition_index=0))
+        assert not second_m.env_allowlist  # §6.5: block all host env
+
+    def test_second_stage_restricts_syscalls(self):
+        init_m, second_m = variant_manifests(VariantSpec(variant_id="v", partition_index=0))
+        assert "exec" in init_m.syscalls
+        assert "exec" not in second_m.syscalls
+        assert "open" not in second_m.syscalls
+
+    def test_bootstrap_script_mentions_steps(self):
+        spec = VariantSpec(variant_id="v", partition_index=0)
+        script = bootstrap_script(spec)
+        for step in ("attest", "install-key", "install-manifest", "exec"):
+            assert step in script
+
+    def test_init_code_is_shared(self):
+        a, _ = variant_manifests(VariantSpec(variant_id="a", partition_index=0))
+        b, _ = variant_manifests(VariantSpec(variant_id="b", partition_index=1))
+        assert list(a.trusted_files.values()) == list(b.trusted_files.values())
+        assert INIT_VARIANT_CODE

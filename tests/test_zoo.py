@@ -1,0 +1,76 @@
+"""Model zoo: registry, topology sanity, relative compute ordering."""
+
+import numpy as np
+import pytest
+
+from repro.graph.flops import graph_flops
+from repro.runtime import RuntimeConfig
+from repro.runtime.interpreter import InterpreterRuntime
+from repro.zoo import available_models, build_model
+from repro.zoo.registry import EVALUATION_MODELS
+
+
+class TestRegistry:
+    def test_all_evaluation_models_registered(self):
+        assert set(EVALUATION_MODELS) <= set(available_models())
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_model("alexnet-2")
+
+    def test_seeded_reproducibility(self):
+        a = build_model("tiny-cnn", seed=3)
+        b = build_model("tiny-cnn", seed=3)
+        assert a.weights_hash() == b.weights_hash()
+
+
+@pytest.mark.parametrize("name", EVALUATION_MODELS)
+class TestEvaluationModels:
+    def test_builds_and_validates(self, name):
+        model = build_model(name, input_size=96)
+        model.validate()
+        assert len(model.nodes) > 50
+
+    def test_classifier_output_shape(self, name):
+        model = build_model(name, input_size=96, num_classes=10)
+        assert model.outputs[0].shape == (1, 10)
+
+
+class TestComputeOrdering:
+    def test_flop_ordering_matches_published(self):
+        flops = {
+            name: graph_flops(build_model(name, input_size=96))
+            for name in ("mobilenet-v3", "mnasnet", "googlenet", "resnet-50", "resnet-152")
+        }
+        assert flops["mobilenet-v3"] < flops["mnasnet"] < flops["googlenet"]
+        assert flops["googlenet"] < flops["resnet-50"] < flops["resnet-152"]
+
+    def test_resnet152_deeper_than_resnet50(self):
+        assert len(build_model("resnet-152", input_size=96).nodes) > len(
+            build_model("resnet-50", input_size=96).nodes
+        )
+
+
+class TestExecutableSmall:
+    @pytest.mark.parametrize("name", ["tiny-cnn", "tiny-mlp", "small-resnet"])
+    def test_runs_and_outputs_distribution(self, name):
+        model = build_model(name)
+        runtime = InterpreterRuntime(RuntimeConfig())
+        runtime.prepare(model)
+        rng = np.random.default_rng(0)
+        feeds = {
+            s.name: rng.normal(size=s.shape).astype(np.float32) for s in model.inputs
+        }
+        out = list(runtime.run(feeds).values())[0]
+        assert np.isclose(out.sum(), 1.0, atol=1e-4)  # softmax head
+        assert np.all(out >= 0)
+
+    def test_mobilenet_small_input_executes(self):
+        # One real execution of a production topology at reduced size.
+        model = build_model("mobilenet-v3", input_size=32, num_classes=10)
+        runtime = InterpreterRuntime(RuntimeConfig())
+        runtime.prepare(model)
+        x = np.random.default_rng(0).normal(size=(1, 3, 32, 32)).astype(np.float32)
+        out = list(runtime.run({"input": x}).values())[0]
+        assert out.shape == (1, 10)
+        assert np.isfinite(out).all()
