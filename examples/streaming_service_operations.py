@@ -19,6 +19,7 @@ from repro.mvx import (
     combined_attestation,
 )
 from repro.mvx.recovery import MonitorStateStore, recover_monitor, snapshot_monitor
+from repro.observability import InMemorySpanExporter, MetricsRegistry, Tracer
 from repro.runtime.faults import FaultInjector
 from repro.tee.attestation import fresh_nonce
 from repro.tee.filesystem import MonotonicCounterService
@@ -30,7 +31,13 @@ def main() -> None:
     system = MvteeSystem.deploy(model, num_partitions=3, mvx_partitions={1: 3}, seed=0)
     system.monitor.response_action = ResponseAction.DROP_VARIANT
     controller = AdaptiveController(system, scale_down_threshold=-1.0)
-    service = InferenceService(system, pipelined=True, controller=controller)
+    ring = InMemorySpanExporter(capacity=64)
+    tracer = Tracer(exporters=[ring])
+    registry = MetricsRegistry()
+    service = InferenceService(
+        system, pipelined=True, controller=controller,
+        registry=registry, tracer=tracer,
+    )
     rng = np.random.default_rng(0)
 
     def submit_batch(count: int) -> list[int]:
@@ -46,6 +53,19 @@ def main() -> None:
     service.drain()
     print(f"[service] served {len(ids)} requests; "
           f"metrics: {service.metrics().live_variants} variants live")
+
+    # --- the span tree of the drain we just ran -----------------------------
+    from repro.observability import format_span_tree
+
+    print("[tracing] span tree of the first drain:")
+    for line in format_span_tree(ring.spans[-1]).splitlines()[:12]:
+        print(f"  {line}")
+    stage_hist = registry.histogram("mvtee_stage_seconds")
+    per_stage = {
+        labels["partition"]: f"{stage_hist.sum(partition=labels['partition']):.4f}s"
+        for labels in stage_hist.label_sets()
+    }
+    print(f"[metrics] cumulative stage seconds: {per_stage}")
 
     # --- attack lands mid-stream -------------------------------------------
     victim = system.monitor.stage_connections(1)[0]

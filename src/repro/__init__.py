@@ -13,6 +13,7 @@ Top-level subpackages:
 - :mod:`repro.zoo` -- the evaluation model definitions (ResNet, Inception, ...).
 - :mod:`repro.tee` -- simulated enclaves, attestation, Gramine-like TEE OS.
 - :mod:`repro.runtime` -- diversified inference runtimes and fault injection.
+- :mod:`repro.observability` -- span tracing + the process-wide metrics registry.
 - :mod:`repro.partition` -- random-contraction model partitioning (Algorithm 1).
 - :mod:`repro.variants` -- multi-level variant generation (Figure 3).
 - :mod:`repro.mvx` -- the MVTEE monitor, bootstrap protocol and schedulers.

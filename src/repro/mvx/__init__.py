@@ -15,9 +15,14 @@ Composition (§4.3):
   distribution, checkpoint synchronization, voting, response.
 - :mod:`repro.mvx.bootstrap` -- the Figure 6 initialization/update
   workflow binding model owner, orchestrator, monitor and variants.
-- :mod:`repro.mvx.scheduler` -- sequential & pipelined execution in sync
-  and asynchronous cross-validation modes, with the slow/fast path.
+- :mod:`repro.mvx.scheduler` -- the unified :func:`run` entry point
+  (:class:`InferenceOptions`: sequential/pipelined scheduling, sync and
+  asynchronous cross-validation, slow/fast path, tracer + metrics).
 - :mod:`repro.mvx.system` -- the high-level facade tying it together.
+
+Every stage execution, variant round trip, checkpoint evaluation,
+detection and recovery action reports through
+:mod:`repro.observability` (span trees + the metrics registry).
 """
 
 from repro.mvx.config import MvxConfig, PartitionClaim
@@ -31,7 +36,16 @@ from repro.mvx.bootstrap import (
     bootstrap_deployment,
     combined_attestation,
 )
-from repro.mvx.scheduler import ExecutionMode, PathMode, run_pipelined, run_sequential
+from repro.mvx.scheduler import (
+    ExecutionMode,
+    InferenceOptions,
+    PathMode,
+    SchedulingMode,
+    run,
+    run_pipelined,
+    run_sequential,
+    validate_feeds,
+)
 from repro.mvx.service import InferenceService, RequestState, ServiceMetrics
 from repro.mvx.system import MvteeSystem
 from repro.mvx.adaptive import AdaptiveController, ScalingAction
@@ -51,6 +65,7 @@ __all__ = [
     "DivergenceEvent",
     "FabricTransport",
     "ExecutionMode",
+    "InferenceOptions",
     "InferenceService",
     "Monitor",
     "RequestState",
@@ -63,11 +78,14 @@ __all__ = [
     "PartitionClaim",
     "PathMode",
     "ResponseAction",
+    "SchedulingMode",
     "VariantHost",
     "VariantUnavailable",
     "VoteResult",
     "bootstrap_deployment",
+    "run",
     "run_pipelined",
     "run_sequential",
+    "validate_feeds",
     "vote",
 ]

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.mvx.events import CrashEvent, DivergenceEvent
 from repro.mvx.system import MvteeSystem
+from repro.observability.metrics import MetricsRegistry, get_global_registry
 
 __all__ = ["AdaptiveController", "ScalingAction"]
 
@@ -50,6 +51,8 @@ class AdaptiveController:
     decay: float = 0.5  # score multiplier applied per observation round
     max_variants: int = 5
     min_variants: int = 1
+    #: Metrics sink for scaling decisions (None = process-wide registry).
+    metrics: MetricsRegistry | None = None
     _scores: dict[int, float] = field(default_factory=dict)
     _events_seen: int = 0
     _spawn_seed: int = 1000
@@ -74,6 +77,15 @@ class AdaptiveController:
             elif score <= self.scale_down_threshold and live > self._floor(index):
                 taken.append(self._scale_down(index, live, score))
         self.actions.extend(taken)
+        registry = self.metrics if self.metrics is not None else get_global_registry()
+        threat = registry.gauge("mvtee_threat_score", "Per-partition threat score")
+        for index in range(len(self.system.partition_set)):
+            threat.set(self._scores.get(index, 0.0), partition=index)
+        actions_total = registry.counter(
+            "mvtee_scaling_actions_total", "Adaptive scaling decisions"
+        )
+        for action in taken:
+            actions_total.inc(action=action.action)
         return taken
 
     def _floor(self, index: int) -> int:

@@ -22,6 +22,8 @@ from repro.mvx.events import CrashEvent, DivergenceEvent, ResponseAction
 from repro.mvx.variant_host import VariantHost, VariantUnavailable
 from repro.mvx.voting import VariantOutput, VoteResult, vote
 from repro.mvx.wire import decode_message, encode_message
+from repro.observability.metrics import MetricsRegistry, get_global_registry
+from repro.observability.tracing import NullTracer, Tracer
 from repro.partition.partition import PartitionSet
 from repro.mvx.transport import Transport
 from repro.tee.attestation import AttestationError, Verifier
@@ -74,6 +76,13 @@ class Monitor:
     #: Functionally identical to serial dispatch; numpy kernels release
     #: the GIL, so replicated variants of a stage genuinely overlap.
     parallel_dispatch: bool = False
+    #: Observability sinks: the tracer receives ``variant`` and
+    #: ``checkpoint`` spans (nested under the scheduler's ``stage``
+    #: spans); detection/recovery counters go to ``metrics`` (None =
+    #: the process-wide registry).  The scheduler installs a run's
+    #: tracer/registry for the duration of that run.
+    tracer: Tracer = field(default_factory=NullTracer)
+    metrics: MetricsRegistry | None = None
     ledger: BindingLedger = field(default_factory=BindingLedger)
     connections: dict[int, list[VariantConnection]] = field(default_factory=dict)
     events: list[object] = field(default_factory=list)
@@ -89,6 +98,11 @@ class Monitor:
     def partition_set(self) -> PartitionSet:
         """The partition set underlying the pool."""
         return self.pool.partition_set
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The registry detection/recovery counters are recorded into."""
+        return self.metrics if self.metrics is not None else get_global_registry()
 
     # ------------------------------------------------------------------
     # Provisioning (Figure 6 step 3)
@@ -308,7 +322,14 @@ class Monitor:
         quorum_conns = ordered[:quorum]
         laggards = ordered[quorum:]
         early = [self._request_inference(c, batch_id, feeds) for c in quorum_conns]
-        result = vote(early, policy=self.policy_for(index), strategy="majority")
+        with self.tracer.span(
+            "checkpoint", partition=index, batch=batch_id, mode="async-quorum"
+        ) as span:
+            result = vote(early, policy=self.policy_for(index), strategy="majority")
+            span.set_attribute("passed", result.passed)
+        self.metrics_registry.counter(
+            "mvtee_checkpoints_total", "Checkpoint consistency evaluations"
+        ).inc(partition=index, mode="async-quorum")
         if not result.passed:
             # No early consensus: fall back to full synchronization.
             late = [self._request_inference(c, batch_id, feeds) for c in laggards]
@@ -332,24 +353,56 @@ class Monitor:
         pending = self._deferred
         self._deferred = []
         for d_batch, d_index, accepted, laggards, feeds in pending:
-            for connection in laggards:
-                result = self._request_inference(connection, d_batch, feeds)
-                if result.outputs is None:
-                    self._record_crash(d_batch, d_index, connection, result.error)
-                    self._respond(connection, d_batch, d_index)
-                    continue
-                if not self.policy_for(d_index).consistent(accepted, result.outputs):
-                    event = DivergenceEvent(
-                        batch_id=d_batch,
-                        partition_index=d_index,
-                        dissenting_variants=(connection.variant_id,),
-                        agreeing_variants=(),
-                        detected_async=True,
-                    )
-                    self.events.append(event)
-                    self._respond(connection, d_batch, d_index)
+            with self.tracer.span(
+                "checkpoint",
+                partition=d_index,
+                batch=d_batch,
+                mode="deferred",
+                laggards=len(laggards),
+            ):
+                for connection in laggards:
+                    result = self._request_inference(connection, d_batch, feeds)
+                    if result.outputs is None:
+                        self._record_crash(d_batch, d_index, connection, result.error)
+                        self._respond(connection, d_batch, d_index)
+                        continue
+                    if not self.policy_for(d_index).consistent(accepted, result.outputs):
+                        event = DivergenceEvent(
+                            batch_id=d_batch,
+                            partition_index=d_index,
+                            dissenting_variants=(connection.variant_id,),
+                            agreeing_variants=(),
+                            detected_async=True,
+                        )
+                        self.events.append(event)
+                        self._record_divergence_metric(d_index)
+                        self._respond(connection, d_batch, d_index)
+            self.metrics_registry.counter(
+                "mvtee_checkpoints_total", "Checkpoint consistency evaluations"
+            ).inc(partition=d_index, mode="deferred")
 
     def _request_inference(
+        self, connection: VariantConnection, batch_id: int, feeds: dict
+    ) -> VariantOutput:
+        with self.tracer.span(
+            "variant",
+            variant=connection.variant_id,
+            partition=connection.partition_index,
+            batch=batch_id,
+        ) as span:
+            result = self._request_inference_unobserved(connection, batch_id, feeds)
+            span.set_attribute("bytes_protected", connection.channel.bytes_protected)
+            if result.outputs is None:
+                span.record_error(result.error)
+        self.metrics_registry.counter(
+            "mvtee_variant_requests_total", "Monitor->variant inference round trips"
+        ).inc(
+            partition=connection.partition_index,
+            outcome="ok" if result.outputs is not None else "error",
+        )
+        return result
+
+    def _request_inference_unobserved(
         self, connection: VariantConnection, batch_id: int, feeds: dict
     ) -> VariantOutput:
         try:
@@ -369,7 +422,20 @@ class Monitor:
         return VariantOutput(variant_id=connection.variant_id, outputs=tensors)
 
     def _evaluate_checkpoint(self, batch_id, index, connections, outputs, feeds) -> dict:
-        result = vote(outputs, policy=self.policy_for(index), strategy=self.config.voting)
+        with self.tracer.span(
+            "checkpoint",
+            partition=index,
+            batch=batch_id,
+            mode="sync",
+            voting=self.config.voting,
+        ) as span:
+            result = vote(outputs, policy=self.policy_for(index), strategy=self.config.voting)
+            span.set_attribute("passed", result.passed)
+            if result.dissenting:
+                span.set_attribute("dissenting", list(result.dissenting))
+        self.metrics_registry.counter(
+            "mvtee_checkpoints_total", "Checkpoint consistency evaluations"
+        ).inc(partition=index, mode="sync")
         self._handle_vote_outcome(batch_id, index, connections, result, async_stage=False)
         if result.accepted is not None:
             return result.accepted
@@ -412,10 +478,16 @@ class Monitor:
                 detected_async=async_stage,
             )
             self.events.append(event)
+            self._record_divergence_metric(index)
             for variant_id in result.dissenting:
                 self._respond(by_id[variant_id], batch_id, index)
         for variant_id in result.crashed:
             self._respond(by_id[variant_id], batch_id, index)
+
+    def _record_divergence_metric(self, index: int) -> None:
+        self.metrics_registry.counter(
+            "mvtee_divergences_total", "Divergence detections"
+        ).inc(partition=index)
 
     def _record_crash(self, batch_id, index, connection, error) -> None:
         self.events.append(
@@ -426,6 +498,9 @@ class Monitor:
                 error=str(error),
             )
         )
+        self.metrics_registry.counter(
+            "mvtee_crashes_total", "Variant crash detections"
+        ).inc(partition=index)
 
     def _respond(self, connection: VariantConnection, batch_id: int, index: int) -> None:
         """Apply the configured protective measure to a bad variant."""
@@ -436,6 +511,9 @@ class Monitor:
             ResponseAction.RESTART_BATCH,
             ResponseAction.REPLACE_VARIANT,
         ):
+            self.metrics_registry.counter(
+                "mvtee_recovery_actions_total", "Protective responses applied"
+            ).inc(action=self.response_action.value)
             if not connection.host.crashed:
                 connection.host.terminate()
             self.ledger.append(

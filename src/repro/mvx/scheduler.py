@@ -1,4 +1,4 @@
-"""Execution scheduling: sequential and pipelined, sync and async.
+"""Execution scheduling: one unified entry point, sync and async.
 
 The execution model of §4.3: variant TEEs form a DAG mirroring the
 partition topology and process private user data "in a pipelined
@@ -7,18 +7,41 @@ the next batch begins; pipelined execution keeps every stage busy with a
 different batch.  This module drives the *functional* execution through
 the monitor (correctness, detection); wall-clock performance of the two
 modes is reproduced by :mod:`repro.simulation`.
+
+The single entry point is :func:`run` with an :class:`InferenceOptions`
+bundle (scheduling mode, checkpoint discipline, path mode, tracer and
+metrics registry); :func:`run_sequential` / :func:`run_pipelined`
+remain as thin deprecated wrappers.  Every run produces an
+``infer -> batch -> stage`` span tree through the configured tracer
+(the monitor adds ``variant`` and ``checkpoint`` leaves) and stage
+latency histograms in the metrics registry.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.mvx.monitor import Monitor
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Span, Tracer
 
-__all__ = ["ExecutionMode", "PathMode", "RunStats", "run_pipelined", "run_sequential"]
+__all__ = [
+    "ExecutionMode",
+    "InferenceOptions",
+    "PathMode",
+    "RunStats",
+    "SchedulingMode",
+    "run",
+    "run_pipelined",
+    "run_sequential",
+    "validate_feeds",
+]
 
 
 class ExecutionMode(enum.Enum):
@@ -36,9 +59,40 @@ class PathMode(enum.Enum):
     HYBRID = "hybrid"
 
 
+class SchedulingMode(enum.Enum):
+    """Batch admission discipline."""
+
+    SEQUENTIAL = "sequential"
+    PIPELINED = "pipelined"
+
+
+@dataclass(frozen=True)
+class InferenceOptions:
+    """Everything one inference run needs beyond the batches themselves.
+
+    ``mode`` / ``path_mode`` override the deployment's provisioned
+    checkpoint discipline and Figure-7 path selection for the duration
+    of the run; ``None`` keeps the provisioned value.  ``tracer`` and
+    ``metrics`` direct the run's observability output; left unset, the
+    monitor's tracer and the process-wide registry are used.
+    """
+
+    scheduling: SchedulingMode = SchedulingMode.SEQUENTIAL
+    mode: ExecutionMode | None = None
+    path_mode: PathMode | None = None
+    tracer: Tracer | None = None
+    metrics: MetricsRegistry | None = None
+
+
 @dataclass
 class RunStats:
-    """Counters of one run."""
+    """Counters of one run.
+
+    ``extra["stage_seconds"]`` (partition index -> cumulative seconds)
+    is kept populated for one deprecation cycle; the canonical record
+    is now the ``mvtee_stage_seconds`` histogram in the run's
+    :class:`~repro.observability.metrics.MetricsRegistry`.
+    """
 
     batches: int = 0
     stage_executions: int = 0
@@ -76,62 +130,139 @@ def validate_feeds(monitor: Monitor, feeds: dict[str, np.ndarray]) -> None:
             )
 
 
-def _stage_once(monitor: Monitor, env: dict, batch_id: int, index: int, stats: RunStats) -> None:
-    import time
-
+def _stage_once(
+    monitor: Monitor,
+    env: dict,
+    batch_id: int,
+    index: int,
+    stats: RunStats,
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    batch_span: Span | None,
+) -> None:
     partition_set = monitor.partition_set
     feeds = partition_set.stage_feeds(index, env)
-    start = time.perf_counter()
-    outputs = monitor.execute_stage(batch_id, index, feeds)
-    elapsed = time.perf_counter() - start
+    with tracer.span(
+        "stage", parent=batch_span, partition=index, batch=batch_id
+    ) as span:
+        start = time.perf_counter()
+        outputs = monitor.execute_stage(batch_id, index, feeds)
+        elapsed = time.perf_counter() - start
     env.update(outputs)
     stats.stage_executions += 1
+    registry.histogram(
+        "mvtee_stage_seconds", "Wall-clock seconds per stage execution"
+    ).observe(elapsed, partition=index)
+    registry.counter(
+        "mvtee_stage_executions_total", "Stage executions"
+    ).inc(partition=index)
+    # Deprecated: superseded by the mvtee_stage_seconds histogram.
     timings = stats.extra.setdefault("stage_seconds", {})
     timings[index] = timings.get(index, 0.0) + elapsed
     if monitor.config is not None and monitor.config.uses_slow_path(index):
         stats.checkpoints_evaluated += 1
+        span.set_attribute("slow_path", True)
 
 
 def _finalize(monitor: Monitor, env: dict) -> dict[str, np.ndarray]:
     return {spec.name: env[spec.name] for spec in monitor.partition_set.model.outputs}
 
 
-def run_sequential(
-    monitor: Monitor, batches: list[dict[str, np.ndarray]]
+def run(
+    monitor: Monitor,
+    batches: list[dict[str, np.ndarray]],
+    options: InferenceOptions | None = None,
 ) -> tuple[list[dict[str, np.ndarray]], RunStats]:
-    """Process batches one after another through all stages."""
-    stats = RunStats()
+    """Process a batch stream through the deployment.
+
+    The unified entry point behind :meth:`MvteeSystem.infer_batches`:
+    validates every batch at the trust boundary, applies the options'
+    execution/path overrides to the provisioned config for the duration
+    of the run, and emits the full span tree and stage metrics.
+    """
+    options = options or InferenceOptions()
+    for feeds in batches:
+        validate_feeds(monitor, feeds)
+    tracer = options.tracer if options.tracer is not None else monitor.tracer
+    registry = (
+        options.metrics if options.metrics is not None else monitor.metrics_registry
+    )
+    saved_config = monitor.config
+    saved_tracer, saved_metrics = monitor.tracer, monitor.metrics
+    overrides = {}
+    if options.mode is not None:
+        overrides["execution_mode"] = options.mode.value
+    if options.path_mode is not None:
+        overrides["path_mode"] = options.path_mode.value
+    if overrides and saved_config is not None:
+        monitor.config = dataclasses.replace(saved_config, **overrides)
+    monitor.tracer, monitor.metrics = tracer, registry
+    try:
+        stats = RunStats()
+        config = monitor.config
+        with tracer.span(
+            "infer",
+            scheduling=options.scheduling.value,
+            execution_mode=config.execution_mode if config else None,
+            path_mode=config.path_mode if config else None,
+            num_batches=len(batches),
+        ) as root:
+            if options.scheduling is SchedulingMode.PIPELINED:
+                results = _run_pipelined(monitor, batches, stats, tracer, registry, root)
+            else:
+                results = _run_sequential(monitor, batches, stats, tracer, registry, root)
+        stats.divergences = len(monitor.divergence_events())
+        stats.crashes = len(monitor.crash_events())
+        return results, stats
+    finally:
+        monitor.config = saved_config
+        monitor.tracer, monitor.metrics = saved_tracer, saved_metrics
+
+
+def _run_sequential(
+    monitor: Monitor,
+    batches: list[dict[str, np.ndarray]],
+    stats: RunStats,
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    root: Span,
+) -> list[dict[str, np.ndarray]]:
     results = []
     num_stages = len(monitor.partition_set)
-    for feeds in batches:
-        validate_feeds(monitor, feeds)
+    batch_counter = registry.counter("mvtee_batches_total", "Batches completed")
     for batch_id, feeds in enumerate(batches):
         env = dict(feeds)
-        for index in range(num_stages):
-            _stage_once(monitor, env, batch_id, index, stats)
+        with tracer.span("batch", parent=root, batch=batch_id) as batch_span:
+            for index in range(num_stages):
+                _stage_once(
+                    monitor, env, batch_id, index, stats, tracer, registry, batch_span
+                )
         results.append(_finalize(monitor, env))
         stats.batches += 1
-    stats.divergences = len(monitor.divergence_events())
-    stats.crashes = len(monitor.crash_events())
-    return results, stats
+        batch_counter.inc(scheduling="sequential")
+    return results
 
 
-def run_pipelined(
-    monitor: Monitor, batches: list[dict[str, np.ndarray]]
-) -> tuple[list[dict[str, np.ndarray]], RunStats]:
-    """Process a batch stream with overlapping pipeline stages.
+def _run_pipelined(
+    monitor: Monitor,
+    batches: list[dict[str, np.ndarray]],
+    stats: RunStats,
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    root: Span,
+) -> list[dict[str, np.ndarray]]:
+    """Overlapping pipeline: at tick ``t``, stage ``i`` handles batch ``t-i``.
 
-    At pipeline tick ``t``, stage ``i`` handles batch ``t - i``; the
-    functional outcome matches sequential execution, but checkpoint
+    The functional outcome matches sequential execution, but checkpoint
     evaluation interleaves across batches -- which is exactly the regime
     in which asynchronous cross-validation defers laggard checks across
-    stage boundaries.
+    stage boundaries.  Batch spans stay open across ticks and collect
+    the stage spans executed on the batch's behalf.
     """
-    stats = RunStats()
     num_stages = len(monitor.partition_set)
-    for feeds in batches:
-        validate_feeds(monitor, feeds)
+    batch_counter = registry.counter("mvtee_batches_total", "Batches completed")
     envs: dict[int, dict] = {}
+    spans: dict[int, Span] = {}
     results: dict[int, dict] = {}
     total_ticks = len(batches) + num_stages - 1
     for tick in range(total_ticks):
@@ -143,12 +274,44 @@ def run_pipelined(
                 continue
             if index == 0:
                 envs[batch_id] = dict(batches[batch_id])
+                spans[batch_id] = tracer.start_span(
+                    "batch", parent=root, batch=batch_id
+                )
             env = envs[batch_id]
-            _stage_once(monitor, env, batch_id, index, stats)
+            _stage_once(
+                monitor, env, batch_id, index, stats, tracer, registry, spans[batch_id]
+            )
             if index == num_stages - 1:
                 results[batch_id] = _finalize(monitor, env)
                 del envs[batch_id]
+                tracer.end_span(spans.pop(batch_id))
                 stats.batches += 1
-    stats.divergences = len(monitor.divergence_events())
-    stats.crashes = len(monitor.crash_events())
-    return [results[i] for i in range(len(batches))], stats
+                batch_counter.inc(scheduling="pipelined")
+    return [results[i] for i in range(len(batches))]
+
+
+def run_sequential(
+    monitor: Monitor, batches: list[dict[str, np.ndarray]]
+) -> tuple[list[dict[str, np.ndarray]], RunStats]:
+    """Deprecated: use :func:`run` with ``SchedulingMode.SEQUENTIAL``."""
+    warnings.warn(
+        "run_sequential is deprecated; use run(monitor, batches, InferenceOptions()) "
+        "or MvteeSystem.infer_batches",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run(monitor, batches, InferenceOptions(scheduling=SchedulingMode.SEQUENTIAL))
+
+
+def run_pipelined(
+    monitor: Monitor, batches: list[dict[str, np.ndarray]]
+) -> tuple[list[dict[str, np.ndarray]], RunStats]:
+    """Deprecated: use :func:`run` with ``SchedulingMode.PIPELINED``."""
+    warnings.warn(
+        "run_pipelined is deprecated; use run(monitor, batches, "
+        "InferenceOptions(scheduling=SchedulingMode.PIPELINED)) "
+        "or MvteeSystem.infer_batches",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run(monitor, batches, InferenceOptions(scheduling=SchedulingMode.PIPELINED))

@@ -7,20 +7,33 @@ analysis" (§6.4).  :class:`InferenceService` is that serving surface:
 requests are queued, executed through the pipeline in arrival order,
 optionally supervised by the adaptive controller, with per-request
 status, deployment metrics and graceful degradation on detections.
+
+Serving counters live in the service's
+:class:`~repro.observability.metrics.MetricsRegistry`;
+:meth:`InferenceService.metrics` is a read-through snapshot over that
+registry plus the monitor's live state, and
+:meth:`InferenceService.render_prometheus` exposes the full registry
+(stage-latency histograms, detection counters, serving totals) for
+scraping.
 """
 
 from __future__ import annotations
 
 import enum
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.mvx.adaptive import AdaptiveController
 from repro.mvx.monitor import MonitorError
-from repro.mvx.scheduler import run_pipelined, run_sequential
+from repro.mvx.scheduler import InferenceOptions, SchedulingMode
 from repro.mvx.system import MvteeSystem
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
+
+if TYPE_CHECKING:
+    from repro.mvx.adaptive import AdaptiveController
 
 __all__ = ["InferenceService", "RequestState", "ServiceMetrics"]
 
@@ -44,7 +57,14 @@ class _Request:
 
 @dataclass(frozen=True)
 class ServiceMetrics:
-    """Aggregated deployment health counters."""
+    """Aggregated deployment health counters.
+
+    A read-through snapshot: the scalar counters come from the
+    service's metrics registry, the live-variant gauge from the
+    monitor.  :meth:`to_prometheus` keeps the historical byte-stable
+    exposition of exactly these fields; the registry's own
+    ``render_prometheus`` carries the full instrument set.
+    """
 
     requests_served: int
     requests_failed: int
@@ -86,18 +106,24 @@ class InferenceService:
         system: MvteeSystem,
         *,
         pipelined: bool = True,
-        controller: AdaptiveController | None = None,
+        controller: "AdaptiveController | None" = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         self.system = system
         self.pipelined = pipelined
         self.controller = controller
+        #: Per-service registry: two services over one deployment keep
+        #: independent serving counters (stage/detection metrics still
+        #: aggregate here because drains run with this registry).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
         self._queue: OrderedDict[int, _Request] = OrderedDict()
         self._done: dict[int, _Request] = {}
         self._next_id = 0
-        self._served = 0
-        self._failed = 0
-        self._batches = 0
-        self._checkpoints = 0
+
+    def _counter(self, name: str, help: str):
+        return self.registry.counter(name, help)
 
     # ------------------------------------------------------------------
     # Client surface
@@ -141,28 +167,43 @@ class InferenceService:
         pending = list(self._queue.values())[: max_batch or None]
         if not pending:
             return 0
-        runner = run_pipelined if self.pipelined else run_sequential
+        options = InferenceOptions(
+            scheduling=SchedulingMode.PIPELINED
+            if self.pipelined
+            else SchedulingMode.SEQUENTIAL,
+            tracer=self.tracer,
+            metrics=self.registry,
+        )
         batches = [r.feeds for r in pending]
         try:
-            results, stats = runner(self.system.monitor, batches)
+            results = self.system.infer_batches(batches, options)
         except MonitorError as exc:
             for request in pending:
                 request.state = RequestState.FAILED
                 request.error = str(exc)
                 self._done[request.request_id] = request
                 self._queue.pop(request.request_id, None)
-                self._failed += 1
+            self._counter(
+                "mvtee_requests_failed_total", "Requests failed by a detection"
+            ).inc(len(pending))
             if self.controller is not None:
                 self.controller.observe()
             return 0
-        self._batches += stats.batches
-        self._checkpoints += stats.checkpoints_evaluated
+        stats = self.system.last_stats
+        self._counter(
+            "mvtee_service_batches_total", "Batches executed by the service"
+        ).inc(stats.batches)
+        self._counter(
+            "mvtee_service_checkpoints_total", "Checkpoints evaluated while serving"
+        ).inc(stats.checkpoints_evaluated)
         for request, result in zip(pending, results):
             request.state = RequestState.DONE
             request.result = result
             self._done[request.request_id] = request
             self._queue.pop(request.request_id, None)
-            self._served += 1
+        self._counter(
+            "mvtee_requests_served_total", "Requests served to completion"
+        ).inc(len(pending))
         if self.controller is not None:
             self.controller.observe()
         return len(pending)
@@ -172,7 +213,7 @@ class InferenceService:
     # ------------------------------------------------------------------
 
     def metrics(self) -> ServiceMetrics:
-        """Current deployment health snapshot."""
+        """Current deployment health snapshot (read-through)."""
         monitor = self.system.monitor
         bytes_protected = sum(
             connection.channel.bytes_protected
@@ -180,10 +221,18 @@ class InferenceService:
             for connection in connections
         )
         return ServiceMetrics(
-            requests_served=self._served,
-            requests_failed=self._failed,
-            batches_executed=self._batches,
-            checkpoints_evaluated=self._checkpoints,
+            requests_served=int(
+                self.registry.counter("mvtee_requests_served_total").total()
+            ),
+            requests_failed=int(
+                self.registry.counter("mvtee_requests_failed_total").total()
+            ),
+            batches_executed=int(
+                self.registry.counter("mvtee_service_batches_total").total()
+            ),
+            checkpoints_evaluated=int(
+                self.registry.counter("mvtee_service_checkpoints_total").total()
+            ),
             divergences_detected=len(monitor.divergence_events()),
             crashes_detected=len(monitor.crash_events()),
             live_variants={
@@ -193,3 +242,7 @@ class InferenceService:
             bytes_protected=bytes_protected,
             scaling_actions=len(self.controller.actions) if self.controller else 0,
         )
+
+    def render_prometheus(self) -> str:
+        """Full registry exposition (histograms + counters) for scraping."""
+        return self.registry.render_prometheus()

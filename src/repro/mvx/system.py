@@ -18,9 +18,11 @@ from repro.graph.model import ModelGraph
 from repro.mvx.bootstrap import ModelOwner, Orchestrator, bootstrap_deployment
 from repro.mvx.config import MvxConfig
 from repro.mvx.monitor import Monitor
-from repro.mvx.scheduler import RunStats, run_pipelined, run_sequential
+from repro.mvx.scheduler import InferenceOptions, RunStats, SchedulingMode, run
 from repro.mvx.updates import partial_update, scale_partition
 from repro.mvx.variant_host import VariantHost
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
 from repro.partition.balance import find_balanced_partition
 from repro.partition.partition import PartitionSet
 from repro.partition.verify import verify_partition_set
@@ -59,12 +61,18 @@ class MvteeSystem:
         verify_variants: bool = True,
         num_platforms: int = 2,
         transport=None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> "MvteeSystem":
         """Run the offline phase and bootstrap the online deployment.
 
         ``mvx_partitions`` maps partition index -> variant count
         (selective MVX); omitted partitions run a single variant (fast
         path).  A full explicit :class:`MvxConfig` overrides it.
+
+        ``tracer`` / ``metrics`` install deployment-wide observability
+        sinks on the monitor: every inference run reports through them
+        unless a run's :class:`InferenceOptions` overrides either.
         """
         partition_set = find_balanced_partition(
             model, num_partitions, restarts=partition_restarts, seed=seed
@@ -94,6 +102,10 @@ class MvteeSystem:
         owner, monitor, orchestrator, hosts = bootstrap_deployment(
             pool, config, num_platforms=num_platforms, transport=transport
         )
+        if tracer is not None:
+            monitor.tracer = tracer
+        if metrics is not None:
+            monitor.metrics = metrics
         return cls(
             model=model,
             partition_set=partition_set,
@@ -110,18 +122,38 @@ class MvteeSystem:
     # Inference
     # ------------------------------------------------------------------
 
-    def infer(self, feeds: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
-        """One protected inference (sequential)."""
-        results, stats = run_sequential(self.monitor, [feeds])
-        self.last_stats = stats
-        return results[0]
+    def infer(
+        self,
+        feeds: dict[str, np.ndarray],
+        options: InferenceOptions | None = None,
+    ) -> dict[str, np.ndarray]:
+        """One protected inference (sequential by default)."""
+        return self.infer_batches([feeds], options)[0]
 
     def infer_batches(
-        self, batches: list[dict[str, np.ndarray]], *, pipelined: bool = False
+        self,
+        batches: list[dict[str, np.ndarray]],
+        options: InferenceOptions | None = None,
+        *,
+        pipelined: bool | None = None,
     ) -> list[dict[str, np.ndarray]]:
-        """Protected inference over a batch stream."""
-        runner = run_pipelined if pipelined else run_sequential
-        results, stats = runner(self.monitor, batches)
+        """Protected inference over a batch stream.
+
+        The unified entry point: :class:`InferenceOptions` bundles the
+        scheduling mode, checkpoint discipline and path-mode overrides,
+        the tracer and the metrics registry.  The legacy ``pipelined``
+        flag is honored when no options are given (deprecated spelling
+        of ``InferenceOptions(scheduling=SchedulingMode.PIPELINED)``).
+        """
+        if options is None:
+            options = InferenceOptions(
+                scheduling=SchedulingMode.PIPELINED
+                if pipelined
+                else SchedulingMode.SEQUENTIAL
+            )
+        elif pipelined is not None:
+            raise ValueError("pass scheduling via InferenceOptions, not pipelined=")
+        results, stats = run(self.monitor, batches, options)
         self.last_stats = stats
         return results
 

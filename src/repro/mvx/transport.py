@@ -15,11 +15,33 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.mvx.variant_host import VariantHost, VariantUnavailable
+from repro.observability.metrics import MetricsRegistry, get_global_registry
 from repro.tee.network import Fabric, NetworkError
 
 __all__ = ["DirectTransport", "FabricTransport", "Transport"]
 
 MONITOR_ENDPOINT = "mvtee-monitor"
+
+
+def _record_exchange(
+    registry: MetricsRegistry | None,
+    transport: str,
+    request: bytes,
+    response: bytes | None,
+    *,
+    outcome: str = "ok",
+) -> None:
+    """Count one monitor<->variant record exchange and its volume."""
+    registry = registry if registry is not None else get_global_registry()
+    registry.counter(
+        "mvtee_transport_exchanges_total", "Protected record round trips"
+    ).inc(transport=transport, outcome=outcome)
+    volume = registry.counter(
+        "mvtee_transport_bytes_total", "Protected record bytes moved"
+    )
+    volume.inc(len(request), transport=transport, direction="request")
+    if response is not None:
+        volume.inc(len(response), transport=transport, direction="response")
 
 
 class Transport(Protocol):
@@ -35,6 +57,7 @@ class DirectTransport:
     """Co-located deployment: records handed to the variant in-process."""
 
     hosts: dict[str, VariantHost] = field(default_factory=dict)
+    metrics: MetricsRegistry | None = None
 
     def register(self, host: VariantHost) -> None:
         """Attach a placed variant host."""
@@ -44,7 +67,13 @@ class DirectTransport:
         host = self.hosts.get(variant_id)
         if host is None:
             raise VariantUnavailable(f"no transport route to variant {variant_id!r}")
-        return host.handle_record(record)
+        try:
+            response = host.handle_record(record)
+        except VariantUnavailable:
+            _record_exchange(self.metrics, "direct", record, None, outcome="error")
+            raise
+        _record_exchange(self.metrics, "direct", record, response)
+        return response
 
 
 @dataclass
@@ -58,6 +87,7 @@ class FabricTransport:
 
     fabric: Fabric = field(default_factory=Fabric)
     hosts: dict[str, VariantHost] = field(default_factory=dict)
+    metrics: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         self.fabric.register(MONITOR_ENDPOINT)
@@ -76,20 +106,26 @@ class FabricTransport:
         if host is None:
             raise VariantUnavailable(f"no transport route to variant {variant_id!r}")
         endpoint = self._endpoint(variant_id)
-        self.fabric.send(MONITOR_ENDPOINT, endpoint, record)
         try:
-            delivered = self.fabric.recv(MONITOR_ENDPOINT, endpoint)
-        except NetworkError as exc:
-            # The adversary dropped the request: to the monitor this is a
-            # missing response.
-            raise VariantUnavailable(
-                f"variant {variant_id}: request lost in transit ({exc})"
-            ) from exc
-        response = host.handle_record(delivered)
-        self.fabric.send(endpoint, MONITOR_ENDPOINT, response)
-        try:
-            return self.fabric.recv(endpoint, MONITOR_ENDPOINT)
-        except NetworkError as exc:
-            raise VariantUnavailable(
-                f"variant {variant_id}: response lost in transit ({exc})"
-            ) from exc
+            self.fabric.send(MONITOR_ENDPOINT, endpoint, record)
+            try:
+                delivered = self.fabric.recv(MONITOR_ENDPOINT, endpoint)
+            except NetworkError as exc:
+                # The adversary dropped the request: to the monitor this
+                # is a missing response.
+                raise VariantUnavailable(
+                    f"variant {variant_id}: request lost in transit ({exc})"
+                ) from exc
+            response = host.handle_record(delivered)
+            self.fabric.send(endpoint, MONITOR_ENDPOINT, response)
+            try:
+                delivered_response = self.fabric.recv(endpoint, MONITOR_ENDPOINT)
+            except NetworkError as exc:
+                raise VariantUnavailable(
+                    f"variant {variant_id}: response lost in transit ({exc})"
+                ) from exc
+        except VariantUnavailable:
+            _record_exchange(self.metrics, "fabric", record, None, outcome="error")
+            raise
+        _record_exchange(self.metrics, "fabric", record, delivered_response)
+        return delivered_response

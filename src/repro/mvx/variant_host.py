@@ -16,12 +16,14 @@ monitor sees a missing checkpoint response, exactly like a crashed TEE.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.graph.model import ModelGraph
 from repro.mvx.wire import decode_message, encode_message
+from repro.observability.metrics import MetricsRegistry, get_global_registry
 from repro.runtime import create_runtime
 from repro.runtime.base import InferenceRuntime, RuntimeCrash
 from repro.tee.attestation import Quote, make_quote
@@ -53,6 +55,8 @@ class VariantHost:
     #: async scheduler and the DES use this to model slow variants (e.g.
     #: a heavily diversified TVM variant, §6.4).
     simulated_latency: float = 0.0
+    #: Metrics sink for serving counters (None = process-wide registry).
+    metrics: MetricsRegistry | None = None
     _served: int = field(default=0)
 
     @property
@@ -155,6 +159,8 @@ class VariantHost:
     def _handle_infer(self, meta: dict, tensors: dict[str, np.ndarray]) -> bytes:
         if self.runtime is None:
             return encode_message("error", {"reason": "variant not initialized"})
+        registry = self.metrics if self.metrics is not None else get_global_registry()
+        start = time.perf_counter()
         try:
             outputs = self.runtime.run(tensors)
         except RuntimeCrash as exc:
@@ -166,6 +172,12 @@ class VariantHost:
             raise VariantUnavailable(
                 f"variant {self.variant_id} crashed during inference: {exc}"
             ) from exc
+        registry.histogram(
+            "mvtee_variant_runtime_seconds", "In-enclave runtime seconds per request"
+        ).observe(time.perf_counter() - start, variant=self.variant_id)
+        registry.counter(
+            "mvtee_variant_inferences_total", "Successful variant inferences"
+        ).inc(variant=self.variant_id)
         self._served += 1
         return encode_message(
             "result",

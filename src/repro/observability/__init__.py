@@ -1,0 +1,47 @@
+"""Observability: hierarchical tracing + a process-wide metrics registry.
+
+The substrate every perf/robustness PR builds on: the scheduler, the
+monitor, the transports, the variant hosts and the serving surface all
+report through here instead of ad-hoc counters.
+
+- :mod:`repro.observability.tracing` -- :class:`Tracer` producing
+  ``infer -> batch -> stage -> variant / checkpoint`` span trees with
+  pluggable exporters (in-memory ring buffer, JSONL file sink).
+- :mod:`repro.observability.metrics` -- :class:`MetricsRegistry` of
+  named counters/gauges/histograms with Prometheus text and JSON
+  exposition.
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_global_registry,
+    set_global_registry,
+)
+from repro.observability.tracing import (
+    InMemorySpanExporter,
+    JsonlSpanExporter,
+    NullTracer,
+    Span,
+    SpanExporter,
+    Tracer,
+    format_span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySpanExporter",
+    "JsonlSpanExporter",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "SpanExporter",
+    "Tracer",
+    "format_span_tree",
+    "get_global_registry",
+    "set_global_registry",
+]

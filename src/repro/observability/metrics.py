@@ -1,0 +1,318 @@
+"""A process-wide registry of named counters, gauges and histograms.
+
+Every component on the MVTEE hot path (scheduler, monitor, transports,
+variant hosts, the adaptive controller, the serving surface) records
+into a :class:`MetricsRegistry` instead of hand-rolled dict entries.
+The registry renders both the Prometheus text exposition format and a
+JSON document, so the same numbers back operator scraping and offline
+experiment analysis.
+
+A module-level default registry (:func:`get_global_registry`) serves
+components that are not handed an explicit one; tests and services that
+need isolation construct their own.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_global_registry",
+    "set_global_registry",
+]
+
+#: Latency-oriented default buckets (seconds), Prometheus-style.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _labelkey(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labelstr(key: tuple) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f'{name}="{value}"' for name, value in key) + "}"
+
+
+class _Instrument:
+    """Shared naming/label plumbing of the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def samples(self) -> Iterable[tuple[str, str, float]]:
+        """(sample name, rendered labels, value) triples."""
+        raise NotImplementedError
+
+    def to_json(self):
+        """JSON value for the registry's JSON exposition."""
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing value, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (must be >= 0) to one label set's series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _labelkey(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of one label set (0 if never incremented)."""
+        return self._values.get(_labelkey(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(self._values.values())
+
+    def samples(self):
+        for key in sorted(self._values):
+            yield self.name, _labelstr(key), self._values[key]
+
+    def to_json(self):
+        return {_labelstr(key) or "": value for key, value in sorted(self._values.items())}
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down, optionally per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        """Overwrite one label set's value."""
+        with self._lock:
+            self._values[_labelkey(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Adjust one label set's value by ``amount``."""
+        key = _labelkey(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        """Adjust one label set's value by ``-amount``."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        """Current value of one label set (0 if never set)."""
+        return self._values.get(_labelkey(labels), 0.0)
+
+    def samples(self):
+        for key in sorted(self._values):
+            yield self.name, _labelstr(key), self._values[key]
+
+    def to_json(self):
+        return {_labelstr(key) or "": value for key, value in sorted(self._values.items())}
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, num_buckets: int):
+        self.bucket_counts = [0] * num_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram of observations, per label set."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", buckets: tuple = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets))
+        self._series: dict[tuple, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into one label set's series."""
+        key = _labelkey(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[i] += 1
+            series.sum += value
+            series.count += 1
+
+    def sum(self, **labels) -> float:
+        """Sum of observations in one label set."""
+        series = self._series.get(_labelkey(labels))
+        return series.sum if series else 0.0
+
+    def count(self, **labels) -> int:
+        """Number of observations in one label set."""
+        series = self._series.get(_labelkey(labels))
+        return series.count if series else 0
+
+    def label_sets(self) -> list[dict]:
+        """The label sets that have received observations."""
+        return [dict(key) for key in sorted(self._series)]
+
+    def samples(self):
+        for key in sorted(self._series):
+            series = self._series[key]
+            # observe() increments every bucket whose bound admits the
+            # value, so the stored counts are already cumulative.
+            for bound, cumulative in zip(self.buckets, series.bucket_counts):
+                labels = key + (("le", _format_float(bound)),)
+                yield f"{self.name}_bucket", _labelstr(tuple(sorted(labels))), cumulative
+            labels = key + (("le", "+Inf"),)
+            yield f"{self.name}_bucket", _labelstr(tuple(sorted(labels))), series.count
+            yield f"{self.name}_sum", _labelstr(key), series.sum
+            yield f"{self.name}_count", _labelstr(key), series.count
+
+    def to_json(self):
+        out = {}
+        for key in sorted(self._series):
+            series = self._series[key]
+            out[_labelstr(key) or ""] = {
+                "buckets": {
+                    _format_float(b): c
+                    for b, c in zip(self.buckets, series.bucket_counts)
+                },
+                "sum": series.sum,
+                "count": series.count,
+            }
+        return out
+
+
+def _format_float(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    formatted = repr(float(value))
+    return formatted[:-2] if formatted.endswith(".0") else formatted
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments with exposition."""
+
+    def __init__(self):
+        self._instruments: dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = cls(name, help, **kwargs)
+            elif not isinstance(instrument, cls):
+                raise ValueError(
+                    f"metric {name!r} is a {instrument.kind}, not a {cls.kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create a histogram."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> _Instrument | None:
+        """Look an instrument up without creating it."""
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        """Registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every instrument."""
+        lines = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            for sample_name, labels, value in instrument.samples():
+                lines.append(f"{sample_name}{labels} {_render_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_json(self) -> dict:
+        """JSON exposition: name -> {kind, help, values}."""
+        return {
+            name: {
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "values": instrument.to_json(),
+            }
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+
+def _render_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_global_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL_REGISTRY
+
+
+def set_global_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default registry; returns the previous one."""
+    global _GLOBAL_REGISTRY
+    previous = _GLOBAL_REGISTRY
+    _GLOBAL_REGISTRY = registry
+    return previous

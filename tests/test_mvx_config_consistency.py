@@ -48,6 +48,26 @@ class TestMvxConfig:
         assert slow.uses_slow_path(0)
         assert not fast.uses_slow_path(0)
 
+    def test_json_roundtrip(self):
+        config = MvxConfig(
+            claims=(
+                PartitionClaim(0, 1),
+                PartitionClaim(1, 3, selection_seed=5),
+                PartitionClaim(2, 2),
+            ),
+            voting="majority",
+            execution_mode="async",
+            path_mode="slow",
+            consistency={"cosine_threshold": 0.999},
+        )
+        assert MvxConfig.from_json(config.to_json()) == config
+
+    def test_json_roundtrip_survives_serialization(self):
+        import json
+
+        config = MvxConfig.selective(3, {1: 3}, voting="plurality")
+        assert MvxConfig.from_json(json.loads(json.dumps(config.to_json()))) == config
+
     def test_claims_must_cover_partitions(self):
         with pytest.raises(ValueError, match="cover partitions"):
             MvxConfig(claims=(PartitionClaim(0, 1), PartitionClaim(2, 1)))

@@ -1,0 +1,410 @@
+"""Observability subsystem: spans, metrics registry, unified inference API."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.mvx import (
+    ExecutionMode,
+    InferenceOptions,
+    InferenceService,
+    SchedulingMode,
+    run,
+    run_pipelined,
+    run_sequential,
+    validate_feeds,
+)
+from repro.observability import (
+    Counter,
+    Gauge,
+    Histogram,
+    InMemorySpanExporter,
+    JsonlSpanExporter,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    format_span_tree,
+)
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+
+
+class TestSpanNesting:
+    def test_context_manager_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        anchor = tracer.start_span("anchor")
+        with tracer.span("root"):
+            with tracer.span("child", parent=anchor) as child:
+                # The explicit-parent span still anchors implicit children.
+                with tracer.span("grandchild") as grandchild:
+                    pass
+        tracer.end_span(anchor)
+        assert anchor.children == [child]
+        assert child.children == [grandchild]
+
+    def test_timing_and_idempotent_end(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            time.sleep(0.002)
+        first_end = span.end_time
+        assert span.ended and span.duration >= 0.002
+        span.end()
+        assert span.end_time == first_end
+
+    def test_error_recording(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+        (span,) = tracer.roots
+        assert span.status == "error"
+        assert span.attributes["error"] == "kaput"
+
+    def test_find_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert len(tracer.find("b")) == 2
+        assert [s.name for s in tracer.roots[0].walk()] == ["a", "b", "b"]
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("invisible") as span:
+            pass
+        assert span.ended
+        assert tracer.roots == []
+
+
+class TestExporters:
+    def test_in_memory_ring_buffer_evicts_oldest(self):
+        exporter = InMemorySpanExporter(capacity=2)
+        tracer = Tracer(exporters=[exporter])
+        for i in range(3):
+            with tracer.span(f"root-{i}"):
+                pass
+        assert [s.name for s in exporter.spans] == ["root-1", "root-2"]
+
+    def test_only_roots_are_exported(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporters=[exporter])
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in exporter.spans] == ["root"]
+
+    def test_jsonl_sink(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(exporters=[JsonlSpanExporter(path)])
+        with tracer.span("root", partition=3):
+            with tracer.span("child"):
+                pass
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        doc = json.loads(lines[0])
+        assert doc["name"] == "root"
+        assert doc["attributes"] == {"partition": 3}
+        assert [c["name"] for c in doc["children"]] == ["child"]
+
+    def test_format_tree(self):
+        tracer = Tracer()
+        with tracer.span("infer", num_batches=2):
+            with tracer.span("batch", batch=0):
+                pass
+        rendered = tracer.format_tree()
+        assert "infer" in rendered and "num_batches=2" in rendered
+        assert "\n  batch" in rendered
+        assert format_span_tree(tracer.roots[0]).startswith("infer")
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+
+
+class TestCounterSemantics:
+    def test_inc_and_labels(self):
+        counter = Counter("hits")
+        counter.inc()
+        counter.inc(2, partition=1)
+        assert counter.value() == 1
+        assert counter.value(partition=1) == 2
+        assert counter.total() == 3
+
+    def test_decrease_rejected(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("hits").inc(-1)
+
+
+class TestGaugeSemantics:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(5, queue="a")
+        gauge.inc(2, queue="a")
+        gauge.dec(3, queue="a")
+        assert gauge.value(queue="a") == 4
+        assert gauge.value(queue="b") == 0
+
+
+class TestHistogramSemantics:
+    def test_observe_sum_count(self):
+        hist = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(v)
+        assert hist.count() == 4
+        assert hist.sum() == pytest.approx(55.55)
+
+    def test_buckets_are_cumulative(self):
+        hist = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(v)
+        samples = {
+            (name, labels): value for name, labels, value in hist.samples()
+        }
+        assert samples[("lat_bucket", '{le="0.1"}')] == 1
+        assert samples[("lat_bucket", '{le="1"}')] == 2
+        assert samples[("lat_bucket", '{le="10"}')] == 3
+        assert samples[("lat_bucket", '{le="+Inf"}')] == 4
+        assert samples[("lat_count", "")] == 4
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("a")
+
+    def test_prometheus_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "Requests").inc(3, route="infer")
+        registry.gauge("depth").set(2)
+        registry.histogram("lat_seconds", buckets=(0.5, 1.0)).observe(0.25)
+        text = registry.render_prometheus()
+        assert "# HELP req_total Requests\n# TYPE req_total counter\n" in text
+        assert 'req_total{route="infer"} 3\n' in text
+        assert "# TYPE depth gauge\ndepth 2\n" in text
+        assert "# TYPE lat_seconds histogram\n" in text
+        assert 'lat_seconds_bucket{le="0.5"} 1\n' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1\n' in text
+        assert "lat_seconds_sum 0.25\n" in text
+        assert "lat_seconds_count 1\n" in text
+
+    def test_json_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total").inc(2)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        doc = registry.render_json()
+        assert doc["req_total"]["kind"] == "counter"
+        assert doc["req_total"]["values"][""] == 2
+        assert doc["lat"]["values"][""]["count"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.names() == []
+
+
+# ----------------------------------------------------------------------
+# validate_feeds error paths (trust-boundary hardening, §6.5)
+# ----------------------------------------------------------------------
+
+
+class TestValidateFeeds:
+    def test_valid_feeds_accepted(self, deployed_system, small_input):
+        validate_feeds(deployed_system.monitor, {"input": small_input})
+
+    def test_missing_input_rejected(self, deployed_system):
+        with pytest.raises(ValueError, match="missing input tensors"):
+            validate_feeds(deployed_system.monitor, {})
+
+    def test_unexpected_input_rejected(self, deployed_system, small_input):
+        with pytest.raises(ValueError, match="unexpected input tensors"):
+            validate_feeds(
+                deployed_system.monitor,
+                {"input": small_input, "backdoor": small_input},
+            )
+
+    def test_wrong_shape_rejected(self, deployed_system, small_input):
+        with pytest.raises(ValueError, match="has shape"):
+            validate_feeds(
+                deployed_system.monitor, {"input": small_input[:, :, :8, :8]}
+            )
+
+    def test_wrong_dtype_rejected(self, deployed_system, small_input):
+        with pytest.raises(ValueError, match="has dtype"):
+            validate_feeds(
+                deployed_system.monitor, {"input": small_input.astype(np.float64)}
+            )
+
+    def test_non_ndarray_rejected(self, deployed_system, small_input):
+        with pytest.raises(ValueError, match="not an ndarray"):
+            validate_feeds(
+                deployed_system.monitor, {"input": small_input.tolist()}
+            )
+
+
+# ----------------------------------------------------------------------
+# Unified inference API + end-to-end span/metric acceptance
+# ----------------------------------------------------------------------
+
+
+def _batches(n, rng):
+    return [
+        {"input": rng.normal(size=(1, 3, 16, 16)).astype(np.float32)}
+        for _ in range(n)
+    ]
+
+
+class TestUnifiedInferenceApi:
+    def test_async_run_produces_full_span_tree(self, deployed_system):
+        rng = np.random.default_rng(7)
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        options = InferenceOptions(
+            scheduling=SchedulingMode.PIPELINED,
+            mode=ExecutionMode.ASYNC,
+            tracer=tracer,
+            metrics=registry,
+        )
+        results = deployed_system.infer_batches(_batches(3, rng), options)
+        stats = deployed_system.last_stats
+        assert len(results) == 3
+        (root,) = tracer.roots
+        assert root.name == "infer"
+        assert root.attributes["execution_mode"] == "async"
+        assert root.attributes["scheduling"] == "pipelined"
+        # Every batch, stage execution and checkpoint appears in the tree.
+        assert len(root.find("batch")) == 3
+        assert len(root.find("stage")) == stats.stage_executions
+        assert len(root.find("checkpoint")) >= stats.checkpoints_evaluated > 0
+        # Variant round trips nest under stages and carry attributes.
+        variants = root.find("variant")
+        assert variants and all(
+            "variant" in s.attributes and "bytes_protected" in s.attributes
+            for s in variants
+        )
+        # The run ran async but the provisioned config is untouched.
+        assert deployed_system.config.execution_mode == "sync"
+
+    def test_stage_histogram_matches_legacy_stage_seconds(self, deployed_system):
+        rng = np.random.default_rng(8)
+        registry = MetricsRegistry()
+        deployed_system.infer_batches(
+            _batches(2, rng), InferenceOptions(metrics=registry)
+        )
+        stats = deployed_system.last_stats
+        hist = registry.histogram("mvtee_stage_seconds")
+        legacy = stats.extra["stage_seconds"]
+        assert set(legacy) == set(range(len(deployed_system.partition_set)))
+        for index, total in legacy.items():
+            assert hist.sum(partition=index) == pytest.approx(total)
+            assert hist.count(partition=index) == 2  # one per batch
+        text = registry.render_prometheus()
+        assert 'mvtee_stage_seconds_bucket{le="+Inf",partition="0"} 2' in text
+
+    def test_detection_counters_flow_to_registry(self, small_resnet):
+        from repro.mvx import MvteeSystem, ResponseAction
+        from repro.runtime.faults import FaultInjector
+
+        system = MvteeSystem.deploy(
+            small_resnet,
+            num_partitions=3,
+            mvx_partitions={1: 3},
+            seed=0,
+            verify_partitions=False,
+            verify_variants=False,
+        )
+        system.monitor.response_action = ResponseAction.DROP_VARIANT
+        registry = MetricsRegistry()
+        victim = system.monitor.stage_connections(1)[0]
+        FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
+        rng = np.random.default_rng(9)
+        system.infer_batches(_batches(2, rng), InferenceOptions(metrics=registry))
+        assert registry.counter("mvtee_divergences_total").value(partition=1) >= 1
+        assert (
+            registry.counter("mvtee_recovery_actions_total").value(
+                action="drop-variant"
+            )
+            >= 1
+        )
+        assert registry.counter("mvtee_checkpoints_total").total() >= 1
+
+    def test_legacy_wrappers_are_deprecated_but_equivalent(self, deployed_system):
+        rng = np.random.default_rng(10)
+        batches = _batches(1, rng)
+        with pytest.warns(DeprecationWarning):
+            seq, _ = run_sequential(deployed_system.monitor, batches)
+        with pytest.warns(DeprecationWarning):
+            pipe, _ = run_pipelined(deployed_system.monitor, batches)
+        new, _ = run(deployed_system.monitor, batches)
+        (out_name,) = new[0]
+        np.testing.assert_allclose(seq[0][out_name], new[0][out_name])
+        np.testing.assert_allclose(pipe[0][out_name], new[0][out_name])
+
+    def test_options_and_pipelined_flag_are_exclusive(self, deployed_system):
+        rng = np.random.default_rng(11)
+        with pytest.raises(ValueError, match="InferenceOptions"):
+            deployed_system.infer_batches(
+                _batches(1, rng), InferenceOptions(), pipelined=True
+            )
+
+
+class TestServiceReadThrough:
+    def test_service_metrics_read_through_registry(self, small_resnet):
+        from repro.mvx import MvteeSystem
+
+        system = MvteeSystem.deploy(
+            small_resnet,
+            num_partitions=3,
+            mvx_partitions={1: 3},
+            seed=0,
+            verify_partitions=False,
+            verify_variants=False,
+        )
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        service = InferenceService(system, registry=registry, tracer=tracer)
+        rng = np.random.default_rng(12)
+        for feeds in _batches(3, rng):
+            service.submit(feeds)
+        service.drain()
+        metrics = service.metrics()
+        assert metrics.requests_served == 3
+        assert metrics.batches_executed == 3
+        assert registry.counter("mvtee_requests_served_total").total() == 3
+        # The service's registry also carries the hot-path instruments...
+        assert registry.histogram("mvtee_stage_seconds").count(partition=0) == 3
+        # ... and the full exposition includes both.
+        text = service.render_prometheus()
+        assert "mvtee_requests_served_total 3" in text
+        assert "mvtee_stage_seconds_bucket" in text
+        # to_prometheus output format is unchanged (byte-stable surface).
+        legacy = metrics.to_prometheus()
+        assert legacy.startswith(
+            "# TYPE mvtee_requests_served_total counter\n"
+            "mvtee_requests_served_total 3\n"
+        )
+        assert 'mvtee_live_variants{partition="1"} 3\n' in legacy
+        # Tracing flowed through the serving path too.
+        assert tracer.find("stage")
