@@ -109,9 +109,15 @@ class ConsistencyPolicy:
         mse = mean_squared_error(a, b)
         abs_diff = max_abs_diff(a, b)
         scale = max(1.0, float(np.max(np.abs(a))), float(np.max(np.abs(b))))
-        close = bool(
-            np.allclose(a, b, rtol=self.rtol, atol=self.atol * scale)
+        # np.allclose's rtol term reads only its second argument, which
+        # would make the verdict depend on comparison order; peer variants
+        # have no privileged side, so take the elementwise max magnitude.
+        wide_a = a.astype(np.float64)
+        wide_b = b.astype(np.float64)
+        tolerance = self.atol * scale + self.rtol * np.maximum(
+            np.abs(wide_a), np.abs(wide_b)
         )
+        close = bool(np.all(np.abs(wide_a - wide_b) <= tolerance))
         failures = []
         if cosine < self.min_cosine:
             failures.append(f"cosine {cosine:.6f} < {self.min_cosine}")

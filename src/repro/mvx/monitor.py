@@ -10,6 +10,7 @@ response to divergences and crashes.
 from __future__ import annotations
 
 import secrets
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -76,6 +77,12 @@ class Monitor:
     #: Functionally identical to serial dispatch; numpy kernels release
     #: the GIL, so replicated variants of a stage genuinely overlap.
     parallel_dispatch: bool = False
+    #: Pluggable replica dispatcher: an object with
+    #: ``dispatch(monitor, connections, batch_id, feeds) -> list[VariantOutput]``
+    #: (e.g. :class:`repro.serving.executor.ParallelStageExecutor`).
+    #: Takes precedence over ``parallel_dispatch``; the scheduler
+    #: installs a run's dispatcher for the duration of that run.
+    dispatcher: object | None = None
     #: Observability sinks: the tracer receives ``variant`` and
     #: ``checkpoint`` spans (nested under the scheduler's ``stage``
     #: spans); detection/recovery counters go to ``metrics`` (None =
@@ -93,6 +100,9 @@ class Monitor:
     _deferred: list[tuple[int, int, dict, list[VariantConnection], dict]] = field(
         default_factory=list
     )
+    #: Guards shared mutable detection state (events, deferred checks,
+    #: connection lists) against concurrent replica dispatch threads.
+    _state_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @property
     def partition_set(self) -> PartitionSet:
@@ -302,6 +312,8 @@ class Monitor:
 
     def _dispatch(self, connections, batch_id, feeds) -> list[VariantOutput]:
         """Send one request to every connection, optionally in parallel."""
+        if self.dispatcher is not None and len(connections) > 1:
+            return self.dispatcher.dispatch(self, connections, batch_id, feeds)
         if self.parallel_dispatch and len(connections) > 1:
             from concurrent.futures import ThreadPoolExecutor
 
@@ -338,7 +350,10 @@ class Monitor:
             )
         self._handle_vote_outcome(batch_id, index, quorum_conns, result, async_stage=True)
         if laggards:
-            self._deferred.append((batch_id, index, result.accepted, laggards, feeds))
+            with self._state_lock:
+                self._deferred.append(
+                    (batch_id, index, result.accepted, laggards, feeds)
+                )
         return result.accepted
 
     def _resolve_deferred(self, *, upto_partition: int, batch_id: int) -> None:
@@ -350,8 +365,9 @@ class Monitor:
         """
         if not self._deferred:
             return
-        pending = self._deferred
-        self._deferred = []
+        with self._state_lock:
+            pending = self._deferred
+            self._deferred = []
         for d_batch, d_index, accepted, laggards, feeds in pending:
             with self.tracer.span(
                 "checkpoint",
@@ -374,12 +390,24 @@ class Monitor:
                             agreeing_variants=(),
                             detected_async=True,
                         )
-                        self.events.append(event)
+                        with self._state_lock:
+                            self.events.append(event)
                         self._record_divergence_metric(d_index)
                         self._respond(connection, d_batch, d_index)
             self.metrics_registry.counter(
                 "mvtee_checkpoints_total", "Checkpoint consistency evaluations"
             ).inc(partition=d_index, mode="deferred")
+
+    def request_inference(
+        self, connection: VariantConnection, batch_id: int, feeds: dict
+    ) -> VariantOutput:
+        """One monitor->variant round trip (spans + metrics included).
+
+        The building block pluggable dispatchers compose: safe to call
+        from worker threads -- the span, counter and detection-state
+        paths it touches are lock- or GIL-protected.
+        """
+        return self._request_inference(connection, batch_id, feeds)
 
     def _request_inference(
         self, connection: VariantConnection, batch_id: int, feeds: dict
@@ -477,7 +505,8 @@ class Monitor:
                 reports=result.reports,
                 detected_async=async_stage,
             )
-            self.events.append(event)
+            with self._state_lock:
+                self.events.append(event)
             self._record_divergence_metric(index)
             for variant_id in result.dissenting:
                 self._respond(by_id[variant_id], batch_id, index)
@@ -490,14 +519,15 @@ class Monitor:
         ).inc(partition=index)
 
     def _record_crash(self, batch_id, index, connection, error) -> None:
-        self.events.append(
-            CrashEvent(
-                batch_id=batch_id,
-                partition_index=index,
-                variant_id=connection.variant_id,
-                error=str(error),
+        with self._state_lock:
+            self.events.append(
+                CrashEvent(
+                    batch_id=batch_id,
+                    partition_index=index,
+                    variant_id=connection.variant_id,
+                    error=str(error),
+                )
             )
-        )
         self.metrics_registry.counter(
             "mvtee_crashes_total", "Variant crash detections"
         ).inc(partition=index)
@@ -524,11 +554,12 @@ class Monitor:
                 channel_id=connection.channel.channel_id,
                 event="retire",
             )
-            self.connections[index] = [
-                c
-                for c in self.connections.get(index, [])
-                if c.variant_id != connection.variant_id
-            ]
+            with self._state_lock:
+                self.connections[index] = [
+                    c
+                    for c in self.connections.get(index, [])
+                    if c.variant_id != connection.variant_id
+                ]
 
     def retire_variant(self, variant_id: str) -> None:
         """Terminate and unbind one variant (scale-down / operator action)."""
@@ -558,8 +589,12 @@ class Monitor:
 
     def divergence_events(self) -> list[DivergenceEvent]:
         """All recorded divergence detections."""
-        return [e for e in self.events if isinstance(e, DivergenceEvent)]
+        with self._state_lock:
+            events = list(self.events)
+        return [e for e in events if isinstance(e, DivergenceEvent)]
 
     def crash_events(self) -> list[CrashEvent]:
         """All recorded variant crashes."""
-        return [e for e in self.events if isinstance(e, CrashEvent)]
+        with self._state_lock:
+            events = list(self.events)
+        return [e for e in events if isinstance(e, CrashEvent)]

@@ -75,6 +75,12 @@ class InferenceOptions:
     of the run; ``None`` keeps the provisioned value.  ``tracer`` and
     ``metrics`` direct the run's observability output; left unset, the
     monitor's tracer and the process-wide registry are used.
+
+    ``dispatcher`` installs a replica dispatcher on the monitor for the
+    duration of the run -- an object with
+    ``dispatch(monitor, connections, batch_id, feeds)`` such as
+    :class:`repro.serving.executor.ParallelStageExecutor`, which runs
+    the variant replicas of a stage concurrently.
     """
 
     scheduling: SchedulingMode = SchedulingMode.SEQUENTIAL
@@ -82,6 +88,7 @@ class InferenceOptions:
     path_mode: PathMode | None = None
     tracer: Tracer | None = None
     metrics: MetricsRegistry | None = None
+    dispatcher: object | None = None
 
 
 @dataclass
@@ -189,6 +196,7 @@ def run(
     )
     saved_config = monitor.config
     saved_tracer, saved_metrics = monitor.tracer, monitor.metrics
+    saved_dispatcher = monitor.dispatcher
     overrides = {}
     if options.mode is not None:
         overrides["execution_mode"] = options.mode.value
@@ -197,6 +205,8 @@ def run(
     if overrides and saved_config is not None:
         monitor.config = dataclasses.replace(saved_config, **overrides)
     monitor.tracer, monitor.metrics = tracer, registry
+    if options.dispatcher is not None:
+        monitor.dispatcher = options.dispatcher
     try:
         stats = RunStats()
         config = monitor.config
@@ -217,6 +227,7 @@ def run(
     finally:
         monitor.config = saved_config
         monitor.tracer, monitor.metrics = saved_tracer, saved_metrics
+        monitor.dispatcher = saved_dispatcher
 
 
 def _run_sequential(

@@ -8,6 +8,14 @@ requests are queued, executed through the pipeline in arrival order,
 optionally supervised by the adaptive controller, with per-request
 status, deployment metrics and graceful degradation on detections.
 
+Two execution paths share the request table: the synchronous
+:meth:`InferenceService.drain` loop, and the concurrent
+:meth:`InferenceService.serve` mode backed by
+:class:`repro.serving.ServingEngine` (bounded admission queue with load
+shedding, dynamic micro-batching, parallel variant execution).  The
+service is thread-safe: it can be driven from user threads and from the
+engine's worker at once.
+
 Serving counters live in the service's
 :class:`~repro.observability.metrics.MetricsRegistry`;
 :meth:`InferenceService.metrics` is a read-through snapshot over that
@@ -20,8 +28,10 @@ scraping.
 from __future__ import annotations
 
 import enum
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -53,6 +63,9 @@ class _Request:
     state: RequestState = RequestState.QUEUED
     result: dict[str, np.ndarray] | None = None
     error: str = ""
+    #: The serving-engine ticket backing this request while serve() is
+    #: active (None on the synchronous drain() path).
+    ticket: object | None = field(default=None, repr=False)
 
 
 @dataclass(frozen=True)
@@ -121,6 +134,10 @@ class InferenceService:
         self._queue: OrderedDict[int, _Request] = OrderedDict()
         self._done: dict[int, _Request] = {}
         self._next_id = 0
+        #: Guards _queue/_done/_next_id: the service is driven from user
+        #: threads and from the concurrent serving engine at once.
+        self._lock = threading.Lock()
+        self._engine = None
 
     def _counter(self, name: str, help: str):
         return self.registry.counter(name, help)
@@ -130,41 +147,87 @@ class InferenceService:
     # ------------------------------------------------------------------
 
     def submit(self, feeds: dict[str, np.ndarray]) -> int:
-        """Enqueue one request; returns its id."""
-        request = _Request(request_id=self._next_id, feeds=dict(feeds))
-        self._next_id += 1
-        self._queue[request.request_id] = request
+        """Enqueue one request; returns its id.
+
+        While :meth:`serve` is active the request is handed straight to
+        the serving engine (and its backpressure applies: an
+        over-capacity submission raises
+        :class:`~repro.serving.errors.Overloaded` without leaving a
+        request behind).
+        """
+        with self._lock:
+            request = _Request(request_id=self._next_id, feeds=dict(feeds))
+            self._next_id += 1
+            self._queue[request.request_id] = request
+            engine = self._engine
+        if engine is not None:
+            try:
+                ticket = engine.submit(request.feeds)
+            except Exception:
+                with self._lock:
+                    self._queue.pop(request.request_id, None)
+                raise
+            request.ticket = ticket
+            ticket.add_done_callback(
+                lambda t, request=request: self._finish_from_ticket(request, t)
+            )
         return request.request_id
 
     def status(self, request_id: int) -> RequestState:
         """State of a submitted request."""
-        request = self._queue.get(request_id) or self._done.get(request_id)
+        with self._lock:
+            request = self._queue.get(request_id) or self._done.get(request_id)
         if request is None:
             raise KeyError(f"unknown request {request_id}")
         return request.state
 
     def result(self, request_id: int) -> dict[str, np.ndarray]:
         """Result of a DONE request; raises for queued/failed ones."""
-        request = self._done.get(request_id)
+        with self._lock:
+            request = self._done.get(request_id)
         if request is None:
             raise KeyError(f"request {request_id} is not finished")
-        if request.state is RequestState.FAILED:
+        if request.state is not RequestState.DONE:
             raise MonitorError(f"request {request_id} failed: {request.error}")
         assert request.result is not None
         return request.result
+
+    def wait(self, request_id: int, timeout: float | None = None) -> RequestState:
+        """Block until a request finishes (serve() path); returns its state.
+
+        On the synchronous path (no engine ticket) the current state is
+        returned immediately -- :meth:`drain` is the blocking step there.
+        """
+        with self._lock:
+            request = self._queue.get(request_id) or self._done.get(request_id)
+        if request is None:
+            raise KeyError(f"unknown request {request_id}")
+        if request.ticket is not None:
+            request.ticket.exception(timeout)
+        return self.status(request_id)
 
     # ------------------------------------------------------------------
     # Serving loop
     # ------------------------------------------------------------------
 
     def drain(self, *, max_batch: int | None = None) -> int:
-        """Run queued requests through the pipeline; returns #completed.
+        """Run queued requests through the pipeline synchronously.
 
-        On a detection that halts the pipeline (HALT response policy) the
-        in-flight requests are marked FAILED and the queue keeps the
-        rest; the operator decides how to proceed.
+        Returns the number of requests *transitioned* out of the queue
+        -- completed ones on success, FAILED ones when a detection
+        halted the pipeline (HALT response policy); the queue keeps the
+        rest and the operator decides how to proceed.  ``max_batch=0``
+        means "do nothing" (not "unlimited"); ``None`` drains everything.
         """
-        pending = list(self._queue.values())[: max_batch or None]
+        if self._engine is not None:
+            raise RuntimeError(
+                "drain() is unavailable while serve() is active; the engine "
+                "is processing the queue"
+            )
+        if max_batch is not None and max_batch <= 0:
+            return 0
+        with self._lock:
+            pending = list(self._queue.values())[:max_batch]
         if not pending:
             return 0
         options = InferenceOptions(
@@ -178,17 +241,18 @@ class InferenceService:
         try:
             results = self.system.infer_batches(batches, options)
         except MonitorError as exc:
-            for request in pending:
-                request.state = RequestState.FAILED
-                request.error = str(exc)
-                self._done[request.request_id] = request
-                self._queue.pop(request.request_id, None)
+            with self._lock:
+                for request in pending:
+                    request.state = RequestState.FAILED
+                    request.error = str(exc)
+                    self._done[request.request_id] = request
+                    self._queue.pop(request.request_id, None)
             self._counter(
                 "mvtee_requests_failed_total", "Requests failed by a detection"
             ).inc(len(pending))
             if self.controller is not None:
                 self.controller.observe()
-            return 0
+            return len(pending)
         stats = self.system.last_stats
         self._counter(
             "mvtee_service_batches_total", "Batches executed by the service"
@@ -196,17 +260,85 @@ class InferenceService:
         self._counter(
             "mvtee_service_checkpoints_total", "Checkpoints evaluated while serving"
         ).inc(stats.checkpoints_evaluated)
-        for request, result in zip(pending, results):
-            request.state = RequestState.DONE
-            request.result = result
-            self._done[request.request_id] = request
-            self._queue.pop(request.request_id, None)
+        with self._lock:
+            for request, result in zip(pending, results):
+                request.state = RequestState.DONE
+                request.result = result
+                self._done[request.request_id] = request
+                self._queue.pop(request.request_id, None)
         self._counter(
             "mvtee_requests_served_total", "Requests served to completion"
         ).inc(len(pending))
         if self.controller is not None:
             self.controller.observe()
         return len(pending)
+
+    # ------------------------------------------------------------------
+    # Concurrent serving mode
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def serve(
+        self,
+        *,
+        capacity: int = 64,
+        max_batch_size: int = 8,
+        max_wait_s: float = 0.002,
+        deadline_s: float | None = None,
+        parallel_variants: bool = True,
+        max_workers: int = 8,
+    ):
+        """Serve concurrently through a :class:`repro.serving.ServingEngine`.
+
+        While the context is active, :meth:`submit` routes requests into
+        the engine (admission control, micro-batching, parallel variant
+        execution) and completions land back in this service's request
+        table; :meth:`wait` blocks on individual requests.  The engine
+        records into this service's registry, so :meth:`metrics` and
+        :meth:`render_prometheus` cover both serving paths.  Requests
+        queued *before* entering remain for a later :meth:`drain`.
+        """
+        from repro.serving.engine import ServingEngine, ServingPolicy
+
+        if self._engine is not None:
+            raise RuntimeError("serve() is already active")
+        engine = ServingEngine(
+            self.system,
+            policy=ServingPolicy(
+                capacity=capacity,
+                max_batch_size=max_batch_size,
+                max_wait_s=max_wait_s,
+                default_deadline_s=deadline_s,
+                parallel_variants=parallel_variants,
+                max_workers=max_workers,
+            ),
+            registry=self.registry,
+            tracer=self.tracer,
+        )
+        engine.start()
+        self._engine = engine
+        try:
+            yield engine
+        finally:
+            self._engine = None
+            engine.stop()
+            if self.controller is not None:
+                self.controller.observe()
+
+    def _finish_from_ticket(self, request: _Request, ticket) -> None:
+        """Engine completion callback: move the request into _done."""
+        from repro.serving.engine import TicketState
+
+        with self._lock:
+            if ticket.state is TicketState.DONE:
+                request.state = RequestState.DONE
+                request.result = ticket.result(timeout=0)
+            else:
+                request.state = RequestState.FAILED
+                error = ticket.exception(timeout=0)
+                request.error = str(error) if error is not None else ""
+            self._done[request.request_id] = request
+            self._queue.pop(request.request_id, None)
 
     # ------------------------------------------------------------------
     # Operations surface

@@ -157,6 +157,25 @@ class MvteeSystem:
         self.last_stats = stats
         return results
 
+    def serving_engine(
+        self,
+        *,
+        policy=None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
+        """A (not yet started) :class:`repro.serving.ServingEngine`.
+
+        The concurrent serving surface over this deployment: bounded
+        admission with load shedding, dynamic micro-batching, parallel
+        variant execution.  Call ``start()``/``stop()`` or use it as a
+        context manager; :meth:`InferenceService.serve` wraps the same
+        engine behind the request-id surface.
+        """
+        from repro.serving.engine import ServingEngine
+
+        return ServingEngine(self, policy=policy, registry=registry, tracer=tracer)
+
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------

@@ -55,6 +55,11 @@ class VariantHost:
     #: async scheduler and the DES use this to model slow variants (e.g.
     #: a heavily diversified TVM variant, §6.4).
     simulated_latency: float = 0.0
+    #: Apply ``simulated_latency`` as real wall-clock sleep before each
+    #: inference.  The sleep releases the GIL like the numpy kernels do,
+    #: so the serving benchmarks can model heavy diversified variants
+    #: whose replicas genuinely overlap under parallel dispatch.
+    realtime_latency: bool = False
     #: Metrics sink for serving counters (None = process-wide registry).
     metrics: MetricsRegistry | None = None
     _served: int = field(default=0)
@@ -160,6 +165,8 @@ class VariantHost:
         if self.runtime is None:
             return encode_message("error", {"reason": "variant not initialized"})
         registry = self.metrics if self.metrics is not None else get_global_registry()
+        if self.realtime_latency and self.simulated_latency > 0:
+            time.sleep(self.simulated_latency)
         start = time.perf_counter()
         try:
             outputs = self.runtime.run(tensors)

@@ -23,6 +23,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SIZE_BUCKETS",
     "get_global_registry",
     "set_global_registry",
 ]
@@ -46,6 +47,10 @@ DEFAULT_BUCKETS = (
     5.0,
     10.0,
 )
+
+#: Power-of-two count buckets for size-like observations (batch sizes,
+#: queue depths) where the latency buckets make no sense.
+SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 def _labelkey(labels: dict) -> tuple:

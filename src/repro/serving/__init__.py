@@ -1,0 +1,70 @@
+"""Concurrent serving: admission control, micro-batching, parallel variants.
+
+The paper motivates streaming/pipelined serving for "real-time scenarios
+and continuous large-volume data analysis" (§6.4); this package is the
+serving layer that makes that real under load.  A request travels
+
+    admit -> batch -> execute -> respond
+
+- :mod:`repro.serving.admission` -- a bounded queue with backpressure:
+  over-capacity submissions are *shed* with a typed
+  :class:`~repro.serving.errors.Overloaded` instead of growing the queue
+  without bound.
+- :mod:`repro.serving.batching` -- a dynamic micro-batcher that coalesces
+  queued requests under a ``max_batch_size`` / ``max_wait_s`` policy
+  before handing them to :meth:`MvteeSystem.infer_batches`, amortizing
+  per-request orchestration overhead.
+- :mod:`repro.serving.executor` -- :class:`ParallelStageExecutor`, a
+  persistent thread pool that dispatches the variant replicas of a stage
+  concurrently (numpy kernels release the GIL, so replicated variants
+  genuinely overlap), with per-batch deadlines and retry-once on
+  transient variant faults.
+- :mod:`repro.serving.engine` -- :class:`ServingEngine` tying the three
+  together behind ``submit() -> Ticket`` with a background worker.
+- :mod:`repro.serving.loadgen` -- closed-loop and bursty open-loop load
+  generators producing p50/p95/p99 latency, throughput and shed-rate
+  reports for the serving benchmarks.
+
+Everything reports through :mod:`repro.observability`: the
+``mvtee_queue_depth`` gauge, ``mvtee_queue_wait_seconds`` and
+``mvtee_batch_size`` histograms, and the ``mvtee_requests_shed_total`` /
+``mvtee_requests_timeout_total`` counters.
+"""
+
+from repro.serving.admission import AdmissionQueue
+from repro.serving.batching import BatchPolicy, MicroBatcher
+from repro.serving.engine import ServingEngine, ServingPolicy, Ticket, TicketState
+from repro.serving.errors import (
+    DeadlineExceeded,
+    EngineStopped,
+    Overloaded,
+    ServingError,
+)
+from repro.serving.executor import ParallelStageExecutor
+from repro.serving.loadgen import (
+    ClosedLoopLoadGenerator,
+    LoadReport,
+    open_loop_burst,
+    percentile,
+    settle_burst,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "BatchPolicy",
+    "ClosedLoopLoadGenerator",
+    "DeadlineExceeded",
+    "EngineStopped",
+    "LoadReport",
+    "MicroBatcher",
+    "Overloaded",
+    "ParallelStageExecutor",
+    "ServingEngine",
+    "ServingError",
+    "ServingPolicy",
+    "Ticket",
+    "TicketState",
+    "open_loop_burst",
+    "percentile",
+    "settle_burst",
+]

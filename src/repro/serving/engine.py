@@ -1,0 +1,322 @@
+"""The serving engine: admit -> batch -> execute -> respond.
+
+:class:`ServingEngine` is the concurrent serving surface over a
+deployed :class:`~repro.mvx.system.MvteeSystem`.  Producers call
+:meth:`submit` from any thread and get a :class:`Ticket` (a future); a
+background worker coalesces admitted requests into micro-batches and
+drives them through :meth:`MvteeSystem.infer_batches`, with the variant
+replicas of each stage dispatched in parallel by a
+:class:`~repro.serving.executor.ParallelStageExecutor`.
+
+Failure semantics per batch:
+
+- a detection that halts the pipeline (``MonitorError``) fails every
+  request of the batch -- the requests shared the halted run;
+- a missed deadline (``DeadlineExceeded``) times the batch's requests
+  out; requests whose deadline already passed while queued are timed
+  out without ever executing;
+- admission rejections (``Overloaded``) raise at ``submit`` and never
+  produce a ticket.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.mvx.monitor import MonitorError
+from repro.mvx.scheduler import InferenceOptions, SchedulingMode, validate_feeds
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
+from repro.serving.admission import AdmissionQueue
+from repro.serving.batching import BatchPolicy, MicroBatcher
+from repro.serving.errors import DeadlineExceeded, EngineStopped
+from repro.serving.executor import ParallelStageExecutor
+
+__all__ = ["ServingEngine", "ServingPolicy", "Ticket", "TicketState"]
+
+
+@dataclass(frozen=True)
+class ServingPolicy:
+    """Everything tunable about one engine, in one bundle."""
+
+    #: Admission queue bound; submissions past it are shed.
+    capacity: int = 64
+    #: Micro-batch coalescing knobs (see :class:`BatchPolicy`).
+    max_batch_size: int = 8
+    max_wait_s: float = 0.002
+    #: Deadline applied to requests that do not carry their own (None =
+    #: unbounded).
+    default_deadline_s: float | None = None
+    #: Dispatch variant replicas concurrently (ParallelStageExecutor).
+    parallel_variants: bool = True
+    max_workers: int = 8
+    #: Retry one variant round trip once on a transient fault.
+    retry_transient: bool = True
+    #: Scheduling of the micro-batch through the pipeline stages.
+    scheduling: SchedulingMode = SchedulingMode.PIPELINED
+
+
+class TicketState(enum.Enum):
+    """Lifecycle of one admitted request."""
+
+    PENDING = "pending"
+    DONE = "done"
+    FAILED = "failed"
+    TIMED_OUT = "timed_out"
+
+
+class Ticket:
+    """Future handle for one admitted request."""
+
+    def __init__(
+        self,
+        ticket_id: int,
+        feeds: dict[str, np.ndarray],
+        *,
+        deadline: float | None,
+        enqueued_at: float,
+    ):
+        self.ticket_id = ticket_id
+        self.feeds = feeds
+        #: Monotonic deadline (None = unbounded).
+        self.deadline = deadline
+        #: Monotonic admission timestamp (drives mvtee_queue_wait_seconds).
+        self.enqueued_at = enqueued_at
+        self._state = TicketState.PENDING
+        self._result: dict[str, np.ndarray] | None = None
+        self._error: Exception | None = None
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._callbacks: list[Callable[["Ticket"], None]] = []
+
+    @property
+    def state(self) -> TicketState:
+        """Current lifecycle state."""
+        return self._state
+
+    def done(self) -> bool:
+        """Whether a result or error has been recorded."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> dict[str, np.ndarray]:
+        """Block for the outcome; raises the request's failure if any."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"ticket {self.ticket_id} not finished")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> Exception | None:
+        """Block for the outcome; returns the failure instead of raising."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"ticket {self.ticket_id} not finished")
+        return self._error
+
+    def add_done_callback(self, fn: Callable[["Ticket"], None]) -> None:
+        """Run ``fn(ticket)`` on completion (immediately if already done)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def _finish(self, state: TicketState, result=None, error=None) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._state = state
+            self._result = result
+            self._error = error
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for fn in callbacks:
+            fn(self)
+
+
+class ServingEngine:
+    """Background-threaded serving over one deployed system."""
+
+    def __init__(
+        self,
+        system,
+        *,
+        policy: ServingPolicy | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.system = system
+        self.policy = policy if policy is not None else ServingPolicy()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._clock = clock
+        self._queue = AdmissionQueue(
+            self.policy.capacity, registry=self.registry, clock=clock
+        )
+        self._batcher = MicroBatcher(
+            self._queue,
+            BatchPolicy(
+                max_batch_size=self.policy.max_batch_size,
+                max_wait_s=self.policy.max_wait_s,
+            ),
+            registry=self.registry,
+            clock=clock,
+        )
+        self._executor = (
+            ParallelStageExecutor(
+                self.policy.max_workers,
+                retry_transient=self.policy.retry_transient,
+                clock=clock,
+            )
+            if self.policy.parallel_variants
+            else None
+        )
+        self._ids = itertools.count()
+        self._worker: threading.Thread | None = None
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, feeds: dict[str, np.ndarray], *, deadline_s: float | None = None
+    ) -> Ticket:
+        """Validate, admit and ticket one request.
+
+        Raises ``ValueError`` on malformed feeds (trust-boundary
+        validation before the request occupies a queue slot),
+        :class:`Overloaded` when the queue is full, and
+        :class:`EngineStopped` after :meth:`stop`.
+        """
+        validate_feeds(self.system.monitor, feeds)
+        now = self._clock()
+        if deadline_s is None:
+            deadline_s = self.policy.default_deadline_s
+        ticket = Ticket(
+            next(self._ids),
+            dict(feeds),
+            deadline=None if deadline_s is None else now + deadline_s,
+            enqueued_at=now,
+        )
+        self._queue.offer(ticket)
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ServingEngine":
+        """Spawn the worker; idempotent while running."""
+        if self._worker is not None and self._worker.is_alive():
+            return self
+        if self._stopping.is_set():
+            raise EngineStopped("engine cannot be restarted after stop()")
+        self._worker = threading.Thread(
+            target=self._run, name="mvtee-serving", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self, *, timeout: float | None = 30.0) -> None:
+        """Refuse new requests, drain admitted ones, join the worker."""
+        self._stopping.set()
+        self._queue.close()
+        if self._worker is not None:
+            self._worker.join(timeout)
+            self._worker = None
+        if self._executor is not None:
+            self._executor.shutdown()
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            batch = self._batcher.next_batch(poll_s=0.02)
+            if batch:
+                self._execute(batch)
+                continue
+            if self._stopping.is_set() and len(self._queue) == 0:
+                return
+
+    def _execute(self, tickets: list[Ticket]) -> None:
+        now = self._clock()
+        live = []
+        for ticket in tickets:
+            if ticket.deadline is not None and now >= ticket.deadline:
+                self._timeout(
+                    ticket,
+                    DeadlineExceeded(
+                        f"ticket {ticket.ticket_id} expired after "
+                        f"{now - ticket.enqueued_at:.4f}s in queue"
+                    ),
+                )
+            else:
+                live.append(ticket)
+        if not live:
+            return
+        deadlines = [t.deadline for t in live if t.deadline is not None]
+        deadline = min(deadlines) if deadlines else None
+        if self._executor is not None:
+            self._executor.deadline = deadline
+        options = InferenceOptions(
+            scheduling=self.policy.scheduling,
+            tracer=self.tracer,
+            metrics=self.registry,
+            dispatcher=self._executor,
+        )
+        try:
+            results = self.system.infer_batches([t.feeds for t in live], options)
+        except DeadlineExceeded as exc:
+            # Deadlines are batch-atomic: the requests shared the run
+            # that missed, and the tightest deadline set the budget.
+            for ticket in live:
+                self._timeout(ticket, exc)
+            return
+        except MonitorError as exc:
+            self.registry.counter(
+                "mvtee_requests_failed_total", "Requests failed by a detection"
+            ).inc(len(live))
+            for ticket in live:
+                ticket._finish(TicketState.FAILED, error=exc)
+            return
+        self.registry.counter(
+            "mvtee_requests_served_total", "Requests served to completion"
+        ).inc(len(live))
+        for ticket, result in zip(live, results):
+            ticket._finish(TicketState.DONE, result=result)
+
+    def _timeout(self, ticket: Ticket, error: DeadlineExceeded) -> None:
+        self.registry.counter(
+            "mvtee_requests_timeout_total", "Requests that missed their deadline"
+        ).inc()
+        ticket._finish(TicketState.TIMED_OUT, error=error)
+
+    # ------------------------------------------------------------------
+    # Operations surface
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a batch slot."""
+        return len(self._queue)
+
+    def render_prometheus(self) -> str:
+        """The engine registry's full text exposition."""
+        return self.registry.render_prometheus()

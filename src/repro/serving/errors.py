@@ -1,0 +1,36 @@
+"""Typed serving failures.
+
+Clients distinguish three outcomes that a plain ``Exception`` would
+blur: the deployment is *overloaded* (back off and retry later), the
+request's *deadline* passed (the answer is useless now even if it could
+still be computed), and the engine is *stopped* (no further requests
+will be accepted).  Load shedding and deadline enforcement are policy,
+so they get their own types instead of piggybacking on
+:class:`~repro.mvx.monitor.MonitorError`, which is reserved for
+security-relevant detection outcomes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DeadlineExceeded", "EngineStopped", "Overloaded", "ServingError"]
+
+
+class ServingError(Exception):
+    """Base class of serving-layer failures (admission, deadline, lifecycle)."""
+
+
+class Overloaded(ServingError):
+    """The admission queue is at capacity; the request was shed.
+
+    Backpressure by rejection: shedding at the front door keeps queue
+    wait bounded instead of letting latency grow without limit under a
+    sustained overload.
+    """
+
+
+class DeadlineExceeded(ServingError):
+    """The request's deadline passed before a result could be produced."""
+
+
+class EngineStopped(ServingError):
+    """The serving engine is shut down and accepts no new requests."""

@@ -1,0 +1,125 @@
+"""True parallel variant execution for replicated stages.
+
+The monitor's default slow path queries the variant replicas of a stage
+one after another; with three replicas the checkpoint waits for the sum
+of three round trips.  :class:`ParallelStageExecutor` dispatches them
+concurrently on one persistent :class:`ThreadPoolExecutor` -- the numpy
+kernels inside the variant runtimes release the GIL, so the replicas
+genuinely overlap and the checkpoint waits only for the slowest.
+
+The executor plugs into a run as its *dispatcher* (via
+:class:`~repro.mvx.scheduler.InferenceOptions` or directly on the
+monitor) and sits behind the scheduler's ``_stage_once`` contract: same
+feeds in, same :class:`~repro.mvx.voting.VariantOutput` list out, same
+span/metric emission -- only the wall clock differs.  On top of the
+parallelism it enforces a per-batch deadline (raising
+:class:`~repro.serving.errors.DeadlineExceeded` when a replica cannot
+answer in time) and retries one round trip once when a variant fails
+transiently -- the host is still alive, so a transport glitch or torn
+channel record should not cost the replica its vote.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Callable
+
+from repro.serving.errors import DeadlineExceeded
+
+__all__ = ["ParallelStageExecutor"]
+
+
+class ParallelStageExecutor:
+    """Concurrent monitor->variant dispatch with deadlines and one retry.
+
+    One executor serves one serving engine (or one benchmark loop): the
+    pool is persistent so per-batch thread startup never lands on the
+    latency path.  ``deadline`` is a monotonic timestamp applied to the
+    batch currently executing; the engine sets it before each batch
+    (batches execute one at a time per engine worker).
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 8,
+        *,
+        retry_transient: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="mvtee-variant"
+        )
+        self.retry_transient = retry_transient
+        self._clock = clock
+        #: Monotonic deadline for the batch currently executing (None =
+        #: unbounded).  Set by the engine before each batch.
+        self.deadline: float | None = None
+
+    # ------------------------------------------------------------------
+    # Dispatcher contract (Monitor._dispatch)
+    # ------------------------------------------------------------------
+
+    def dispatch(self, monitor, connections, batch_id, feeds) -> list:
+        """Round-trip ``feeds`` to every connection concurrently.
+
+        Results come back in connection order, exactly like the serial
+        path, so voting sees an identical input either way.
+        """
+        if len(connections) == 1:
+            return [self._request(monitor, connections[0], batch_id, feeds)]
+        futures = [
+            self._pool.submit(self._request, monitor, c, batch_id, feeds)
+            for c in connections
+        ]
+        results = []
+        for connection, future in zip(connections, futures):
+            if self.deadline is None:
+                results.append(future.result())
+                continue
+            remaining = self.deadline - self._clock()
+            try:
+                results.append(future.result(timeout=max(0.0, remaining)))
+            except FutureTimeout:
+                raise DeadlineExceeded(
+                    f"variant {connection.variant_id} missed the batch deadline "
+                    f"at batch {batch_id}, partition {connection.partition_index}"
+                ) from None
+        return results
+
+    def _request(self, monitor, connection, batch_id, feeds):
+        result = monitor.request_inference(connection, batch_id, feeds)
+        if (
+            result.outputs is None
+            and self.retry_transient
+            and not connection.host.crashed
+            and not self._past_deadline()
+        ):
+            # Transient fault: the host is alive, so the failure came
+            # from the path to it (transport glitch, torn record).  One
+            # retry keeps the replica's vote without masking real
+            # crashes -- a dead host short-circuits above.
+            monitor.metrics_registry.counter(
+                "mvtee_dispatch_retries_total",
+                "Variant round trips retried after a transient fault",
+            ).inc(partition=connection.partition_index)
+            result = monitor.request_inference(connection, batch_id, feeds)
+        return result
+
+    def _past_deadline(self) -> bool:
+        return self.deadline is not None and self._clock() >= self.deadline
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Tear the pool down (idempotent)."""
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelStageExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,196 @@
+"""Load generation and latency reporting for the serving engine.
+
+Two driving disciplines:
+
+- :class:`ClosedLoopLoadGenerator` -- N client threads, each submitting
+  one request and blocking on its ticket before the next (classic
+  closed loop; offered load tracks service rate, so it measures
+  achievable throughput and the latency distribution under it).
+- :func:`open_loop_burst` -- fire a burst of submissions without
+  waiting (open loop; offered load is independent of service rate, so
+  it exercises admission control and load shedding).
+
+Both produce a :class:`LoadReport` with p50/p95/p99 latency, throughput
+and shed rate -- the numbers the serving benchmark records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.mvx.monitor import MonitorError
+from repro.serving.engine import ServingEngine, Ticket
+from repro.serving.errors import DeadlineExceeded, Overloaded
+
+__all__ = [
+    "ClosedLoopLoadGenerator",
+    "LoadReport",
+    "open_loop_burst",
+    "percentile",
+    "settle_burst",
+]
+
+
+def percentile(latencies_s: list[float], q: float) -> float:
+    """The q-th percentile (0..100) of a latency sample; 0.0 if empty."""
+    if not latencies_s:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies_s, dtype=np.float64), q))
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load-generation run."""
+
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    wall_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per wall-clock second."""
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submissions rejected by admission control."""
+        return self.shed / self.submitted if self.submitted else 0.0
+
+    @property
+    def p50_s(self) -> float:
+        return percentile(self.latencies_s, 50)
+
+    @property
+    def p95_s(self) -> float:
+        return percentile(self.latencies_s, 95)
+
+    @property
+    def p99_s(self) -> float:
+        return percentile(self.latencies_s, 99)
+
+    def to_json(self) -> dict:
+        """Flat JSON payload for ``benchmarks/results``."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+            "timed_out": self.timed_out,
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "shed_rate": self.shed_rate,
+            "p50_ms": self.p50_s * 1e3,
+            "p95_ms": self.p95_s * 1e3,
+            "p99_ms": self.p99_s * 1e3,
+        }
+
+
+class ClosedLoopLoadGenerator:
+    """N synchronous clients hammering one engine."""
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        feeds_factory: Callable[[int, int], dict[str, np.ndarray]],
+        *,
+        clients: int = 4,
+        requests_per_client: int = 8,
+        deadline_s: float | None = None,
+    ):
+        self.engine = engine
+        self.feeds_factory = feeds_factory
+        self.clients = clients
+        self.requests_per_client = requests_per_client
+        self.deadline_s = deadline_s
+
+    def run(self) -> LoadReport:
+        """Drive every client to completion and aggregate the outcome."""
+        report = LoadReport()
+        lock = threading.Lock()
+
+        def client(client_index: int) -> None:
+            for request_index in range(self.requests_per_client):
+                feeds = self.feeds_factory(client_index, request_index)
+                start = time.monotonic()
+                with lock:
+                    report.submitted += 1
+                try:
+                    ticket = self.engine.submit(feeds, deadline_s=self.deadline_s)
+                    ticket.result()
+                except Overloaded:
+                    with lock:
+                        report.shed += 1
+                    continue
+                except DeadlineExceeded:
+                    with lock:
+                        report.timed_out += 1
+                    continue
+                except MonitorError:
+                    with lock:
+                        report.failed += 1
+                    continue
+                elapsed = time.monotonic() - start
+                with lock:
+                    report.completed += 1
+                    report.latencies_s.append(elapsed)
+
+        threads = [
+            threading.Thread(target=client, args=(i,), name=f"loadgen-{i}")
+            for i in range(self.clients)
+        ]
+        start = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        report.wall_s = time.monotonic() - start
+        return report
+
+
+def open_loop_burst(
+    engine: ServingEngine,
+    feeds_list: list[dict[str, np.ndarray]],
+    *,
+    deadline_s: float | None = None,
+) -> tuple[list[Ticket], LoadReport]:
+    """Submit a burst without waiting; returns (admitted tickets, report).
+
+    The report counts submissions and sheds at fire time;
+    :func:`settle_burst` folds the admitted tickets' outcomes in once
+    they finish.
+    """
+    report = LoadReport()
+    tickets = []
+    start = time.monotonic()
+    for feeds in feeds_list:
+        report.submitted += 1
+        try:
+            tickets.append(engine.submit(feeds, deadline_s=deadline_s))
+        except Overloaded:
+            report.shed += 1
+    report.wall_s = time.monotonic() - start
+    return tickets, report
+
+
+def settle_burst(
+    tickets: list[Ticket], report: LoadReport, *, timeout: float | None = None
+) -> LoadReport:
+    """Wait for a burst's admitted tickets and fold their outcomes in."""
+    for ticket in tickets:
+        error = ticket.exception(timeout)
+        if error is None:
+            report.completed += 1
+        elif isinstance(error, DeadlineExceeded):
+            report.timed_out += 1
+        else:
+            report.failed += 1
+    return report

@@ -61,6 +61,35 @@ class TestServiceLifecycle:
         assert service.drain(max_batch=2) == 2
         assert service.drain() == 2
 
+    def test_max_batch_zero_does_nothing(self, system):
+        service = InferenceService(system)
+        rid = service.submit(feeds_for(0))
+        assert service.drain(max_batch=0) == 0
+        assert service.status(rid) is RequestState.QUEUED
+        assert service.drain() == 1
+
+    def test_submit_is_thread_safe(self, system):
+        import threading
+
+        service = InferenceService(system)
+        ids: list[int] = []
+        lock = threading.Lock()
+
+        def client(seed):
+            for i in range(25):
+                rid = service.submit(feeds_for(seed * 100 + i))
+                with lock:
+                    ids.append(rid)
+
+        threads = [threading.Thread(target=client, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(ids) == 100
+        assert len(set(ids)) == 100  # no id handed out twice
+        assert all(service.status(rid) is RequestState.QUEUED for rid in ids)
+
     def test_unknown_request(self, system):
         service = InferenceService(system)
         with pytest.raises(KeyError):
@@ -94,7 +123,9 @@ class TestServiceUnderAttack:
         victim = deployed.monitor.stage_connections(1)[0]
         FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
         rid = service.submit(feeds_for(2))
-        assert service.drain() == 0
+        # drain() reports the requests it *transitioned*: the detection
+        # marked this one FAILED, which is a transition, not a no-op.
+        assert service.drain() == 1
         assert service.status(rid) is RequestState.FAILED
         with pytest.raises(MonitorError):
             service.result(rid)
@@ -109,6 +140,38 @@ class TestServiceUnderAttack:
         metrics = service.metrics()
         assert metrics.scaling_actions >= 1
         assert metrics.live_variants[1] == 3  # dropped one, scaled one back up
+
+
+class TestServeMode:
+    def test_serve_routes_submissions_through_engine(self, system, small_resnet_reference):
+        service = InferenceService(system)
+        with service.serve(max_batch_size=4, max_wait_s=0.001) as engine:
+            ids = [service.submit(feeds_for(i)) for i in range(5)]
+            for rid in ids:
+                assert service.wait(rid, timeout=30.0) is RequestState.DONE
+        name = next(iter(small_resnet_reference))
+        result = service.result(ids[0])
+        assert np.allclose(result[name], small_resnet_reference[name], atol=1e-2)
+        # The engine recorded into the service registry.
+        exposition = service.render_prometheus()
+        assert "mvtee_queue_depth" in exposition
+        assert "mvtee_batch_size" in exposition
+        assert engine.registry is service.registry
+
+    def test_drain_refused_while_serving(self, system):
+        service = InferenceService(system)
+        with service.serve():
+            with pytest.raises(RuntimeError, match="serve"):
+                service.drain()
+        assert service.drain() == 0  # usable again after exit
+
+    def test_pre_serve_backlog_stays_for_drain(self, system):
+        service = InferenceService(system)
+        rid = service.submit(feeds_for(0))
+        with service.serve():
+            pass
+        assert service.status(rid) is RequestState.QUEUED
+        assert service.drain() == 1
 
 
 class TestServiceMetrics:

@@ -1,0 +1,124 @@
+"""Functional equivalence of sequential and pipelined scheduling.
+
+The pipelined scheduler interleaves stages across batches; the contract
+is that interleaving is *invisible* functionally: same outputs on clean
+runs, and on a mid-pipeline divergence the same request set fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mvx import (
+    InferenceOptions,
+    InferenceService,
+    MvteeSystem,
+    RequestState,
+    ResponseAction,
+    SchedulingMode,
+)
+from repro.runtime.faults import FaultInjector
+
+NUM_BATCHES = 6
+
+
+def deploy(small_resnet, *, response=ResponseAction.HALT):
+    system = MvteeSystem.deploy(
+        small_resnet,
+        num_partitions=3,
+        mvx_partitions={1: 3},
+        seed=0,
+        verify_partitions=False,
+        verify_variants=False,
+    )
+    system.monitor.response_action = response
+    return system
+
+
+def batch_stream(count=NUM_BATCHES):
+    return [
+        {
+            "input": np.random.default_rng(seed)
+            .normal(size=(1, 3, 16, 16))
+            .astype(np.float32)
+        }
+        for seed in range(count)
+    ]
+
+
+def arm_divergence(system):
+    """Corrupt one replica of the middle (MVX) partition."""
+    victim = system.monitor.stage_connections(1)[0]
+    FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
+
+
+class TestCleanEquivalence:
+    def test_multi_batch_outputs_identical(self, small_resnet):
+        system = deploy(small_resnet)
+        batches = batch_stream()
+        sequential = system.infer_batches(
+            batches, InferenceOptions(scheduling=SchedulingMode.SEQUENTIAL)
+        )
+        pipelined = system.infer_batches(
+            batches, InferenceOptions(scheduling=SchedulingMode.PIPELINED)
+        )
+        assert len(sequential) == len(pipelined) == NUM_BATCHES
+        for seq_out, pipe_out in zip(sequential, pipelined):
+            assert seq_out.keys() == pipe_out.keys()
+            for name in seq_out:
+                np.testing.assert_array_equal(seq_out[name], pipe_out[name])
+
+    def test_stats_agree_on_work_done(self, small_resnet):
+        system = deploy(small_resnet)
+        batches = batch_stream()
+        system.infer_batches(
+            batches, InferenceOptions(scheduling=SchedulingMode.SEQUENTIAL)
+        )
+        seq_stats = system.last_stats
+        system.infer_batches(
+            batches, InferenceOptions(scheduling=SchedulingMode.PIPELINED)
+        )
+        pipe_stats = system.last_stats
+        assert seq_stats.batches == pipe_stats.batches == NUM_BATCHES
+        assert seq_stats.stage_executions == pipe_stats.stage_executions
+        assert seq_stats.checkpoints_evaluated == pipe_stats.checkpoints_evaluated
+
+
+class TestDivergenceEquivalence:
+    @pytest.mark.parametrize("pipelined", [False, True], ids=["sequential", "pipelined"])
+    def test_divergence_detected_mid_pipeline(self, small_resnet, pipelined):
+        system = deploy(small_resnet, response=ResponseAction.DROP_VARIANT)
+        arm_divergence(system)
+        options = InferenceOptions(
+            scheduling=SchedulingMode.PIPELINED if pipelined else SchedulingMode.SEQUENTIAL
+        )
+        results = system.infer_batches(batch_stream(), options)
+        # Detection fired at the partition-1 checkpoint, mid-pipeline,
+        # and the surviving replicas carried every batch to completion.
+        assert len(system.monitor.divergence_events()) >= 1
+        assert all(e.partition_index == 1 for e in system.monitor.divergence_events())
+        assert len(results) == NUM_BATCHES
+        assert len(system.monitor.stage_connections(1)) == 2
+
+    def test_both_paths_fail_the_same_request_set(self, small_resnet):
+        failed_sets = {}
+        result_sets = {}
+        for pipelined in (False, True):
+            system = deploy(small_resnet, response=ResponseAction.HALT)
+            arm_divergence(system)
+            service = InferenceService(system, pipelined=pipelined)
+            ids = [service.submit(feeds) for feeds in batch_stream()]
+            transitioned = service.drain()
+            states = {rid: service.status(rid) for rid in ids}
+            failed_sets[pipelined] = {
+                rid for rid, state in states.items() if state is RequestState.FAILED
+            }
+            result_sets[pipelined] = {
+                rid for rid, state in states.items() if state is RequestState.DONE
+            }
+            # HALT aborts the whole in-flight drain at the first checkpoint.
+            assert transitioned == NUM_BATCHES
+            assert len(system.monitor.divergence_events()) >= 1
+        assert failed_sets[False] == failed_sets[True]
+        assert result_sets[False] == result_sets[True] == set()

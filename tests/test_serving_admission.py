@@ -1,0 +1,152 @@
+"""Admission control and micro-batching, in isolation.
+
+These are pure queueing tests: no deployment, no variants.  The
+engine-level integration lives in test_serving_engine.py.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.serving import (
+    AdmissionQueue,
+    BatchPolicy,
+    EngineStopped,
+    MicroBatcher,
+    Overloaded,
+)
+
+
+class _Item:
+    """A queue item carrying the admission timestamp the batcher reads."""
+
+    def __init__(self, tag: int, enqueued_at: float = 0.0):
+        self.tag = tag
+        self.enqueued_at = enqueued_at
+
+
+class TestAdmissionQueue:
+    def test_fifo_within_capacity(self):
+        queue = AdmissionQueue(4, registry=MetricsRegistry())
+        for tag in range(4):
+            queue.offer(_Item(tag))
+        assert [queue.take(timeout=0).tag for _ in range(4)] == [0, 1, 2, 3]
+        assert queue.take(timeout=0) is None
+
+    def test_over_capacity_is_shed_not_grown(self):
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(2, registry=registry)
+        queue.offer(_Item(0))
+        queue.offer(_Item(1))
+        with pytest.raises(Overloaded):
+            queue.offer(_Item(2))
+        with pytest.raises(Overloaded):
+            queue.offer(_Item(3))
+        assert len(queue) == 2  # bounded: the burst did not grow the queue
+        assert registry.counter("mvtee_requests_shed_total").total() == 2
+
+    def test_depth_gauge_tracks_transitions(self):
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(8, registry=registry)
+        gauge = registry.gauge("mvtee_queue_depth")
+        queue.offer(_Item(0))
+        queue.offer(_Item(1))
+        assert gauge.value() == 2
+        queue.take(timeout=0)
+        assert gauge.value() == 1
+
+    def test_closed_queue_refuses_offers_but_drains(self):
+        queue = AdmissionQueue(4, registry=MetricsRegistry())
+        queue.offer(_Item(0))
+        queue.close()
+        with pytest.raises(EngineStopped):
+            queue.offer(_Item(1))
+        assert queue.take(timeout=0).tag == 0  # admitted work still drains
+        assert queue.take(timeout=0) is None  # then immediate None, no wait
+
+    def test_close_wakes_blocked_taker(self):
+        queue = AdmissionQueue(4, registry=MetricsRegistry())
+        results = []
+
+        def taker():
+            results.append(queue.take(timeout=30.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    def test_take_hands_item_to_blocked_consumer(self):
+        queue = AdmissionQueue(4, registry=MetricsRegistry())
+        results = []
+
+        def taker():
+            results.append(queue.take(timeout=30.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        queue.offer(_Item(7))
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert results[0].tag == 7
+
+
+class TestMicroBatcher:
+    def test_coalesces_up_to_max_batch_size(self):
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(16, registry=registry)
+        for tag in range(7):
+            queue.offer(_Item(tag))
+        batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=4), registry=registry)
+        assert [i.tag for i in batcher.next_batch()] == [0, 1, 2, 3]
+        assert [i.tag for i in batcher.next_batch()] == [4, 5, 6]
+
+    def test_empty_queue_polls_out(self):
+        queue = AdmissionQueue(4, registry=MetricsRegistry())
+        batcher = MicroBatcher(queue, BatchPolicy(), registry=MetricsRegistry())
+        assert batcher.next_batch(poll_s=0.01) == []
+
+    def test_zero_wait_still_sweeps_backlog(self):
+        # max_wait_s=0 must not degrade to single-request batches when a
+        # burst is already queued.
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(16, registry=registry)
+        for tag in range(5):
+            queue.offer(_Item(tag))
+        batcher = MicroBatcher(
+            queue, BatchPolicy(max_batch_size=8, max_wait_s=0.0), registry=registry
+        )
+        assert len(batcher.next_batch()) == 5
+
+    def test_batch_size_and_queue_wait_recorded(self):
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(16, registry=registry)
+        now = 100.0
+        for tag in range(3):
+            queue.offer(_Item(tag, enqueued_at=now - 0.5))
+        batcher = MicroBatcher(
+            queue,
+            BatchPolicy(max_batch_size=8, max_wait_s=0.0),
+            registry=registry,
+            clock=lambda: now,
+        )
+        batcher.next_batch()
+        sizes = registry.histogram("mvtee_batch_size")
+        assert sizes.count() == 1
+        assert sizes.sum() == 3
+        waits = registry.histogram("mvtee_queue_wait_seconds")
+        assert waits.count() == 3
+        assert waits.sum() == pytest.approx(1.5)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_s=-1.0)
+        with pytest.raises(ValueError):
+            AdmissionQueue(0, registry=MetricsRegistry())

@@ -1,0 +1,267 @@
+"""The concurrent serving engine and the parallel stage executor."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.mvx import (
+    InferenceOptions,
+    MonitorError,
+    MvteeSystem,
+    ResponseAction,
+)
+from repro.mvx.voting import VariantOutput
+from repro.observability.metrics import MetricsRegistry
+from repro.runtime.faults import FaultInjector
+from repro.serving import (
+    DeadlineExceeded,
+    EngineStopped,
+    Overloaded,
+    ParallelStageExecutor,
+    ServingPolicy,
+    TicketState,
+    open_loop_burst,
+    settle_burst,
+)
+
+SERVING_METRIC_NAMES = (
+    "mvtee_queue_depth",
+    "mvtee_queue_wait_seconds",
+    "mvtee_batch_size",
+    "mvtee_requests_shed_total",
+    "mvtee_requests_timeout_total",
+)
+
+
+@pytest.fixture()
+def system(small_resnet):
+    deployed = MvteeSystem.deploy(
+        small_resnet,
+        num_partitions=3,
+        mvx_partitions={1: 3},
+        seed=0,
+        verify_partitions=False,
+        verify_variants=False,
+    )
+    deployed.monitor.response_action = ResponseAction.DROP_VARIANT
+    return deployed
+
+
+def feeds_for(seed: int):
+    return {
+        "input": np.random.default_rng(seed)
+        .normal(size=(1, 3, 16, 16))
+        .astype(np.float32)
+    }
+
+
+class TestServingEngine:
+    def test_serves_and_matches_reference(self, system, small_resnet_reference):
+        with system.serving_engine() as engine:
+            tickets = [engine.submit(feeds_for(0)) for _ in range(3)]
+            results = [t.result(timeout=30.0) for t in tickets]
+        name = next(iter(small_resnet_reference))
+        for result in results:
+            assert np.allclose(result[name], small_resnet_reference[name], atol=1e-2)
+        assert all(t.state is TicketState.DONE for t in tickets)
+
+    def test_burst_is_shed_with_overloaded(self, system):
+        engine = system.serving_engine(policy=ServingPolicy(capacity=4))
+        # Not started: the queue fills deterministically, like a stalled worker.
+        tickets, report = open_loop_burst(engine, [feeds_for(i) for i in range(20)])
+        assert report.shed == 16
+        assert len(tickets) == 4
+        assert engine.queue_depth == 4  # bounded, not 20
+        shed = engine.registry.counter("mvtee_requests_shed_total").total()
+        assert shed == 16
+        engine.start()
+        settle_burst(tickets, report, timeout=30.0)
+        engine.stop()
+        assert report.completed == 4
+        assert report.shed_rate == pytest.approx(16 / 20)
+
+    def test_queued_past_deadline_times_out_without_executing(self, system):
+        engine = system.serving_engine()
+        ticket = engine.submit(feeds_for(0), deadline_s=0.001)
+        time.sleep(0.01)  # expire while no worker is running
+        engine.start()
+        with pytest.raises(DeadlineExceeded):
+            ticket.result(timeout=30.0)
+        engine.stop()
+        assert ticket.state is TicketState.TIMED_OUT
+        assert engine.registry.counter("mvtee_requests_timeout_total").total() == 1
+
+    def test_detection_fails_the_batch(self, system):
+        system.monitor.response_action = ResponseAction.HALT
+        victim = system.monitor.stage_connections(1)[0]
+        FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
+        with system.serving_engine() as engine:
+            ticket = engine.submit(feeds_for(1))
+            with pytest.raises(MonitorError):
+                ticket.result(timeout=30.0)
+        assert ticket.state is TicketState.FAILED
+        assert engine.registry.counter("mvtee_requests_failed_total").total() == 1
+
+    def test_submit_after_stop_raises(self, system):
+        engine = system.serving_engine().start()
+        engine.stop()
+        with pytest.raises(EngineStopped):
+            engine.submit(feeds_for(0))
+
+    def test_malformed_feeds_rejected_at_submit(self, system):
+        with system.serving_engine() as engine:
+            with pytest.raises(ValueError):
+                engine.submit({"wrong": np.zeros((1,), dtype=np.float32)})
+        assert engine.queue_depth == 0  # never occupied a slot
+
+    def test_stop_drains_admitted_requests(self, system):
+        engine = system.serving_engine()
+        tickets = [engine.submit(feeds_for(i)) for i in range(3)]
+        engine.start()
+        engine.stop()  # close + drain + join
+        assert all(t.state is TicketState.DONE for t in tickets)
+
+    def test_all_serving_metrics_exposed(self, system):
+        engine = system.serving_engine(policy=ServingPolicy(capacity=2))
+        # Exercise every instrument: a served request, a shed burst, a timeout.
+        expired = engine.submit(feeds_for(0), deadline_s=0.0)
+        ok = engine.submit(feeds_for(1))
+        with pytest.raises(Overloaded):
+            engine.submit(feeds_for(2))
+        engine.start()
+        assert ok.result(timeout=30.0)
+        with pytest.raises(DeadlineExceeded):
+            expired.result(timeout=30.0)
+        engine.stop()
+        exposition = engine.render_prometheus()
+        for name in SERVING_METRIC_NAMES:
+            assert name in exposition, f"{name} missing from exposition"
+        assert "mvtee_requests_served_total 1" in exposition
+        assert "mvtee_requests_shed_total 1" in exposition
+        assert "mvtee_requests_timeout_total 1" in exposition
+
+    def test_concurrent_submitters(self, system):
+        with system.serving_engine(
+            policy=ServingPolicy(capacity=128, max_batch_size=8)
+        ) as engine:
+            tickets: list = []
+            lock = threading.Lock()
+
+            def client(seed):
+                for i in range(5):
+                    ticket = engine.submit(feeds_for(seed * 10 + i))
+                    with lock:
+                        tickets.append(ticket)
+
+            threads = [threading.Thread(target=client, args=(t,)) for t in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for ticket in tickets:
+                ticket.result(timeout=30.0)
+        assert len(tickets) == 20
+        assert all(t.state is TicketState.DONE for t in tickets)
+
+
+class _StubHost:
+    def __init__(self, crashed=False):
+        self.crashed = crashed
+
+
+class _StubConnection:
+    def __init__(self, variant_id, partition_index=1, crashed=False):
+        self.variant_id = variant_id
+        self.partition_index = partition_index
+        self.host = _StubHost(crashed)
+
+
+class _StubMonitor:
+    """Duck-typed monitor: scripted per-variant outcomes, thread-safe log."""
+
+    def __init__(self, scripts: dict[str, list], delay_s: float = 0.0):
+        # scripts: variant_id -> list of outputs-or-None popped per call.
+        self.scripts = scripts
+        self.delay_s = delay_s
+        self.metrics_registry = MetricsRegistry()
+        self.calls: list[str] = []
+        self._lock = threading.Lock()
+
+    def request_inference(self, connection, batch_id, feeds):
+        with self._lock:
+            self.calls.append(connection.variant_id)
+            outcome = self.scripts[connection.variant_id].pop(0)
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        if outcome is None:
+            return VariantOutput(
+                variant_id=connection.variant_id, outputs=None, error="transient glitch"
+            )
+        return VariantOutput(variant_id=connection.variant_id, outputs=outcome)
+
+
+class TestParallelStageExecutor:
+    def test_results_keep_connection_order(self):
+        outputs = {v: {"t": np.full((1,), i, dtype=np.float32)} for i, v in enumerate("abc")}
+        monitor = _StubMonitor({v: [outputs[v]] for v in "abc"})
+        connections = [_StubConnection(v) for v in "abc"]
+        with ParallelStageExecutor(4) as executor:
+            results = executor.dispatch(monitor, connections, 0, {})
+        assert [r.variant_id for r in results] == ["a", "b", "c"]
+
+    def test_transient_fault_retried_once(self):
+        good = {"t": np.ones((1,), dtype=np.float32)}
+        monitor = _StubMonitor({"a": [good], "b": [None, good]})
+        connections = [_StubConnection("a"), _StubConnection("b")]
+        with ParallelStageExecutor(4) as executor:
+            results = executor.dispatch(monitor, connections, 0, {})
+        assert all(r.outputs is not None for r in results)
+        assert monitor.calls.count("b") == 2  # failed once, retried once
+        retries = monitor.metrics_registry.counter("mvtee_dispatch_retries_total")
+        assert retries.total() == 1
+
+    def test_crashed_host_not_retried(self):
+        good = {"t": np.ones((1,), dtype=np.float32)}
+        monitor = _StubMonitor({"a": [good], "b": [None]})
+        connections = [_StubConnection("a"), _StubConnection("b", crashed=True)]
+        with ParallelStageExecutor(4) as executor:
+            results = executor.dispatch(monitor, connections, 0, {})
+        assert results[1].outputs is None
+        assert monitor.calls.count("b") == 1
+
+    def test_deadline_enforced(self):
+        good = {"t": np.ones((1,), dtype=np.float32)}
+        monitor = _StubMonitor({"a": [good], "b": [good]}, delay_s=0.2)
+        connections = [_StubConnection("a"), _StubConnection("b")]
+        with ParallelStageExecutor(4) as executor:
+            executor.deadline = time.monotonic() + 0.02
+            with pytest.raises(DeadlineExceeded):
+                executor.dispatch(monitor, connections, 0, {})
+
+    def test_single_connection_stays_serial(self):
+        good = {"t": np.ones((1,), dtype=np.float32)}
+        monitor = _StubMonitor({"a": [good]})
+        with ParallelStageExecutor(4) as executor:
+            results = executor.dispatch(monitor, [_StubConnection("a")], 0, {})
+        assert results[0].outputs is not None
+
+    def test_dispatcher_threads_run_concurrently(self, system):
+        # Three replicas sleeping 30ms each: serial floor is 90ms, the
+        # parallel wall clock must land well under it.
+        for connection in system.monitor.stage_connections(1):
+            connection.host.simulated_latency = 0.03
+            connection.host.realtime_latency = True
+        with ParallelStageExecutor(4) as executor:
+            options = InferenceOptions(dispatcher=executor)
+            start = time.monotonic()
+            system.infer_batches([feeds_for(0)], options)
+            parallel_wall = time.monotonic() - start
+        start = time.monotonic()
+        system.infer_batches([feeds_for(0)])
+        serial_wall = time.monotonic() - start
+        assert serial_wall > 0.09
+        assert parallel_wall < serial_wall
