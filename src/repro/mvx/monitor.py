@@ -23,7 +23,20 @@ from repro.mvx.events import CrashEvent, DivergenceEvent, ResponseAction
 from repro.mvx.variant_host import VariantHost, VariantUnavailable
 from repro.mvx.voting import VariantOutput, VoteResult, vote
 from repro.mvx.wire import decode_message, encode_message
+from repro.observability.forensics import (
+    IncidentReport,
+    IncidentStore,
+    build_incident_report,
+)
 from repro.observability.metrics import MetricsRegistry, get_global_registry
+from repro.observability.recorder import (
+    KIND_CHECKPOINT,
+    KIND_CRASH,
+    KIND_DIVERGENCE,
+    KIND_RESPONSE,
+    KIND_VARIANT_REPLACED,
+    FlightRecorder,
+)
 from repro.observability.tracing import NullTracer, Tracer
 from repro.partition.partition import PartitionSet
 from repro.mvx.transport import Transport
@@ -90,6 +103,13 @@ class Monitor:
     #: tracer/registry for the duration of that run.
     tracer: Tracer = field(default_factory=NullTracer)
     metrics: MetricsRegistry | None = None
+    #: Tamper-evident audit log (None = not recording).  Installed
+    #: deployment-wide by :meth:`MvteeSystem.deploy` or per run via
+    #: :class:`~repro.mvx.scheduler.InferenceOptions`.
+    recorder: FlightRecorder | None = None
+    #: Forensic reports of the most recent detections (always on: the
+    #: store is bounded and reports carry digests, not tensors).
+    incident_store: IncidentStore = field(default_factory=IncidentStore)
     ledger: BindingLedger = field(default_factory=BindingLedger)
     connections: dict[int, list[VariantConnection]] = field(default_factory=dict)
     events: list[object] = field(default_factory=list)
@@ -113,6 +133,35 @@ class Monitor:
     def metrics_registry(self) -> MetricsRegistry:
         """The registry detection/recovery counters are recorded into."""
         return self.metrics if self.metrics is not None else get_global_registry()
+
+    def incidents(self, kind: str | None = None) -> list[IncidentReport]:
+        """Forensic reports of recent detections, oldest first."""
+        return self.incident_store.incidents(kind)
+
+    def _audit(self, kind: str, **data) -> None:
+        """Append one event to the flight recorder, if one is installed."""
+        if self.recorder is not None:
+            self.recorder.record(kind, **data)
+
+    def _capture_incident(self, report: IncidentReport) -> IncidentReport:
+        """Store one incident and surface it in metrics + audit log."""
+        self.incident_store.add(report)
+        self.metrics_registry.counter(
+            "mvtee_incidents_total", "Forensic incident reports captured"
+        ).inc(kind=report.kind, partition=report.partition_index)
+        self._audit(
+            KIND_DIVERGENCE if report.kind == "divergence" else KIND_CRASH,
+            incident_id=report.incident_id,
+            batch=report.batch_id,
+            partition=report.partition_index,
+            suspected=list(report.suspected_culprits),
+            agreeing=list(report.agreeing_variants),
+            max_abs_error=report.max_abs_error,
+            response=report.response_action,
+            trace_id=report.trace_id,
+            error=report.error,
+        )
+        return report
 
     # ------------------------------------------------------------------
     # Provisioning (Figure 6 step 3)
@@ -255,6 +304,16 @@ class Monitor:
             event=event,
         )
         self.connections.setdefault(partition_index, []).append(connection)
+        if event != "init":
+            # Replacements/scale-ups change the variant set mid-flight:
+            # audit-worthy in a way initial provisioning is not.
+            self._audit(
+                KIND_VARIANT_REPLACED,
+                variant=artifact.variant_id,
+                partition=partition_index,
+                enclave=host.enclave.enclave_id,
+                event=event,
+            )
 
     def quote(self, report_data: bytes):
         """The monitor's own attestation (used by RA-TLS and the owner)."""
@@ -342,13 +401,24 @@ class Monitor:
         self.metrics_registry.counter(
             "mvtee_checkpoints_total", "Checkpoint consistency evaluations"
         ).inc(partition=index, mode="async-quorum")
+        self._audit(
+            KIND_CHECKPOINT,
+            batch=batch_id,
+            partition=index,
+            mode="async-quorum",
+            passed=result.passed,
+            dissenting=list(result.dissenting),
+            crashed=list(result.crashed),
+        )
         if not result.passed:
             # No early consensus: fall back to full synchronization.
             late = [self._request_inference(c, batch_id, feeds) for c in laggards]
             return self._evaluate_checkpoint(
                 batch_id, index, quorum_conns + laggards, early + late, feeds
             )
-        self._handle_vote_outcome(batch_id, index, quorum_conns, result, async_stage=True)
+        self._handle_vote_outcome(
+            batch_id, index, quorum_conns, result, async_stage=True, outputs=early
+        )
         if laggards:
             with self._state_lock:
                 self._deferred.append(
@@ -393,10 +463,35 @@ class Monitor:
                         with self._state_lock:
                             self.events.append(event)
                         self._record_divergence_metric(d_index)
+                        self._capture_incident(
+                            build_incident_report(
+                                incident_id=self.incident_store.new_id(),
+                                kind="divergence",
+                                batch_id=d_batch,
+                                partition_index=d_index,
+                                suspected_culprits=(connection.variant_id,),
+                                agreeing_variants=(),
+                                outputs_by_variant={
+                                    connection.variant_id: result.outputs
+                                },
+                                reference_outputs=accepted,
+                                response_action=self.response_action.value,
+                                detected_async=True,
+                                trace_id=self.tracer.trace_id(),
+                                span_id=self.tracer.current_span_id(),
+                            )
+                        )
                         self._respond(connection, d_batch, d_index)
             self.metrics_registry.counter(
                 "mvtee_checkpoints_total", "Checkpoint consistency evaluations"
             ).inc(partition=d_index, mode="deferred")
+            self._audit(
+                KIND_CHECKPOINT,
+                batch=d_batch,
+                partition=d_index,
+                mode="deferred",
+                laggards=len(laggards),
+            )
 
     def request_inference(
         self, connection: VariantConnection, batch_id: int, feeds: dict
@@ -464,7 +559,18 @@ class Monitor:
         self.metrics_registry.counter(
             "mvtee_checkpoints_total", "Checkpoint consistency evaluations"
         ).inc(partition=index, mode="sync")
-        self._handle_vote_outcome(batch_id, index, connections, result, async_stage=False)
+        self._audit(
+            KIND_CHECKPOINT,
+            batch=batch_id,
+            partition=index,
+            mode="sync",
+            passed=result.passed,
+            dissenting=list(result.dissenting),
+            crashed=list(result.crashed),
+        )
+        self._handle_vote_outcome(
+            batch_id, index, connections, result, async_stage=False, outputs=outputs
+        )
         if result.accepted is not None:
             return result.accepted
         if self.response_action is ResponseAction.RESTART_BATCH and result.agreeing:
@@ -490,7 +596,14 @@ class Monitor:
         )
 
     def _handle_vote_outcome(
-        self, batch_id, index, connections, result: VoteResult, *, async_stage: bool
+        self,
+        batch_id,
+        index,
+        connections,
+        result: VoteResult,
+        *,
+        async_stage: bool,
+        outputs: list[VariantOutput] | None = None,
     ) -> None:
         by_id = {c.variant_id: c for c in connections}
         for variant_id in result.crashed:
@@ -508,10 +621,47 @@ class Monitor:
             with self._state_lock:
                 self.events.append(event)
             self._record_divergence_metric(index)
+            self._capture_divergence_incident(
+                batch_id, index, result, outputs, async_stage=async_stage
+            )
             for variant_id in result.dissenting:
                 self._respond(by_id[variant_id], batch_id, index)
         for variant_id in result.crashed:
             self._respond(by_id[variant_id], batch_id, index)
+
+    def _capture_divergence_incident(
+        self,
+        batch_id,
+        index,
+        result: VoteResult,
+        outputs: list[VariantOutput] | None,
+        *,
+        async_stage: bool,
+    ) -> None:
+        """Build the forensic report for one dissenting checkpoint vote."""
+        outputs_by_variant = {
+            o.variant_id: o.outputs for o in (outputs or []) if o.outputs is not None
+        }
+        reference = None
+        if result.agreeing:
+            reference = outputs_by_variant.get(result.agreeing[0])
+        self._capture_incident(
+            build_incident_report(
+                incident_id=self.incident_store.new_id(),
+                kind="divergence",
+                batch_id=batch_id,
+                partition_index=index,
+                suspected_culprits=result.dissenting,
+                agreeing_variants=result.agreeing,
+                outputs_by_variant=outputs_by_variant,
+                reference_outputs=reference,
+                consistency_reports=result.reports,
+                response_action=self.response_action.value,
+                detected_async=async_stage,
+                trace_id=self.tracer.trace_id(),
+                span_id=self.tracer.current_span_id(),
+            )
+        )
 
     def _record_divergence_metric(self, index: int) -> None:
         self.metrics_registry.counter(
@@ -531,9 +681,35 @@ class Monitor:
         self.metrics_registry.counter(
             "mvtee_crashes_total", "Variant crash detections"
         ).inc(partition=index)
+        survivors = [
+            c.variant_id
+            for c in self.stage_connections(index)
+            if c.variant_id != connection.variant_id
+        ]
+        self._capture_incident(
+            build_incident_report(
+                incident_id=self.incident_store.new_id(),
+                kind="crash",
+                batch_id=batch_id,
+                partition_index=index,
+                suspected_culprits=(connection.variant_id,),
+                agreeing_variants=tuple(survivors),
+                response_action=self.response_action.value,
+                trace_id=self.tracer.trace_id(),
+                span_id=self.tracer.current_span_id(),
+                error=str(error),
+            )
+        )
 
     def _respond(self, connection: VariantConnection, batch_id: int, index: int) -> None:
         """Apply the configured protective measure to a bad variant."""
+        self._audit(
+            KIND_RESPONSE,
+            action=self.response_action.value,
+            variant=connection.variant_id,
+            batch=batch_id,
+            partition=index,
+        )
         if self.response_action is ResponseAction.HALT:
             return  # the raised MonitorError at the vote halts execution
         if self.response_action in (
@@ -580,6 +756,13 @@ class Monitor:
                 self.connections[index] = [
                     c for c in connections if c.variant_id != variant_id
                 ]
+                self._audit(
+                    KIND_VARIANT_REPLACED,
+                    variant=variant_id,
+                    partition=index,
+                    enclave=connection.host.enclave.enclave_id,
+                    event="retire",
+                )
                 return
         raise MonitorError(f"no bound variant {variant_id!r} to retire")
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.mvx.monitor import Monitor
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import FlightRecorder
 from repro.observability.tracing import Span, Tracer
 
 __all__ = [
@@ -81,6 +82,10 @@ class InferenceOptions:
     ``dispatch(monitor, connections, batch_id, feeds)`` such as
     :class:`repro.serving.executor.ParallelStageExecutor`, which runs
     the variant replicas of a stage concurrently.
+
+    ``recorder`` installs a tamper-evident flight recorder on the
+    monitor for the duration of the run; ``None`` keeps whatever
+    recorder the deployment already has (possibly none).
     """
 
     scheduling: SchedulingMode = SchedulingMode.SEQUENTIAL
@@ -89,6 +94,7 @@ class InferenceOptions:
     tracer: Tracer | None = None
     metrics: MetricsRegistry | None = None
     dispatcher: object | None = None
+    recorder: FlightRecorder | None = None
 
 
 @dataclass
@@ -197,6 +203,7 @@ def run(
     saved_config = monitor.config
     saved_tracer, saved_metrics = monitor.tracer, monitor.metrics
     saved_dispatcher = monitor.dispatcher
+    saved_recorder = monitor.recorder
     overrides = {}
     if options.mode is not None:
         overrides["execution_mode"] = options.mode.value
@@ -207,6 +214,8 @@ def run(
     monitor.tracer, monitor.metrics = tracer, registry
     if options.dispatcher is not None:
         monitor.dispatcher = options.dispatcher
+    if options.recorder is not None:
+        monitor.recorder = options.recorder
     try:
         stats = RunStats()
         config = monitor.config
@@ -228,6 +237,7 @@ def run(
         monitor.config = saved_config
         monitor.tracer, monitor.metrics = saved_tracer, saved_metrics
         monitor.dispatcher = saved_dispatcher
+        monitor.recorder = saved_recorder
 
 
 def _run_sequential(

@@ -39,7 +39,9 @@ import numpy as np
 from repro.mvx.monitor import MonitorError
 from repro.mvx.scheduler import InferenceOptions, SchedulingMode
 from repro.mvx.system import MvteeSystem
+from repro.observability.health import HealthMonitor, HealthReport
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import FlightRecorder
 from repro.observability.tracing import Tracer
 
 if TYPE_CHECKING:
@@ -122,6 +124,8 @@ class InferenceService:
         controller: "AdaptiveController | None" = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
+        health: HealthMonitor | None = None,
     ):
         self.system = system
         self.pipelined = pipelined
@@ -131,6 +135,15 @@ class InferenceService:
         #: aggregate here because drains run with this registry).
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
+        #: Flight recorder threaded through both serving paths; defaults
+        #: to the deployment's recorder.
+        self.recorder = (
+            recorder if recorder is not None else system.monitor.recorder
+        )
+        #: Health watchdog over this service's registry; built lazily on
+        #: the first :meth:`healthz` unless one is injected (tests pass
+        #: their own rules/clock).
+        self._health = health
         self._queue: OrderedDict[int, _Request] = OrderedDict()
         self._done: dict[int, _Request] = {}
         self._next_id = 0
@@ -236,6 +249,7 @@ class InferenceService:
             else SchedulingMode.SEQUENTIAL,
             tracer=self.tracer,
             metrics=self.registry,
+            recorder=self.recorder,
         )
         batches = [r.feeds for r in pending]
         try:
@@ -314,6 +328,7 @@ class InferenceService:
             ),
             registry=self.registry,
             tracer=self.tracer,
+            recorder=self.recorder,
         )
         engine.start()
         self._engine = engine
@@ -343,6 +358,22 @@ class InferenceService:
     # ------------------------------------------------------------------
     # Operations surface
     # ------------------------------------------------------------------
+
+    def healthz(self) -> HealthReport:
+        """Evaluate the health watchdog (the readiness-probe endpoint).
+
+        Grades the rolling-window SLO rules over this service's registry
+        and returns the combined OK/WARN/CRIT report; the verdict also
+        lands in the ``mvtee_health_status`` gauge and, on transitions,
+        in the flight recorder.
+        """
+        if self._health is None:
+            self._health = HealthMonitor(self.registry, recorder=self.recorder)
+        return self._health.evaluate()
+
+    def incidents(self, kind: str | None = None):
+        """Forensic incident reports captured by the monitor."""
+        return self.system.monitor.incidents(kind)
 
     def metrics(self) -> ServiceMetrics:
         """Current deployment health snapshot (read-through)."""

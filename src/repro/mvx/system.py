@@ -22,6 +22,7 @@ from repro.mvx.scheduler import InferenceOptions, RunStats, SchedulingMode, run
 from repro.mvx.updates import partial_update, scale_partition
 from repro.mvx.variant_host import VariantHost
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import FlightRecorder
 from repro.observability.tracing import Tracer
 from repro.partition.balance import find_balanced_partition
 from repro.partition.partition import PartitionSet
@@ -63,6 +64,7 @@ class MvteeSystem:
         transport=None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        recorder: FlightRecorder | None = None,
     ) -> "MvteeSystem":
         """Run the offline phase and bootstrap the online deployment.
 
@@ -73,6 +75,9 @@ class MvteeSystem:
         ``tracer`` / ``metrics`` install deployment-wide observability
         sinks on the monitor: every inference run reports through them
         unless a run's :class:`InferenceOptions` overrides either.
+        ``recorder`` attaches a tamper-evident flight recorder the same
+        way: checkpoints, detections, responses and variant replacements
+        are appended to its hash chain.
         """
         partition_set = find_balanced_partition(
             model, num_partitions, restarts=partition_restarts, seed=seed
@@ -106,6 +111,8 @@ class MvteeSystem:
             monitor.tracer = tracer
         if metrics is not None:
             monitor.metrics = metrics
+        if recorder is not None:
+            monitor.recorder = recorder
         return cls(
             model=model,
             partition_set=partition_set,
@@ -163,6 +170,7 @@ class MvteeSystem:
         policy=None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
     ):
         """A (not yet started) :class:`repro.serving.ServingEngine`.
 
@@ -174,7 +182,9 @@ class MvteeSystem:
         """
         from repro.serving.engine import ServingEngine
 
-        return ServingEngine(self, policy=policy, registry=registry, tracer=tracer)
+        return ServingEngine(
+            self, policy=policy, registry=registry, tracer=tracer, recorder=recorder
+        )
 
     # ------------------------------------------------------------------
     # Updates

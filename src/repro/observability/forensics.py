@@ -1,0 +1,399 @@
+"""Divergence forensics: from a detection event to an incident report.
+
+A divergence surfaces in the monitor as a counter bump and (under HALT)
+an exception -- enough to *stop*, not enough to *answer*: which variant
+lied, on which tensor, by how much, and what did the system do about
+it?  This module captures that answer at detection time, while the
+per-variant outputs are still in hand:
+
+- :func:`summarize_tensor` -- digest + summary stats of one output
+  tensor (what each variant claimed, without retaining the tensor);
+- :func:`analyze_mismatch` -- elementwise comparison of a suspect
+  output against the agreed reference (mismatch count, max abs/rel
+  error, first mismatching index);
+- :class:`IncidentReport` -- the full record: culprit attribution from
+  the agree/dissent sets, the consistency reports that tripped the
+  checkpoint, correlated trace/span ids and the protective response
+  taken; renderable as JSON and human-readable text;
+- :class:`IncidentStore` -- a bounded, thread-safe store of the last N
+  reports, surfaced via ``Monitor.incidents()`` and the service layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "IncidentReport",
+    "IncidentStore",
+    "MismatchAnalysis",
+    "TensorSummary",
+    "analyze_mismatch",
+    "summarize_tensor",
+]
+
+
+@dataclass(frozen=True)
+class TensorSummary:
+    """What one variant claimed for one tensor, without the tensor."""
+
+    tensor_name: str
+    shape: tuple[int, ...]
+    dtype: str
+    digest: str  # sha256 of the raw bytes: equal digests == equal claims
+    min: float
+    max: float
+    mean: float
+    nan_count: int
+
+    def to_json(self) -> dict:
+        return {
+            "tensor_name": self.tensor_name,
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+            "digest": self.digest,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "nan_count": self.nan_count,
+        }
+
+
+def summarize_tensor(name: str, array: np.ndarray) -> TensorSummary:
+    """Digest + summary statistics of one output tensor."""
+    contiguous = np.ascontiguousarray(array)
+    finite = contiguous[np.isfinite(contiguous)] if contiguous.size else contiguous
+    has_finite = finite.size > 0
+    return TensorSummary(
+        tensor_name=name,
+        shape=tuple(int(d) for d in contiguous.shape),
+        dtype=str(contiguous.dtype),
+        digest=hashlib.sha256(contiguous.tobytes()).hexdigest(),
+        min=float(finite.min()) if has_finite else float("nan"),
+        max=float(finite.max()) if has_finite else float("nan"),
+        mean=float(finite.mean()) if has_finite else float("nan"),
+        nan_count=int(np.count_nonzero(np.isnan(contiguous))),
+    )
+
+
+@dataclass(frozen=True)
+class MismatchAnalysis:
+    """Elementwise comparison of a suspect output against the reference."""
+
+    tensor_name: str
+    total_elements: int
+    mismatch_count: int
+    max_abs_error: float
+    max_rel_error: float
+    #: Flat index of the first mismatching element (None when equal).
+    first_mismatch_index: int | None
+    #: The same position as multi-dimensional coordinates.
+    first_mismatch_coords: tuple[int, ...] | None
+    reference_value: float | None = None
+    suspect_value: float | None = None
+
+    @property
+    def mismatched(self) -> bool:
+        return self.mismatch_count > 0
+
+    def to_json(self) -> dict:
+        return {
+            "tensor_name": self.tensor_name,
+            "total_elements": self.total_elements,
+            "mismatch_count": self.mismatch_count,
+            "max_abs_error": self.max_abs_error,
+            "max_rel_error": self.max_rel_error,
+            "first_mismatch_index": self.first_mismatch_index,
+            "first_mismatch_coords": (
+                list(self.first_mismatch_coords)
+                if self.first_mismatch_coords is not None
+                else None
+            ),
+            "reference_value": self.reference_value,
+            "suspect_value": self.suspect_value,
+        }
+
+
+def analyze_mismatch(
+    name: str, reference: np.ndarray, suspect: np.ndarray
+) -> MismatchAnalysis:
+    """Elementwise forensic diff of one tensor pair.
+
+    Exact comparison (any bit-level difference counts): the consistency
+    policy already decided the pair diverges; forensics wants the raw
+    extent of the disagreement, not a second tolerance judgment.  NaNs
+    mismatch everything, including a NaN at the same position.
+    """
+    if reference.shape != suspect.shape:
+        return MismatchAnalysis(
+            tensor_name=name,
+            total_elements=int(reference.size),
+            mismatch_count=int(max(reference.size, suspect.size)),
+            max_abs_error=float("inf"),
+            max_rel_error=float("inf"),
+            first_mismatch_index=0 if max(reference.size, suspect.size) else None,
+            first_mismatch_coords=None,
+        )
+    ref = reference.astype(np.float64, copy=False)
+    sus = suspect.astype(np.float64, copy=False)
+    # != is True whenever either side is NaN, so NaN positions always
+    # count as mismatches (a NaN is never a valid agreement).
+    mismatch = ref != sus
+    count = int(np.count_nonzero(mismatch))
+    if count == 0:
+        return MismatchAnalysis(
+            tensor_name=name,
+            total_elements=int(ref.size),
+            mismatch_count=0,
+            max_abs_error=0.0,
+            max_rel_error=0.0,
+            first_mismatch_index=None,
+            first_mismatch_coords=None,
+        )
+    with np.errstate(invalid="ignore", divide="ignore"):
+        abs_err = np.abs(ref - sus)
+        rel_err = abs_err / np.maximum(np.abs(ref), np.finfo(np.float64).tiny)
+    abs_err = np.where(np.isnan(abs_err), np.inf, abs_err)
+    rel_err = np.where(np.isnan(rel_err), np.inf, rel_err)
+    flat_index = int(np.flatnonzero(mismatch.reshape(-1))[0])
+    coords = tuple(int(c) for c in np.unravel_index(flat_index, ref.shape))
+    return MismatchAnalysis(
+        tensor_name=name,
+        total_elements=int(ref.size),
+        mismatch_count=count,
+        max_abs_error=float(abs_err.max()),
+        max_rel_error=float(rel_err.max()),
+        first_mismatch_index=flat_index,
+        first_mismatch_coords=coords,
+        reference_value=float(ref.reshape(-1)[flat_index]),
+        suspect_value=float(sus.reshape(-1)[flat_index]),
+    )
+
+
+@dataclass(frozen=True)
+class IncidentReport:
+    """The full forensic record of one detection."""
+
+    incident_id: str
+    kind: str  # "divergence" | "crash"
+    batch_id: int
+    partition_index: int
+    #: Attribution from the agree/dissent sets: the variants the vote
+    #: isolated (dissenters, or the crashed variant).
+    suspected_culprits: tuple[str, ...]
+    agreeing_variants: tuple[str, ...]
+    #: Whether the agree set outnumbers the dissent set -- when it does
+    #: not, every variant is suspect and the attribution is tentative.
+    attribution_confident: bool
+    #: What each variant claimed, per tensor (sorted by tensor name).
+    variant_summaries: dict[str, tuple[TensorSummary, ...]]
+    #: Per-dissenter elementwise diffs against the agreed reference.
+    mismatches: dict[str, tuple[MismatchAnalysis, ...]]
+    #: The consistency reports that tripped the checkpoint.
+    consistency_reports: tuple = ()
+    response_action: str = "halt"
+    detected_async: bool = False
+    trace_id: str | None = None
+    span_id: str | None = None
+    error: str = ""  # crash reason (crash incidents)
+    timestamp: float = field(default_factory=time.time)
+
+    @property
+    def max_abs_error(self) -> float:
+        """Largest elementwise error any dissenter showed (0 if none)."""
+        errors = [
+            analysis.max_abs_error
+            for analyses in self.mismatches.values()
+            for analysis in analyses
+        ]
+        return max(errors) if errors else 0.0
+
+    def to_json(self) -> dict:
+        """Machine-readable rendering."""
+        return {
+            "incident_id": self.incident_id,
+            "kind": self.kind,
+            "batch_id": self.batch_id,
+            "partition_index": self.partition_index,
+            "suspected_culprits": list(self.suspected_culprits),
+            "agreeing_variants": list(self.agreeing_variants),
+            "attribution_confident": self.attribution_confident,
+            "variant_summaries": {
+                variant: [s.to_json() for s in summaries]
+                for variant, summaries in sorted(self.variant_summaries.items())
+            },
+            "mismatches": {
+                variant: [m.to_json() for m in analyses]
+                for variant, analyses in sorted(self.mismatches.items())
+            },
+            "consistency_reports": [
+                {
+                    "tensor_name": r.tensor_name,
+                    "consistent": r.consistent,
+                    "cosine": r.cosine,
+                    "mse": r.mse,
+                    "max_abs": r.max_abs,
+                    "reason": r.reason,
+                }
+                for r in self.consistency_reports
+            ],
+            "response_action": self.response_action,
+            "detected_async": self.detected_async,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "error": self.error,
+            "timestamp": self.timestamp,
+        }
+
+    def to_text(self) -> str:
+        """Human-readable rendering for operator consoles."""
+        lines = [
+            f"incident {self.incident_id} [{self.kind}] "
+            f"batch={self.batch_id} partition={self.partition_index}",
+            f"  response: {self.response_action}"
+            + ("  (detected via async cross-validation)" if self.detected_async else ""),
+            f"  suspected culprit(s): {list(self.suspected_culprits)}"
+            + ("" if self.attribution_confident else "  [attribution tentative: no clear majority]"),
+            f"  agreeing variants:    {list(self.agreeing_variants)}",
+        ]
+        if self.trace_id:
+            lines.append(f"  trace: {self.trace_id}  span: {self.span_id}")
+        if self.error:
+            lines.append(f"  error: {self.error}")
+        for variant, analyses in sorted(self.mismatches.items()):
+            for m in analyses:
+                if not m.mismatched:
+                    continue
+                where = f"first at flat index {m.first_mismatch_index}"
+                if m.first_mismatch_coords is not None:
+                    where += f" {m.first_mismatch_coords}"
+                if m.reference_value is not None and m.suspect_value is not None:
+                    where += f" (ref={m.reference_value:.6g}, got={m.suspect_value:.6g})"
+                lines.append(
+                    f"  {variant} vs reference on {m.tensor_name!r}: "
+                    f"{m.mismatch_count}/{m.total_elements} elements differ, "
+                    f"max_abs={m.max_abs_error:.6g}, max_rel={m.max_rel_error:.6g}, "
+                    + where
+                )
+        for variant, summaries in sorted(self.variant_summaries.items()):
+            for s in summaries:
+                lines.append(
+                    f"  {variant} {s.tensor_name!r}: digest={s.digest[:12]}... "
+                    f"min={s.min:.6g} max={s.max:.6g} mean={s.mean:.6g} "
+                    f"nan={s.nan_count}"
+                )
+        for r in self.consistency_reports:
+            if not r.consistent:
+                lines.append(f"  checkpoint criterion failed: {r.reason}")
+        return "\n".join(lines)
+
+
+def build_incident_report(
+    *,
+    incident_id: str,
+    kind: str,
+    batch_id: int,
+    partition_index: int,
+    suspected_culprits: tuple[str, ...],
+    agreeing_variants: tuple[str, ...],
+    outputs_by_variant: dict[str, dict[str, np.ndarray]] | None = None,
+    reference_outputs: dict[str, np.ndarray] | None = None,
+    consistency_reports: tuple = (),
+    response_action: str = "halt",
+    detected_async: bool = False,
+    trace_id: str | None = None,
+    span_id: str | None = None,
+    error: str = "",
+) -> IncidentReport:
+    """Capture one incident while the per-variant outputs are in hand."""
+    outputs_by_variant = outputs_by_variant or {}
+    variant_summaries = {
+        variant: tuple(
+            summarize_tensor(name, outputs[name]) for name in sorted(outputs)
+        )
+        for variant, outputs in outputs_by_variant.items()
+    }
+    mismatches: dict[str, tuple[MismatchAnalysis, ...]] = {}
+    if reference_outputs is not None:
+        for variant in suspected_culprits:
+            outputs = outputs_by_variant.get(variant)
+            if outputs is None:
+                continue
+            mismatches[variant] = tuple(
+                analyze_mismatch(name, reference_outputs[name], outputs[name])
+                for name in sorted(reference_outputs)
+                if name in outputs
+            )
+    return IncidentReport(
+        incident_id=incident_id,
+        kind=kind,
+        batch_id=batch_id,
+        partition_index=partition_index,
+        suspected_culprits=tuple(suspected_culprits),
+        agreeing_variants=tuple(agreeing_variants),
+        attribution_confident=len(agreeing_variants) > len(suspected_culprits),
+        variant_summaries=variant_summaries,
+        mismatches=mismatches,
+        consistency_reports=tuple(consistency_reports),
+        response_action=response_action,
+        detected_async=detected_async,
+        trace_id=trace_id,
+        span_id=span_id,
+        error=error,
+    )
+
+
+class IncidentStore:
+    """Bounded, thread-safe store of the most recent incident reports."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._incidents: list[IncidentReport] = []
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def new_id(self) -> str:
+        """Mint the next incident id (monotonic per store)."""
+        with self._lock:
+            self._counter += 1
+            return f"inc-{self._counter:04d}"
+
+    def add(self, report: IncidentReport) -> IncidentReport:
+        """Retain one report, evicting the oldest past capacity."""
+        with self._lock:
+            self._incidents.append(report)
+            if len(self._incidents) > self.capacity:
+                del self._incidents[0]
+        return report
+
+    def incidents(self, kind: str | None = None) -> list[IncidentReport]:
+        """Retained reports, oldest first; optionally one kind only."""
+        with self._lock:
+            incidents = list(self._incidents)
+        if kind is not None:
+            incidents = [i for i in incidents if i.kind == kind]
+        return incidents
+
+    def latest(self) -> IncidentReport | None:
+        """The most recent retained report."""
+        with self._lock:
+            return self._incidents[-1] if self._incidents else None
+
+    def clear(self) -> None:
+        """Drop every retained report (ids keep counting)."""
+        with self._lock:
+            self._incidents.clear()
+
+    def __len__(self) -> int:
+        return len(self._incidents)
+
+    def to_json(self) -> list[dict]:
+        """JSON rendering of the retained window."""
+        return [report.to_json() for report in self.incidents()]

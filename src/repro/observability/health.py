@@ -1,0 +1,334 @@
+"""Health/SLO watchdog over the metrics registry.
+
+A deployment's counters say what happened since boot; an operator (and
+an orchestrator's readiness probe) wants to know how it is doing *now*.
+:class:`HealthMonitor` snapshots the registry on every evaluation,
+keeps a rolling window of snapshots, and evaluates alert rules over the
+windowed *deltas*:
+
+- :class:`RatioRule` -- windowed numerator/denominator counter ratios
+  (divergence rate per checkpoint, crash rate, shed/timeout rate per
+  request);
+- :class:`QuantileRule` -- windowed quantiles estimated from histogram
+  bucket deltas (p95 stage latency).
+
+Each rule yields OK/WARN/CRIT with a reason; the worst rule wins.  The
+verdict is mirrored into the ``mvtee_health_status`` gauge (0/1/2) and
+status *transitions* are appended to the flight recorder, so the audit
+trail shows when the deployment degraded and when it recovered.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.observability.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
+from repro.observability.recorder import KIND_HEALTH, FlightRecorder
+
+__all__ = [
+    "HealthMonitor",
+    "HealthReport",
+    "HealthStatus",
+    "QuantileRule",
+    "RatioRule",
+    "RuleResult",
+    "default_rules",
+]
+
+
+class HealthStatus(enum.Enum):
+    """Traffic-light verdict of one evaluation."""
+
+    OK = "ok"
+    WARN = "warn"
+    CRIT = "crit"
+
+    @property
+    def severity(self) -> int:
+        """0 for OK, 1 for WARN, 2 for CRIT (gauge encoding)."""
+        return {"ok": 0, "warn": 1, "crit": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class RuleResult:
+    """One rule's verdict with the value that produced it."""
+
+    rule: str
+    status: HealthStatus
+    value: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """The combined verdict of one evaluation."""
+
+    status: HealthStatus
+    results: tuple[RuleResult, ...]
+    window_s: float
+    timestamp: float
+
+    @property
+    def reasons(self) -> list[str]:
+        """Reasons of every non-OK rule."""
+        return [r.reason for r in self.results if r.status is not HealthStatus.OK]
+
+    def to_json(self) -> dict:
+        return {
+            "status": self.status.value,
+            "window_s": self.window_s,
+            "timestamp": self.timestamp,
+            "rules": [
+                {
+                    "rule": r.rule,
+                    "status": r.status.value,
+                    "value": r.value,
+                    "reason": r.reason,
+                }
+                for r in self.results
+            ],
+        }
+
+
+class _Window:
+    """Windowed deltas between the oldest and newest registry snapshot."""
+
+    def __init__(self, oldest: dict, newest: dict, elapsed: float):
+        self._oldest = oldest
+        self._newest = newest
+        self.elapsed = elapsed
+
+    def counter_delta(self, name: str) -> float:
+        """Increase of a counter total across the window."""
+        return self._newest.get(name, (0.0,))[0] - self._oldest.get(name, (0.0,))[0]
+
+    def histogram_delta(self, name: str):
+        """(bounds, windowed cumulative counts, windowed count) or None."""
+        new = self._newest.get(name)
+        if new is None or len(new) != 3:
+            return None
+        bounds, new_counts, new_count = new
+        old = self._oldest.get(name)
+        if old is None or len(old) != 3 or old[0] != bounds:
+            old_counts, old_count = [0] * len(new_counts), 0
+        else:
+            _, old_counts, old_count = old
+        counts = [n - o for n, o in zip(new_counts, old_counts)]
+        return bounds, counts, new_count - old_count
+
+
+class HealthRule(Protocol):
+    """Evaluates one SLO over a window of metric deltas."""
+
+    name: str
+
+    def evaluate(self, window: _Window) -> RuleResult: ...
+
+
+def _grade(
+    name: str, value: float, warn: float, crit: float, describe: str
+) -> RuleResult:
+    if value >= crit:
+        status = HealthStatus.CRIT
+    elif value >= warn:
+        status = HealthStatus.WARN
+    else:
+        status = HealthStatus.OK
+    reason = f"{describe} = {value:.4g}"
+    if status is not HealthStatus.OK:
+        threshold = crit if status is HealthStatus.CRIT else warn
+        reason += f" >= {status.value} threshold {threshold:g}"
+    return RuleResult(rule=name, status=status, value=value, reason=reason)
+
+
+@dataclass(frozen=True)
+class RatioRule:
+    """Windowed counter ratio (e.g. divergences per checkpoint).
+
+    ``denominators`` may list several counters whose deltas are summed
+    (e.g. shed rate over served + shed).  A quiet window (denominator
+    delta 0) is healthy by definition.
+    """
+
+    name: str
+    numerator: str
+    denominators: tuple[str, ...]
+    warn: float
+    crit: float
+
+    def evaluate(self, window: _Window) -> RuleResult:
+        num = window.counter_delta(self.numerator)
+        den = sum(window.counter_delta(d) for d in self.denominators)
+        value = num / den if den > 0 else 0.0
+        return _grade(self.name, value, self.warn, self.crit, f"{self.name} ratio")
+
+
+@dataclass(frozen=True)
+class QuantileRule:
+    """Windowed histogram quantile (e.g. p95 stage latency, seconds)."""
+
+    name: str
+    histogram: str
+    q: float
+    warn: float
+    crit: float
+
+    def evaluate(self, window: _Window) -> RuleResult:
+        delta = window.histogram_delta(self.histogram)
+        describe = f"{self.name} p{int(self.q * 100)}"
+        if delta is None:
+            return RuleResult(
+                rule=self.name,
+                status=HealthStatus.OK,
+                value=0.0,
+                reason=f"{describe}: no data",
+            )
+        bounds, counts, count = delta
+        if count <= 0:
+            return RuleResult(
+                rule=self.name,
+                status=HealthStatus.OK,
+                value=0.0,
+                reason=f"{describe}: no observations in window",
+            )
+        value = quantile_from_buckets(bounds, counts, count, self.q)
+        return _grade(self.name, value, self.warn, self.crit, describe)
+
+
+def default_rules() -> tuple:
+    """The stock SLO rule set.
+
+    Ratios are per-window: divergences and crashes per checkpoint
+    evaluated, sheds and timeouts per request that reached a terminal
+    state.  The latency bound is deliberately loose -- the simulated
+    stages run in milliseconds; deployments with real latency targets
+    pass their own rules.
+    """
+    return (
+        RatioRule(
+            "divergence-rate",
+            numerator="mvtee_divergences_total",
+            denominators=("mvtee_checkpoints_total",),
+            warn=0.02,
+            crit=0.2,
+        ),
+        RatioRule(
+            "crash-rate",
+            numerator="mvtee_crashes_total",
+            denominators=("mvtee_checkpoints_total",),
+            warn=0.02,
+            crit=0.2,
+        ),
+        RatioRule(
+            "shed-rate",
+            numerator="mvtee_requests_shed_total",
+            denominators=(
+                "mvtee_requests_served_total",
+                "mvtee_requests_shed_total",
+            ),
+            warn=0.05,
+            crit=0.5,
+        ),
+        RatioRule(
+            "timeout-rate",
+            numerator="mvtee_requests_timeout_total",
+            denominators=(
+                "mvtee_requests_served_total",
+                "mvtee_requests_timeout_total",
+            ),
+            warn=0.05,
+            crit=0.5,
+        ),
+        QuantileRule(
+            "stage-latency",
+            histogram="mvtee_stage_seconds",
+            q=0.95,
+            warn=1.0,
+            crit=5.0,
+        ),
+    )
+
+
+class HealthMonitor:
+    """Rolling-window SLO evaluation over one metrics registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        rules: tuple | None = None,
+        *,
+        window_s: float = 60.0,
+        recorder: FlightRecorder | None = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.registry = registry
+        self.rules = tuple(rules) if rules is not None else default_rules()
+        self.window_s = window_s
+        self.recorder = recorder
+        self._clock = clock
+        #: (timestamp, snapshot) pairs inside the window, oldest first.
+        self._samples: list[tuple[float, dict]] = []
+        self._last_status: HealthStatus | None = None
+
+    def _snapshot(self) -> dict:
+        """Counter totals and histogram bucket aggregates, per metric.
+
+        Counters collapse to their total across label sets; histograms
+        to per-bucket cumulative counts summed across label sets --
+        rates and quantiles here are deployment-wide SLOs, not
+        per-partition ones.
+        """
+        snapshot: dict = {}
+        for name in self.registry.names():
+            instrument = self.registry.get(name)
+            if isinstance(instrument, Counter):
+                snapshot[name] = (instrument.total(),)
+            elif isinstance(instrument, Histogram):
+                snapshot[name] = instrument.aggregate()
+        return snapshot
+
+    def evaluate(self) -> HealthReport:
+        """Take a snapshot, slide the window, grade every rule."""
+        now = float(self._clock())
+        self._samples = [
+            (t, snap) for t, snap in self._samples if t >= now - self.window_s
+        ]
+        current = self._snapshot()
+        self._samples.append((now, current))
+        oldest_t, oldest = self._samples[0]
+        window = _Window(oldest, current, max(0.0, now - oldest_t))
+        results = tuple(rule.evaluate(window) for rule in self.rules)
+        status = max(
+            (r.status for r in results),
+            key=lambda s: s.severity,
+            default=HealthStatus.OK,
+        )
+        report = HealthReport(
+            status=status, results=results, window_s=self.window_s, timestamp=now
+        )
+        self.registry.gauge(
+            "mvtee_health_status", "Deployment health (0=ok, 1=warn, 2=crit)"
+        ).set(status.severity)
+        if status is not self._last_status:
+            if self.recorder is not None:
+                self.recorder.record(
+                    KIND_HEALTH,
+                    previous=self._last_status.value if self._last_status else None,
+                    status=status.value,
+                    reasons=report.reasons,
+                )
+            self._last_status = status
+        return report
+
+    @property
+    def status(self) -> HealthStatus | None:
+        """The last evaluated status (None before the first evaluation)."""
+        return self._last_status

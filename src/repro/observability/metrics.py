@@ -25,6 +25,7 @@ __all__ = [
     "MetricsRegistry",
     "SIZE_BUCKETS",
     "get_global_registry",
+    "quantile_from_buckets",
     "set_global_registry",
 ]
 
@@ -57,10 +58,24 @@ def _labelkey(labels: dict) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline must be rendered as ``\\\\``,
+    ``\\"`` and ``\\n`` inside the quoted label value (backslash first,
+    so the escapes themselves are not re-escaped).
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _labelstr(key: tuple) -> str:
     if not key:
         return ""
-    return "{" + ",".join(f'{name}="{value}"' for name, value in key) + "}"
+    return (
+        "{"
+        + ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in key)
+        + "}"
+    )
 
 
 class _Instrument:
@@ -197,6 +212,36 @@ class Histogram(_Instrument):
         """The label sets that have received observations."""
         return [dict(key) for key in sorted(self._series)]
 
+    def aggregate(self) -> tuple[tuple, list, int]:
+        """(bounds, cumulative counts, count) summed over all label sets.
+
+        The deployment-wide view the health watchdog snapshots: one
+        bucket vector regardless of how the observations were labelled.
+        """
+        with self._lock:
+            totals = [0] * len(self.buckets)
+            count = 0
+            for series in self._series.values():
+                for i, c in enumerate(series.bucket_counts):
+                    totals[i] += c
+                count += series.count
+        return self.buckets, totals, count
+
+    def quantile(self, q: float, **labels) -> float:
+        """Estimate the ``q``-quantile of one label set from the buckets.
+
+        Linear interpolation within the containing bucket (Prometheus
+        ``histogram_quantile`` style); observations beyond the largest
+        finite bound (the implicit +Inf bucket) clamp to that bound.
+        Returns ``nan`` when the label set has no observations.
+        """
+        series = self._series.get(_labelkey(labels))
+        if series is None or series.count == 0:
+            return float("nan")
+        return quantile_from_buckets(
+            self.buckets, series.bucket_counts, series.count, q
+        )
+
     def samples(self):
         for key in sorted(self._series):
             series = self._series[key]
@@ -223,6 +268,38 @@ class Histogram(_Instrument):
                 "count": series.count,
             }
         return out
+
+
+def quantile_from_buckets(
+    bounds: tuple, cumulative_counts: list, total: int, q: float
+) -> float:
+    """Quantile estimate from cumulative bucket counts.
+
+    ``bounds`` are the finite upper bounds, ``cumulative_counts`` the
+    cumulative count at each bound, ``total`` the overall observation
+    count (the +Inf bucket).  The rank ``q * total`` is located in its
+    bucket and linearly interpolated between the bucket's edges; ranks
+    past the last finite bound clamp to that bound (the +Inf bucket has
+    no upper edge to interpolate toward).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if total <= 0:
+        return float("nan")
+    rank = q * total
+    lower_bound = 0.0
+    lower_count = 0
+    for bound, cumulative in zip(bounds, cumulative_counts):
+        if cumulative >= rank:
+            in_bucket = cumulative - lower_count
+            if in_bucket <= 0:
+                return float(bound)
+            fraction = (rank - lower_count) / in_bucket
+            return float(lower_bound + (bound - lower_bound) * fraction)
+        lower_bound = bound
+        lower_count = cumulative
+    # Rank falls in the +Inf bucket: clamp to the largest finite bound.
+    return float(bounds[-1]) if bounds else float("nan")
 
 
 def _format_float(value: float) -> str:

@@ -1,0 +1,290 @@
+"""A tamper-evident flight recorder for security-relevant events.
+
+The monitor's whole purpose is *detection*, and detections are
+diagnosed post-hoc: an operator reconstructing an incident needs an
+ordered, trustworthy record of what the deployment saw and did.  The
+:class:`FlightRecorder` is that record -- a bounded, thread-safe ring
+buffer of structured :class:`AuditEvent` entries (checkpoints compared,
+divergences, crashes, protective responses, variant replacements,
+request sheds/timeouts, health transitions).
+
+Each entry is hash-chained: its digest is an HMAC-SHA256 (reusing
+:mod:`repro.crypto`'s primitives) keyed by the previous entry's digest
+over the entry's canonical JSON body.  Like the monitor's binding
+ledger, the chain makes silent mutation of history *detectable* --
+:meth:`FlightRecorder.verify_chain` recomputes every digest and link --
+while JSONL export/replay moves the log out of the TEE for offline
+forensics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.crypto.kdf import hmac_sha256
+
+__all__ = [
+    "AuditChainError",
+    "AuditEvent",
+    "FlightRecorder",
+    "GENESIS_DIGEST",
+    "KIND_CHECKPOINT",
+    "KIND_CRASH",
+    "KIND_DIVERGENCE",
+    "KIND_HEALTH",
+    "KIND_REQUEST_SHED",
+    "KIND_REQUEST_TIMEOUT",
+    "KIND_RESPONSE",
+    "KIND_VARIANT_REPLACED",
+]
+
+#: Chain anchor of the very first entry.
+GENESIS_DIGEST = "0" * 64
+
+#: The event vocabulary components record.  Plain strings so operators
+#: can add deployment-specific kinds without touching this module.
+KIND_CHECKPOINT = "checkpoint"
+KIND_DIVERGENCE = "divergence"
+KIND_CRASH = "crash"
+KIND_RESPONSE = "response"
+KIND_VARIANT_REPLACED = "variant-replaced"
+KIND_REQUEST_SHED = "request-shed"
+KIND_REQUEST_TIMEOUT = "request-timeout"
+KIND_HEALTH = "health-transition"
+
+
+class AuditChainError(Exception):
+    """Raised when the audit chain fails verification (tampering)."""
+
+
+def _canonical(value):
+    """Coerce event data to a canonical JSON-stable form.
+
+    Tuples become lists, numpy scalars become Python numbers, and
+    anything else non-JSON falls back to ``str`` -- the digest must be
+    reproducible from the serialized form alone.
+    """
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        return _canonical(item())
+    return str(value)
+
+
+def _canonical_body(sequence: int, kind: str, timestamp: float, data: dict) -> bytes:
+    return json.dumps(
+        {"sequence": sequence, "kind": kind, "timestamp": timestamp, "data": data},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode()
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One entry of the flight recorder's hash chain."""
+
+    sequence: int
+    kind: str
+    timestamp: float
+    data: dict
+    previous_digest: str
+    digest: str
+
+    @staticmethod
+    def compute_digest(
+        sequence: int, kind: str, timestamp: float, data: dict, previous_digest: str
+    ) -> str:
+        """HMAC-SHA256 of the canonical body, keyed by the previous digest."""
+        body = _canonical_body(sequence, kind, timestamp, data)
+        return hmac_sha256(bytes.fromhex(previous_digest), body).hex()
+
+    def recompute_digest(self) -> str:
+        """The digest this entry *should* carry given its fields."""
+        return self.compute_digest(
+            self.sequence, self.kind, self.timestamp, self.data, self.previous_digest
+        )
+
+    def to_json(self) -> dict:
+        """Flat JSON form (one JSONL line on export)."""
+        return {
+            "sequence": self.sequence,
+            "kind": self.kind,
+            "timestamp": self.timestamp,
+            "data": self.data,
+            "previous_digest": self.previous_digest,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "AuditEvent":
+        """Rebuild one entry from its JSONL form."""
+        return cls(
+            sequence=int(doc["sequence"]),
+            kind=str(doc["kind"]),
+            timestamp=float(doc["timestamp"]),
+            data=dict(doc["data"]),
+            previous_digest=str(doc["previous_digest"]),
+            digest=str(doc["digest"]),
+        )
+
+
+class FlightRecorder:
+    """Bounded, thread-safe, hash-chained audit log.
+
+    The buffer keeps the most recent ``capacity`` events; the chain
+    digest continues across evictions, so a retained window still
+    verifies and still binds to everything that came before it.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        *,
+        clock: Callable[[], float] = time.time,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock
+        self._events: list[AuditEvent] = []
+        self._sequence = 0
+        self._last_digest = GENESIS_DIGEST
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, **data) -> AuditEvent:
+        """Append one event; returns the chained entry."""
+        payload = _canonical(data)
+        with self._lock:
+            timestamp = float(self._clock())
+            digest = AuditEvent.compute_digest(
+                self._sequence, kind, timestamp, payload, self._last_digest
+            )
+            event = AuditEvent(
+                sequence=self._sequence,
+                kind=kind,
+                timestamp=timestamp,
+                data=payload,
+                previous_digest=self._last_digest,
+                digest=digest,
+            )
+            self._events.append(event)
+            if len(self._events) > self.capacity:
+                del self._events[0]
+            self._sequence += 1
+            self._last_digest = digest
+            return event
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> list[AuditEvent]:
+        """Retained events, oldest first; optionally one kind only."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e.kind == kind]
+        return events
+
+    def last(self) -> AuditEvent | None:
+        """The most recent retained event."""
+        with self._lock:
+            return self._events[-1] if self._events else None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded (>= retained once the buffer wraps)."""
+        return self._sequence
+
+    # ------------------------------------------------------------------
+    # Chain verification
+    # ------------------------------------------------------------------
+
+    def verify_chain(self) -> int:
+        """Verify the retained window; returns the number of entries checked.
+
+        Raises :class:`AuditChainError` if any entry's digest does not
+        recompute or any link is broken -- i.e. if the log was mutated
+        after the fact.
+        """
+        return self.verify_events(self.events())
+
+    @staticmethod
+    def verify_events(events: Iterable[AuditEvent]) -> int:
+        """Verify an event sequence (e.g. a loaded JSONL export).
+
+        The first entry anchors the chain (its ``previous_digest`` is
+        taken as given -- a retained window need not start at genesis);
+        every entry's digest must recompute and every adjacent pair must
+        link.  Returns the number of entries verified.
+        """
+        previous: AuditEvent | None = None
+        checked = 0
+        for event in events:
+            if event.recompute_digest() != event.digest:
+                raise AuditChainError(
+                    f"audit entry {event.sequence} digest mismatch (entry mutated)"
+                )
+            if previous is not None:
+                if event.sequence != previous.sequence + 1:
+                    raise AuditChainError(
+                        f"audit chain gap: entry {previous.sequence} -> {event.sequence}"
+                    )
+                if event.previous_digest != previous.digest:
+                    raise AuditChainError(
+                        f"audit chain broken at entry {event.sequence}"
+                    )
+            previous = event
+            checked += 1
+        return checked
+
+    # ------------------------------------------------------------------
+    # Export / replay
+    # ------------------------------------------------------------------
+
+    def export_jsonl(self, path) -> int:
+        """Write the retained window as JSONL; returns entries written."""
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event.to_json(), sort_keys=True) + "\n")
+        return len(events)
+
+    @staticmethod
+    def load_jsonl(path) -> list[AuditEvent]:
+        """Load a JSONL export (no verification -- see :meth:`replay`)."""
+        events = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(AuditEvent.from_json(json.loads(line)))
+        return events
+
+    @classmethod
+    def replay(cls, path) -> list[AuditEvent]:
+        """Load *and verify* a JSONL export; the forensic entry point.
+
+        Raises :class:`AuditChainError` if the file was tampered with.
+        """
+        events = cls.load_jsonl(path)
+        cls.verify_events(events)
+        return events

@@ -21,6 +21,7 @@ analysis.
 from __future__ import annotations
 
 import json
+import secrets
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -48,6 +49,18 @@ class Span:
     end_time: float | None = None
     status: str = "ok"
     children: list["Span"] = field(default_factory=list)
+    _span_id: str | None = field(default=None, repr=False)
+
+    @property
+    def span_id(self) -> str:
+        """Stable random identifier, minted on first access.
+
+        Lazy so the untraced hot path (``NullTracer`` creates a span per
+        variant round trip) never pays for id generation.
+        """
+        if self._span_id is None:
+            self._span_id = secrets.token_hex(8)
+        return self._span_id
 
     def set_attribute(self, key: str, value) -> None:
         """Attach one structured attribute."""
@@ -88,6 +101,7 @@ class Span:
         """Nested JSON form (what the JSONL sink writes)."""
         return {
             "name": self.name,
+            "span_id": self.span_id,
             "duration_s": self.duration,
             "status": self.status,
             "attributes": dict(self.attributes),
@@ -153,6 +167,19 @@ class Tracer:
     def current(self) -> Span | None:
         """The innermost open context-manager span, if any."""
         return self._stack[-1] if self._stack else None
+
+    def trace_id(self) -> str | None:
+        """Id of the outermost open span (the trace this code runs in).
+
+        ``None`` outside any ``span()`` block -- forensics callers use
+        this to correlate an incident with the span tree it occurred in.
+        """
+        return self._stack[0].span_id if self._stack else None
+
+    def current_span_id(self) -> str | None:
+        """Id of the innermost open span, or ``None`` outside one."""
+        current = self.current()
+        return current.span_id if current is not None else None
 
     def start_span(self, name: str, *, parent: Span | None = None, **attributes) -> Span:
         """Open a span without entering it (caller ends it explicitly)."""

@@ -33,10 +33,15 @@ import numpy as np
 from repro.mvx.monitor import MonitorError
 from repro.mvx.scheduler import InferenceOptions, SchedulingMode, validate_feeds
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import (
+    KIND_REQUEST_SHED,
+    KIND_REQUEST_TIMEOUT,
+    FlightRecorder,
+)
 from repro.observability.tracing import Tracer
 from repro.serving.admission import AdmissionQueue
 from repro.serving.batching import BatchPolicy, MicroBatcher
-from repro.serving.errors import DeadlineExceeded, EngineStopped
+from repro.serving.errors import DeadlineExceeded, EngineStopped, Overloaded
 from repro.serving.executor import ParallelStageExecutor
 
 __all__ = ["ServingEngine", "ServingPolicy", "Ticket", "TicketState"]
@@ -151,13 +156,42 @@ class ServingEngine:
         policy: ServingPolicy | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.system = system
         self.policy = policy if policy is not None else ServingPolicy()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
+        #: Flight recorder for shed/timeout audit events; defaults to
+        #: the deployment's recorder so serving-layer rejections land in
+        #: the same hash chain as the monitor's detections.
+        self.recorder = (
+            recorder if recorder is not None else system.monitor.recorder
+        )
         self._clock = clock
+        # Pre-register the engine's counters/histograms so the full
+        # serving metric surface is visible (and documented inventories
+        # verifiable) before the first request ever sheds or times out.
+        self.registry.counter(
+            "mvtee_requests_served_total", "Requests served to completion"
+        )
+        self.registry.counter(
+            "mvtee_requests_failed_total", "Requests failed by a detection"
+        )
+        self.registry.counter(
+            "mvtee_requests_timeout_total", "Requests that missed their deadline"
+        )
+        self.registry.counter(
+            "mvtee_requests_shed_total", "Requests rejected by admission control"
+        )
+        self.registry.counter(
+            "mvtee_dispatch_retries_total",
+            "Variant round trips retried after a transient fault",
+        )
+        self.registry.gauge(
+            "mvtee_queue_depth", "Requests waiting in the admission queue"
+        )
         self._queue = AdmissionQueue(
             self.policy.capacity, registry=self.registry, clock=clock
         )
@@ -207,7 +241,17 @@ class ServingEngine:
             deadline=None if deadline_s is None else now + deadline_s,
             enqueued_at=now,
         )
-        self._queue.offer(ticket)
+        try:
+            self._queue.offer(ticket)
+        except Overloaded:
+            if self.recorder is not None:
+                self.recorder.record(
+                    KIND_REQUEST_SHED,
+                    ticket=ticket.ticket_id,
+                    queue_depth=len(self._queue),
+                    capacity=self.policy.capacity,
+                )
+            raise
         return ticket
 
     # ------------------------------------------------------------------
@@ -280,6 +324,7 @@ class ServingEngine:
             tracer=self.tracer,
             metrics=self.registry,
             dispatcher=self._executor,
+            recorder=self.recorder,
         )
         try:
             results = self.system.infer_batches([t.feeds for t in live], options)
@@ -306,6 +351,13 @@ class ServingEngine:
         self.registry.counter(
             "mvtee_requests_timeout_total", "Requests that missed their deadline"
         ).inc()
+        if self.recorder is not None:
+            self.recorder.record(
+                KIND_REQUEST_TIMEOUT,
+                ticket=ticket.ticket_id,
+                waited_s=self._clock() - ticket.enqueued_at,
+                reason=str(error),
+            )
         ticket._finish(TicketState.TIMED_OUT, error=error)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,166 @@
+"""Flight recorder: hash chain, ring eviction, export/replay, tampering."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability.recorder import (
+    GENESIS_DIGEST,
+    KIND_CHECKPOINT,
+    KIND_DIVERGENCE,
+    AuditChainError,
+    AuditEvent,
+    FlightRecorder,
+)
+
+
+def _fill(recorder, n, kind=KIND_CHECKPOINT):
+    for i in range(n):
+        recorder.record(kind, batch=i)
+
+
+class TestChain:
+    def test_first_entry_anchors_at_genesis(self):
+        recorder = FlightRecorder()
+        event = recorder.record(KIND_CHECKPOINT, batch=0)
+        assert event.previous_digest == GENESIS_DIGEST
+        assert event.digest == event.recompute_digest()
+
+    def test_entries_link(self):
+        recorder = FlightRecorder()
+        _fill(recorder, 5)
+        events = recorder.events()
+        for previous, event in zip(events, events[1:]):
+            assert event.previous_digest == previous.digest
+            assert event.sequence == previous.sequence + 1
+
+    def test_verify_chain_passes(self):
+        recorder = FlightRecorder()
+        _fill(recorder, 10)
+        assert recorder.verify_chain() == 10
+
+    def test_digest_covers_data(self):
+        # Two recorders with identical timing but different payloads must
+        # produce different digests (the chain binds the content).
+        a = FlightRecorder(clock=lambda: 1.0)
+        b = FlightRecorder(clock=lambda: 1.0)
+        a.record(KIND_CHECKPOINT, batch=0)
+        b.record(KIND_CHECKPOINT, batch=1)
+        assert a.last().digest != b.last().digest
+
+    def test_mutated_entry_detected(self):
+        recorder = FlightRecorder()
+        _fill(recorder, 3)
+        events = recorder.events()
+        forged = AuditEvent(
+            sequence=events[1].sequence,
+            kind=events[1].kind,
+            timestamp=events[1].timestamp,
+            data={"batch": 999},
+            previous_digest=events[1].previous_digest,
+            digest=events[1].digest,
+        )
+        with pytest.raises(AuditChainError, match="digest mismatch"):
+            FlightRecorder.verify_events([events[0], forged, events[2]])
+
+    def test_dropped_entry_detected(self):
+        recorder = FlightRecorder()
+        _fill(recorder, 3)
+        events = recorder.events()
+        with pytest.raises(AuditChainError, match="gap"):
+            FlightRecorder.verify_events([events[0], events[2]])
+
+    def test_reordered_entries_detected(self):
+        recorder = FlightRecorder()
+        _fill(recorder, 3)
+        events = recorder.events()
+        with pytest.raises(AuditChainError):
+            FlightRecorder.verify_events([events[1], events[0], events[2]])
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_chain_verifiable(self):
+        recorder = FlightRecorder(capacity=4)
+        _fill(recorder, 10)
+        assert len(recorder) == 4
+        assert recorder.total_recorded == 10
+        # The retained window starts mid-chain: its first entry anchors
+        # as given, everything after must still link.
+        assert recorder.verify_chain() == 4
+        assert [e.sequence for e in recorder.events()] == [6, 7, 8, 9]
+
+    def test_kind_filter(self):
+        recorder = FlightRecorder()
+        recorder.record(KIND_CHECKPOINT, batch=0)
+        recorder.record(KIND_DIVERGENCE, batch=0)
+        recorder.record(KIND_CHECKPOINT, batch=1)
+        assert len(recorder.events(KIND_DIVERGENCE)) == 1
+        assert len(recorder.events(KIND_CHECKPOINT)) == 2
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_concurrent_recording_keeps_chain_intact(self):
+        recorder = FlightRecorder()
+        threads = [
+            threading.Thread(target=_fill, args=(recorder, 50)) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert recorder.total_recorded == 200
+        assert recorder.verify_chain() == 200
+
+
+class TestExportReplay:
+    def test_round_trip(self, tmp_path):
+        recorder = FlightRecorder()
+        _fill(recorder, 5)
+        path = tmp_path / "audit.jsonl"
+        assert recorder.export_jsonl(path) == 5
+        replayed = FlightRecorder.replay(path)
+        assert replayed == recorder.events()
+
+    def test_tampered_export_rejected_on_replay(self, tmp_path):
+        recorder = FlightRecorder()
+        _fill(recorder, 5)
+        path = tmp_path / "audit.jsonl"
+        recorder.export_jsonl(path)
+        lines = path.read_text().splitlines()
+        doc = json.loads(lines[2])
+        doc["data"]["batch"] = 999
+        lines[2] = json.dumps(doc, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(AuditChainError):
+            FlightRecorder.replay(path)
+
+    def test_every_single_entry_mutation_is_detected(self, tmp_path):
+        # The acceptance bar: flip any one entry, replay must fail.
+        recorder = FlightRecorder()
+        _fill(recorder, 4)
+        path = tmp_path / "audit.jsonl"
+        recorder.export_jsonl(path)
+        pristine = path.read_text().splitlines()
+        for i in range(len(pristine)):
+            lines = list(pristine)
+            doc = json.loads(lines[i])
+            doc["timestamp"] = doc["timestamp"] + 1.0
+            lines[i] = json.dumps(doc, sort_keys=True)
+            path.write_text("\n".join(lines) + "\n")
+            with pytest.raises(AuditChainError):
+                FlightRecorder.replay(path)
+
+    def test_numpy_payloads_are_canonicalized(self, tmp_path):
+        import numpy as np
+
+        recorder = FlightRecorder()
+        recorder.record(
+            KIND_CHECKPOINT, value=np.float32(1.5), index=np.int64(3), seq=(1, 2)
+        )
+        path = tmp_path / "audit.jsonl"
+        recorder.export_jsonl(path)
+        replayed = FlightRecorder.replay(path)
+        assert replayed[0].data == {"value": 1.5, "index": 3, "seq": [1, 2]}

@@ -1,0 +1,236 @@
+"""Divergence forensics: tensor summaries, mismatch analysis, incidents."""
+
+import numpy as np
+import pytest
+
+from repro.mvx import MvteeSystem, ResponseAction
+from repro.observability import MetricsRegistry, Tracer
+from repro.observability.forensics import (
+    IncidentStore,
+    analyze_mismatch,
+    build_incident_report,
+    summarize_tensor,
+)
+from repro.observability.recorder import KIND_DIVERGENCE, FlightRecorder
+from repro.runtime.faults import FaultInjector
+from repro.zoo import build_model
+
+
+class TestTensorSummary:
+    def test_stats_and_digest(self):
+        array = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        summary = summarize_tensor("out", array)
+        assert summary.shape == (2, 2)
+        assert summary.dtype == "float32"
+        assert summary.min == 1.0 and summary.max == 4.0 and summary.mean == 2.5
+        assert summary.nan_count == 0
+        assert summary.digest == summarize_tensor("out", array.copy()).digest
+
+    def test_nan_handling(self):
+        array = np.array([1.0, np.nan, 3.0])
+        summary = summarize_tensor("out", array)
+        assert summary.nan_count == 1
+        assert summary.min == 1.0 and summary.max == 3.0  # finite-only stats
+
+    def test_all_nan(self):
+        summary = summarize_tensor("out", np.full(3, np.nan))
+        assert summary.nan_count == 3
+        assert np.isnan(summary.min)
+
+
+class TestMismatchAnalysis:
+    def test_identical_tensors(self):
+        array = np.arange(6.0).reshape(2, 3)
+        analysis = analyze_mismatch("out", array, array.copy())
+        assert not analysis.mismatched
+        assert analysis.max_abs_error == 0.0
+        assert analysis.first_mismatch_index is None
+
+    def test_single_element_flip(self):
+        reference = np.zeros((2, 3))
+        suspect = reference.copy()
+        suspect[1, 2] = 5.0
+        analysis = analyze_mismatch("out", reference, suspect)
+        assert analysis.mismatch_count == 1
+        assert analysis.max_abs_error == 5.0
+        assert analysis.first_mismatch_index == 5
+        assert analysis.first_mismatch_coords == (1, 2)
+        assert analysis.reference_value == 0.0
+        assert analysis.suspect_value == 5.0
+
+    def test_nan_counts_as_mismatch_even_vs_nan(self):
+        reference = np.array([1.0, np.nan])
+        suspect = np.array([1.0, np.nan])
+        analysis = analyze_mismatch("out", reference, suspect)
+        assert analysis.mismatch_count == 1
+        assert analysis.max_abs_error == float("inf")
+
+    def test_shape_mismatch(self):
+        analysis = analyze_mismatch("out", np.zeros(4), np.zeros(5))
+        assert analysis.mismatched
+        assert analysis.max_abs_error == float("inf")
+
+    def test_relative_error(self):
+        reference = np.array([100.0])
+        suspect = np.array([110.0])
+        analysis = analyze_mismatch("out", reference, suspect)
+        assert analysis.max_abs_error == pytest.approx(10.0)
+        assert analysis.max_rel_error == pytest.approx(0.1)
+
+
+class TestIncidentReport:
+    def _report(self, **overrides):
+        reference = {"out": np.zeros((2, 2))}
+        bad = {"out": np.array([[0.0, 9.0], [0.0, 0.0]])}
+        kwargs = dict(
+            incident_id="inc-0001",
+            kind="divergence",
+            batch_id=3,
+            partition_index=1,
+            suspected_culprits=("v-bad",),
+            agreeing_variants=("v-a", "v-b"),
+            outputs_by_variant={"v-a": reference, "v-b": reference, "v-bad": bad},
+            reference_outputs=reference,
+            response_action="drop-variant",
+        )
+        kwargs.update(overrides)
+        return build_incident_report(**kwargs)
+
+    def test_attribution_and_mismatch(self):
+        report = self._report()
+        assert report.attribution_confident
+        assert set(report.variant_summaries) == {"v-a", "v-b", "v-bad"}
+        assert list(report.mismatches) == ["v-bad"]
+        assert report.max_abs_error == 9.0
+        (analysis,) = report.mismatches["v-bad"]
+        assert analysis.first_mismatch_index == 1
+
+    def test_attribution_tentative_without_majority(self):
+        report = self._report(
+            suspected_culprits=("v-bad", "v-b"), agreeing_variants=("v-a",)
+        )
+        assert not report.attribution_confident
+        assert "tentative" in report.to_text()
+
+    def test_renderings(self):
+        report = self._report()
+        doc = report.to_json()
+        assert doc["incident_id"] == "inc-0001"
+        assert doc["mismatches"]["v-bad"][0]["max_abs_error"] == 9.0
+        text = report.to_text()
+        assert "v-bad" in text and "drop-variant" in text
+
+    def test_store_bounds_and_ids(self):
+        store = IncidentStore(capacity=2)
+        for _ in range(3):
+            store.add(self._report(incident_id=store.new_id()))
+        assert len(store) == 2
+        assert store.latest().incident_id == "inc-0003"
+        assert [r.incident_id for r in store.incidents()] == ["inc-0002", "inc-0003"]
+        assert store.incidents("crash") == []
+
+
+class TestEndToEndForensics:
+    """The acceptance scenario: bit flip -> incident naming the culprit."""
+
+    @pytest.fixture()
+    def faulted_run(self):
+        model = build_model("small-resnet", input_size=16, blocks_per_stage=1)
+        recorder = FlightRecorder()
+        tracer = Tracer()
+        system = MvteeSystem.deploy(
+            model,
+            num_partitions=3,
+            mvx_partitions={1: 3},
+            seed=0,
+            verify_partitions=False,
+            verify_variants=False,
+            recorder=recorder,
+            tracer=tracer,
+            metrics=MetricsRegistry(),
+        )
+        system.monitor.response_action = ResponseAction.DROP_VARIANT
+        victim = system.monitor.stage_connections(1)[1]
+        FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
+        feeds = {
+            "input": np.random.default_rng(0)
+            .normal(size=(1, 3, 16, 16))
+            .astype(np.float32)
+        }
+        system.infer(feeds)
+        return system, recorder, tracer, victim
+
+    def test_incident_names_dissenting_variant(self, faulted_run):
+        system, _, _, victim = faulted_run
+        incidents = system.monitor.incidents("divergence")
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert incident.suspected_culprits == (victim.variant_id,)
+        assert victim.variant_id not in incident.agreeing_variants
+        assert incident.attribution_confident
+        assert incident.partition_index == 1
+        assert incident.max_abs_error > 0
+        assert incident.response_action == "drop-variant"
+
+    def test_incident_correlates_with_trace(self, faulted_run):
+        system, _, tracer, _ = faulted_run
+        incident = system.monitor.incidents("divergence")[0]
+        assert incident.trace_id is not None
+        root_ids = {root.span_id for root in tracer.roots}
+        assert incident.trace_id in root_ids
+        # The span id points inside that root's tree.
+        (root,) = [r for r in tracer.roots if r.span_id == incident.trace_id]
+        assert incident.span_id in {span.span_id for span in root.walk()}
+
+    def test_audit_chain_records_the_detection(self, faulted_run):
+        system, recorder, _, victim = faulted_run
+        assert recorder.verify_chain() == len(recorder)
+        divergences = recorder.events(KIND_DIVERGENCE)
+        assert len(divergences) == 1
+        assert divergences[0].data["suspected"] == [victim.variant_id]
+        assert divergences[0].data["incident_id"] == "inc-0001"
+
+    def test_incident_counter_incremented(self, faulted_run):
+        system, _, _, _ = faulted_run
+        count = system.monitor.metrics_registry.counter(
+            "mvtee_incidents_total"
+        ).total()
+        assert count == 1
+
+    def test_service_surfaces_incidents(self, faulted_run):
+        from repro.mvx.service import InferenceService
+
+        system, _, _, victim = faulted_run
+        service = InferenceService(system)
+        incidents = service.incidents("divergence")
+        assert incidents and incidents[0].suspected_culprits == (victim.variant_id,)
+
+
+class TestCrashForensics:
+    def test_crash_incident_captured(self):
+        model = build_model("small-resnet", input_size=16, blocks_per_stage=1)
+        system = MvteeSystem.deploy(
+            model,
+            num_partitions=3,
+            mvx_partitions={1: 3},
+            seed=0,
+            verify_partitions=False,
+            verify_variants=False,
+            recorder=FlightRecorder(),
+        )
+        system.monitor.response_action = ResponseAction.DROP_VARIANT
+        victim = system.monitor.stage_connections(1)[0]
+        FaultInjector(victim.host.runtime).arm_op_crash(
+            "Conv", lambda node, inputs: True
+        )
+        feeds = {
+            "input": np.random.default_rng(1)
+            .normal(size=(1, 3, 16, 16))
+            .astype(np.float32)
+        }
+        system.infer(feeds)
+        incidents = system.monitor.incidents("crash")
+        assert len(incidents) == 1
+        assert incidents[0].suspected_culprits == (victim.variant_id,)
+        assert incidents[0].error
+        assert system.monitor.recorder.verify_chain() == len(system.monitor.recorder)

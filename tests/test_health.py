@@ -1,0 +1,211 @@
+"""Health watchdog: rule grading, windowing, degrade-and-recover."""
+
+import pytest
+
+from repro.observability.health import (
+    HealthMonitor,
+    HealthStatus,
+    QuantileRule,
+    RatioRule,
+    default_rules,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import KIND_HEALTH, FlightRecorder
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def _monitor(registry, *, rules=None, window_s=60.0, recorder=None):
+    return HealthMonitor(
+        registry,
+        rules,
+        window_s=window_s,
+        recorder=recorder,
+        clock=FakeClock(),
+    )
+
+
+class TestRatioRule:
+    def _evaluate(self, divergences, checkpoints, **thresholds):
+        registry = MetricsRegistry()
+        rule = RatioRule(
+            "divergence-rate",
+            numerator="mvtee_divergences_total",
+            denominators=("mvtee_checkpoints_total",),
+            **thresholds,
+        )
+        clock = FakeClock()
+        monitor = HealthMonitor(registry, (rule,), clock=clock)
+        monitor.evaluate()  # baseline snapshot
+        if checkpoints:
+            registry.counter("mvtee_checkpoints_total", "h").inc(checkpoints)
+        if divergences:
+            registry.counter("mvtee_divergences_total", "h").inc(divergences)
+        clock.advance(1.0)
+        return monitor.evaluate()
+
+    def test_quiet_window_is_ok(self):
+        report = self._evaluate(0, 0, warn=0.02, crit=0.2)
+        assert report.status is HealthStatus.OK
+
+    def test_low_rate_is_ok(self):
+        report = self._evaluate(1, 100, warn=0.02, crit=0.2)
+        assert report.status is HealthStatus.OK
+
+    def test_warn_threshold(self):
+        report = self._evaluate(5, 100, warn=0.02, crit=0.2)
+        assert report.status is HealthStatus.WARN
+        assert any("divergence-rate" in r for r in report.reasons)
+
+    def test_crit_threshold(self):
+        report = self._evaluate(30, 100, warn=0.02, crit=0.2)
+        assert report.status is HealthStatus.CRIT
+
+    def test_summed_denominators(self):
+        registry = MetricsRegistry()
+        rule = RatioRule(
+            "shed-rate",
+            numerator="mvtee_requests_shed_total",
+            denominators=(
+                "mvtee_requests_served_total",
+                "mvtee_requests_shed_total",
+            ),
+            warn=0.05,
+            crit=0.5,
+        )
+        clock = FakeClock()
+        monitor = HealthMonitor(registry, (rule,), clock=clock)
+        monitor.evaluate()
+        registry.counter("mvtee_requests_served_total", "h").inc(90)
+        registry.counter("mvtee_requests_shed_total", "h").inc(10)
+        clock.advance(1.0)
+        report = monitor.evaluate()
+        assert report.results[0].value == pytest.approx(0.1)
+        assert report.status is HealthStatus.WARN
+
+
+class TestQuantileRule:
+    def _evaluate(self, observations, *, q=0.95, warn=1.0, crit=5.0):
+        registry = MetricsRegistry()
+        rule = QuantileRule(
+            "stage-latency", histogram="mvtee_stage_seconds", q=q, warn=warn, crit=crit
+        )
+        clock = FakeClock()
+        monitor = HealthMonitor(registry, (rule,), clock=clock)
+        monitor.evaluate()
+        histogram = registry.histogram("mvtee_stage_seconds", "h")
+        for value in observations:
+            histogram.observe(value)
+        clock.advance(1.0)
+        return monitor.evaluate()
+
+    def test_no_data_is_ok(self):
+        report = self._evaluate([])
+        assert report.status is HealthStatus.OK
+        assert "no data" in report.results[0].reason or (
+            "no observations" in report.results[0].reason
+        )
+
+    def test_fast_latencies_ok(self):
+        report = self._evaluate([0.001] * 100)
+        assert report.status is HealthStatus.OK
+
+    def test_slow_tail_warns(self):
+        report = self._evaluate([0.001] * 50 + [2.0] * 50)
+        assert report.status is HealthStatus.WARN
+        assert report.results[0].value >= 1.0
+
+    def test_crit_latency(self):
+        report = self._evaluate([8.0] * 100, warn=1.0, crit=5.0)
+        assert report.status is HealthStatus.CRIT
+
+
+class TestWindowing:
+    def test_only_windowed_increase_counts(self):
+        # Counts accumulated before the window opened must not trip the
+        # rule: the watchdog grades deltas, not lifetime totals.
+        registry = MetricsRegistry()
+        registry.counter("mvtee_divergences_total", "h").inc(1000)
+        registry.counter("mvtee_checkpoints_total", "h").inc(1000)
+        monitor = _monitor(registry, rules=default_rules())
+        report = monitor.evaluate()
+        assert report.status is HealthStatus.OK
+
+    def test_degrade_then_recover(self):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder()
+        clock = FakeClock()
+        monitor = HealthMonitor(
+            registry,
+            default_rules(),
+            window_s=60.0,
+            recorder=recorder,
+            clock=clock,
+        )
+        assert monitor.evaluate().status is HealthStatus.OK
+        # Sustained injected divergence: every checkpoint diverges.
+        registry.counter("mvtee_checkpoints_total", "h").inc(10)
+        registry.counter("mvtee_divergences_total", "h").inc(10)
+        clock.advance(5.0)
+        assert monitor.evaluate().status is HealthStatus.CRIT
+        gauge = registry.gauge("mvtee_health_status", "h")
+        assert gauge.value() == 2
+        # Quiet period: the bad samples age out of the window.
+        clock.advance(120.0)
+        assert monitor.evaluate().status is HealthStatus.OK
+        assert gauge.value() == 0
+        transitions = recorder.events(KIND_HEALTH)
+        assert [t.data["status"] for t in transitions] == ["ok", "crit", "ok"]
+        assert transitions[1].data["previous"] == "ok"
+        assert transitions[1].data["reasons"]
+
+    def test_transition_recorded_only_on_change(self):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder()
+        monitor = _monitor(registry, rules=default_rules(), recorder=recorder)
+        for _ in range(5):
+            monitor.evaluate()
+        assert len(recorder.events(KIND_HEALTH)) == 1  # the initial None -> ok
+
+    def test_status_property(self):
+        monitor = _monitor(MetricsRegistry(), rules=default_rules())
+        assert monitor.status is None
+        monitor.evaluate()
+        assert monitor.status is HealthStatus.OK
+
+
+class TestServiceHealthz:
+    def test_healthz_degrades_and_recovers(self, deployed_system, small_input):
+        from repro.mvx.service import InferenceService
+
+        service = InferenceService(deployed_system)
+        clock = FakeClock()
+        service._health = HealthMonitor(
+            service.registry, window_s=60.0, clock=clock
+        )
+        report = service.healthz()
+        assert report.status is HealthStatus.OK
+        # Sustained injected divergence rate on the service registry.
+        service.registry.counter("mvtee_checkpoints_total", "h").inc(20)
+        service.registry.counter("mvtee_divergences_total", "h").inc(20)
+        clock.advance(5.0)
+        assert service.healthz().status is HealthStatus.CRIT
+        clock.advance(300.0)
+        assert service.healthz().status is HealthStatus.OK
+
+    def test_healthz_builds_default_monitor(self, deployed_system):
+        from repro.mvx.service import InferenceService
+
+        service = InferenceService(deployed_system)
+        report = service.healthz()
+        assert report.status is HealthStatus.OK
+        assert "mvtee_health_status" in service.render_prometheus()

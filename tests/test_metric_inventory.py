@@ -1,0 +1,150 @@
+"""The documented metric inventory and the registered set stay in sync.
+
+README.md carries a table of every ``mvtee_*`` metric the deployment
+can emit.  This test drives a full traced/metered pass through the
+system -- deployment over a fabric transport, a faulted inference that
+trips detection and forensics, a concurrent serving pass, the adaptive
+controller and the health watchdog -- and asserts both directions:
+
+- every metric registered anywhere during the pass is documented;
+- every documented metric was actually registered (no stale rows).
+"""
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.mvx import FabricTransport, MvteeSystem, ResponseAction
+from repro.mvx.adaptive import AdaptiveController
+from repro.mvx.service import InferenceService
+from repro.observability import (
+    FlightRecorder,
+    MetricsRegistry,
+    Tracer,
+    get_global_registry,
+    set_global_registry,
+)
+from repro.runtime.faults import FaultInjector
+from repro.zoo import build_model
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+ROW = re.compile(r"^\| `(mvtee_[a-z0-9_]+)` \| (counter|gauge|histogram) \|")
+
+
+def documented_inventory() -> dict[str, str]:
+    """Metric name -> kind, parsed from the README table."""
+    inventory = {}
+    for line in README.read_text(encoding="utf-8").splitlines():
+        match = ROW.match(line.strip())
+        if match:
+            inventory[match.group(1)] = match.group(2)
+    return inventory
+
+
+@pytest.fixture(scope="module")
+def exercised_registry():
+    """One registry that saw a full inference + serving + ops pass."""
+    registry = MetricsRegistry()
+    # Components without an explicit sink (variant hosts, transports)
+    # report to the process-wide registry: swap it for the pass.
+    saved = get_global_registry()
+    set_global_registry(registry)
+    try:
+        model = build_model("small-resnet", input_size=16, blocks_per_stage=1)
+        system = MvteeSystem.deploy(
+            model,
+            num_partitions=3,
+            mvx_partitions={1: 3},
+            seed=0,
+            verify_partitions=False,
+            verify_variants=False,
+            transport=FabricTransport(),
+            tracer=Tracer(),
+            metrics=registry,
+            recorder=FlightRecorder(),
+        )
+        system.monitor.response_action = ResponseAction.DROP_VARIANT
+        feeds = {
+            "input": np.random.default_rng(0)
+            .normal(size=(1, 3, 16, 16))
+            .astype(np.float32)
+        }
+        # A faulted inference: divergence detection, forensics, recovery.
+        victim = system.monitor.stage_connections(1)[2]
+        FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
+        system.infer(feeds)
+        # A crashing variant: crash detection counters.
+        crasher = system.monitor.stage_connections(1)[1]
+        FaultInjector(crasher.host.runtime).arm_op_crash(
+            "Conv", lambda node, inputs: True
+        )
+        system.infer(feeds)
+        # A concurrent serving pass over the same registry.
+        service = InferenceService(system, registry=registry)
+        with service.serve(max_batch_size=2, max_wait_s=0.001):
+            ids = [service.submit(feeds) for _ in range(3)]
+            for request_id in ids:
+                service.wait(request_id, timeout=30.0)
+        # A synchronous drain: the service-level batch/checkpoint totals.
+        service.submit(feeds)
+        service.drain()
+        # Operational surfaces: adaptive scaling and the health verdict.
+        AdaptiveController(system, metrics=registry).observe()
+        service.healthz()
+        yield registry
+    finally:
+        set_global_registry(saved)
+
+
+class TestMetricInventory:
+    def test_readme_table_parses(self):
+        inventory = documented_inventory()
+        assert len(inventory) >= 20, "README metric table missing or mangled"
+
+    def test_every_registered_metric_is_documented(self, exercised_registry):
+        documented = documented_inventory()
+        registered = {
+            name
+            for name in exercised_registry.names()
+            if name.startswith("mvtee_")
+        }
+        undocumented = registered - set(documented)
+        assert not undocumented, (
+            f"metrics registered but missing from the README inventory: "
+            f"{sorted(undocumented)}"
+        )
+
+    def test_every_documented_metric_is_registered(self, exercised_registry):
+        documented = documented_inventory()
+        registered = set(exercised_registry.names())
+        stale = set(documented) - registered
+        assert not stale, (
+            f"metrics documented in README but never registered by a full "
+            f"pass: {sorted(stale)}"
+        )
+
+    def test_documented_kinds_match(self, exercised_registry):
+        documented = documented_inventory()
+        for name, kind in documented.items():
+            instrument = exercised_registry.get(name)
+            if instrument is not None:
+                assert instrument.kind == kind, (
+                    f"{name}: README says {kind}, registry has {instrument.kind}"
+                )
+
+    def test_source_names_match_documentation(self):
+        # Belt and braces: every mvtee_* string literal in src/ appears
+        # in the table, catching metrics the exercise pass cannot reach.
+        documented = set(documented_inventory())
+        src = Path(__file__).resolve().parent.parent / "src"
+        in_source = set()
+        for path in src.rglob("*.py"):
+            in_source.update(
+                re.findall(r'"(mvtee_[a-z0-9_]+)"', path.read_text(encoding="utf-8"))
+            )
+        assert in_source <= documented, (
+            f"metrics in source but not documented: {sorted(in_source - documented)}"
+        )

@@ -408,3 +408,160 @@ class TestServiceReadThrough:
         assert 'mvtee_live_variants{partition="1"} 3\n' in legacy
         # Tracing flowed through the serving path too.
         assert tracer.find("stage")
+
+
+# ----------------------------------------------------------------------
+# Exposition escaping (Prometheus text format)
+# ----------------------------------------------------------------------
+
+
+class TestLabelEscaping:
+    def test_special_characters_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("mvtee_test_total", "h").inc(
+            reason='shed: queue "full"', path="C:\\temp", detail="line1\nline2"
+        )
+        text = registry.render_prometheus()
+        assert 'reason="shed: queue \\"full\\""' in text
+        assert 'path="C:\\\\temp"' in text
+        assert 'detail="line1\\nline2"' in text
+        # The raw newline must not split the sample line.
+        sample_lines = [l for l in text.splitlines() if l.startswith("mvtee_test_total{")]
+        assert len(sample_lines) == 1
+
+    def test_plain_values_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("mvtee_test_total", "h").inc(partition="1", mode="sync")
+        assert 'mode="sync",partition="1"' in registry.render_prometheus()
+
+
+# ----------------------------------------------------------------------
+# Histogram quantile estimation
+# ----------------------------------------------------------------------
+
+
+class TestHistogramQuantile:
+    def _histogram(self, observations, buckets=(1.0, 2.0, 3.0, 4.0)):
+        histogram = Histogram("h", buckets=buckets)
+        for value in observations:
+            histogram.observe(value)
+        return histogram
+
+    def test_known_distribution(self):
+        # One observation per bucket: quantiles interpolate the edges.
+        histogram = self._histogram([0.5, 1.5, 2.5, 3.5])
+        assert histogram.quantile(0.25) == pytest.approx(1.0)
+        assert histogram.quantile(0.5) == pytest.approx(2.0)
+        assert histogram.quantile(1.0) == pytest.approx(4.0)
+
+    def test_interpolation_within_bucket(self):
+        # 10 observations, all in the (1, 2] bucket: the median sits at
+        # the bucket midpoint under linear interpolation.
+        histogram = self._histogram([1.5] * 10)
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+        assert histogram.quantile(0.1) == pytest.approx(1.1)
+
+    def test_skewed_distribution(self):
+        # 90 fast + 10 slow: p95 lands in the slow bucket.
+        histogram = self._histogram([0.5] * 90 + [3.5] * 10)
+        p95 = histogram.quantile(0.95)
+        assert 3.0 < p95 <= 4.0
+        assert histogram.quantile(0.5) == pytest.approx(5 / 9, rel=1e-6)
+
+    def test_inf_bucket_clamps_to_largest_finite_bound(self):
+        histogram = self._histogram([100.0], buckets=(1.0, 2.0))
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_empty_series_is_nan(self):
+        import math
+
+        histogram = Histogram("h")
+        assert math.isnan(histogram.quantile(0.5))
+        histogram.observe(1.0, partition="0")
+        assert math.isnan(histogram.quantile(0.5, partition="1"))
+        assert not math.isnan(histogram.quantile(0.5, partition="0"))
+
+    def test_invalid_quantile_rejected(self):
+        from repro.observability import quantile_from_buckets
+
+        with pytest.raises(ValueError):
+            quantile_from_buckets((1.0,), [1], 1, 1.5)
+
+    def test_aggregate_sums_label_sets(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(0.5, partition="0")
+        histogram.observe(0.5, partition="1")
+        histogram.observe(1.5, partition="1")
+        bounds, counts, total = histogram.aggregate()
+        assert bounds == (1.0, 2.0)
+        assert counts == [2, 3]
+        assert total == 3
+
+
+# ----------------------------------------------------------------------
+# Tracer error paths
+# ----------------------------------------------------------------------
+
+
+class TestTracerErrorPaths:
+    def test_exception_records_error_ends_span_pops_stack(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("outer"):
+                with tracer.span("inner") as inner:
+                    raise RuntimeError("boom")
+        assert inner.status == "error"
+        assert inner.attributes["error"] == "boom"
+        assert inner.ended
+        assert tracer.current() is None  # stack fully unwound
+        (root,) = tracer.roots
+        assert root.status == "error"
+        assert root.ended
+
+    def test_failed_root_is_still_exported(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer([exporter])
+        with pytest.raises(ValueError):
+            with tracer.span("root"):
+                raise ValueError("bad")
+        assert [s.name for s in exporter.spans] == ["root"]
+
+    def test_jsonl_exporter_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer([JsonlSpanExporter(path)])
+        with pytest.raises(RuntimeError):
+            with tracer.span("root", partition=1):
+                with tracer.span("child"):
+                    raise RuntimeError("kaboom")
+        with tracer.span("second"):
+            pass
+        docs = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [d["name"] for d in docs] == ["root", "second"]
+        assert docs[0]["status"] == "error"
+        assert docs[0]["attributes"] == {"partition": 1, "error": "kaboom"}
+        assert docs[0]["children"][0]["name"] == "child"
+        assert docs[0]["span_id"] == tracer.roots[0].span_id
+
+    def test_null_tracer_is_a_true_no_op(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = NullTracer([JsonlSpanExporter(path)])
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                raise RuntimeError("x")
+        with tracer.span("again") as span:
+            span.set_attribute("k", "v")
+        assert tracer.roots == []
+        assert tracer.current() is None
+        assert tracer.trace_id() is None
+        assert tracer.current_span_id() is None
+        assert not path.exists()  # nothing exported
+
+    def test_trace_and_span_ids_inside_blocks(self):
+        tracer = Tracer()
+        assert tracer.trace_id() is None
+        with tracer.span("root") as root:
+            assert tracer.trace_id() == root.span_id
+            with tracer.span("child") as child:
+                assert tracer.trace_id() == root.span_id
+                assert tracer.current_span_id() == child.span_id
+        assert tracer.trace_id() is None
