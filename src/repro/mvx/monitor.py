@@ -315,6 +315,60 @@ class Monitor:
                 event=event,
             )
 
+    def bind_variant(
+        self, partition_index: int, artifact, host: VariantHost, *, event: str = "restart"
+    ) -> VariantConnection:
+        """Attest, key and bind one replacement variant.
+
+        The cluster supervisor's restart path: after a worker process
+        dies, its variant slot is refilled by re-running the full
+        Figure-6 bootstrap (fresh enclave, fresh RA-TLS channel, fresh
+        installation evidence) for the *same* artifact.  The old binding
+        must be retired first -- fork-attack prevention rejects a second
+        live binding of one variant id.  Returns the new connection.
+        """
+        self._bootstrap_variant(partition_index, artifact, host, event)
+        return self.connections[partition_index][-1]
+
+    def report_worker_crash(
+        self, variant_id: str, *, error: str, batch_id: int = -1
+    ) -> None:
+        """Record an out-of-band variant process death as a crash.
+
+        The supervisor calls this when a worker dies *between* requests
+        (heartbeat detection): no in-flight round trip will surface the
+        failure, but the deployment still lost a TEE.  Marks the host
+        crashed, emits the crash event/metric and captures the forensic
+        incident (the error string carries the worker pid/exit code).
+        ``batch_id=-1`` marks a detection outside any batch.
+        """
+        for index, connections in self.connections.items():
+            for connection in connections:
+                if connection.variant_id != variant_id:
+                    continue
+                if not connection.host.crashed:
+                    connection.host.crash_reason = str(error)
+                    connection.host.crashed = True
+                    connection.host.enclave.terminate()
+                self._record_crash(batch_id, index, connection, error)
+                return
+        # Variant already dropped from the connection table: keep the
+        # forensic trail anyway.
+        self._capture_incident(
+            build_incident_report(
+                incident_id=self.incident_store.new_id(),
+                kind="crash",
+                batch_id=batch_id,
+                partition_index=-1,
+                suspected_culprits=(variant_id,),
+                agreeing_variants=(),
+                response_action=self.response_action.value,
+                trace_id=self.tracer.trace_id(),
+                span_id=self.tracer.current_span_id(),
+                error=str(error),
+            )
+        )
+
     def quote(self, report_data: bytes):
         """The monitor's own attestation (used by RA-TLS and the owner)."""
         from repro.tee.attestation import make_quote

@@ -46,6 +46,9 @@ class MvteeSystem:
     hosts: dict[str, VariantHost]
     key_manager: KeyManager
     last_stats: RunStats | None = field(default=None)
+    #: Process-mode deployments only: the supervisor owning the
+    #: per-variant worker processes (None for in-process execution).
+    cluster: "object | None" = field(default=None)
 
     @classmethod
     def deploy(
@@ -65,6 +68,8 @@ class MvteeSystem:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         recorder: FlightRecorder | None = None,
+        execution: str = "inprocess",
+        restart_policy=None,
     ) -> "MvteeSystem":
         """Run the offline phase and bootstrap the online deployment.
 
@@ -78,7 +83,29 @@ class MvteeSystem:
         ``recorder`` attaches a tamper-evident flight recorder the same
         way: checkpoints, detections, responses and variant replacements
         are appended to its hash chain.
+
+        ``execution`` selects where variant runtimes live: the default
+        ``"inprocess"`` keeps them in this process; ``"process"`` forks
+        each variant host into its own supervised worker process after
+        bootstrap (crash-grade fault isolation -- see
+        :mod:`repro.cluster`), with ``restart_policy`` (a
+        :class:`repro.cluster.RestartPolicy`) governing how dead workers
+        are restarted.  Call :meth:`shutdown` (or rely on the atexit
+        sweep) to tear the worker fleet down.
         """
+        if execution not in ("inprocess", "process"):
+            raise ValueError(
+                f"execution must be 'inprocess' or 'process', got {execution!r}"
+            )
+        if execution == "process":
+            if transport is not None:
+                raise ValueError(
+                    "execution='process' builds its own ProcessTransport; "
+                    "an explicit transport cannot be combined with it"
+                )
+            from repro.cluster import ProcessTransport
+
+            transport = ProcessTransport(metrics=metrics)
         partition_set = find_balanced_partition(
             model, num_partitions, restarts=partition_restarts, seed=seed
         )
@@ -113,6 +140,19 @@ class MvteeSystem:
             monitor.metrics = metrics
         if recorder is not None:
             monitor.recorder = recorder
+        cluster = None
+        if execution == "process":
+            from repro.cluster import ClusterSupervisor
+
+            cluster = ClusterSupervisor(
+                monitor,
+                orchestrator,
+                transport,
+                hosts=hosts,
+                policy=restart_policy,
+                registry=metrics,
+                recorder=monitor.recorder,
+            ).start()
         return cls(
             model=model,
             partition_set=partition_set,
@@ -123,7 +163,14 @@ class MvteeSystem:
             orchestrator=orchestrator,
             hosts=hosts,
             key_manager=key_manager,
+            cluster=cluster,
         )
+
+    def shutdown(self) -> None:
+        """Tear down process-mode workers (no-op for in-process mode)."""
+        if self.cluster is not None:
+            self.cluster.shutdown()
+            self.cluster = None
 
     # ------------------------------------------------------------------
     # Inference

@@ -18,12 +18,12 @@ from repro.mvx.variant_host import VariantHost, VariantUnavailable
 from repro.observability.metrics import MetricsRegistry, get_global_registry
 from repro.tee.network import Fabric, NetworkError
 
-__all__ = ["DirectTransport", "FabricTransport", "Transport"]
+__all__ = ["DirectTransport", "FabricTransport", "Transport", "record_exchange"]
 
 MONITOR_ENDPOINT = "mvtee-monitor"
 
 
-def _record_exchange(
+def record_exchange(
     registry: MetricsRegistry | None,
     transport: str,
     request: bytes,
@@ -70,9 +70,9 @@ class DirectTransport:
         try:
             response = host.handle_record(record)
         except VariantUnavailable:
-            _record_exchange(self.metrics, "direct", record, None, outcome="error")
+            record_exchange(self.metrics, "direct", record, None, outcome="error")
             raise
-        _record_exchange(self.metrics, "direct", record, response)
+        record_exchange(self.metrics, "direct", record, response)
         return response
 
 
@@ -125,7 +125,7 @@ class FabricTransport:
                     f"variant {variant_id}: response lost in transit ({exc})"
                 ) from exc
         except VariantUnavailable:
-            _record_exchange(self.metrics, "fabric", record, None, outcome="error")
+            record_exchange(self.metrics, "fabric", record, None, outcome="error")
             raise
-        _record_exchange(self.metrics, "fabric", record, delivered_response)
+        record_exchange(self.metrics, "fabric", record, delivered_response)
         return delivered_response

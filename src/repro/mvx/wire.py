@@ -17,11 +17,17 @@ __all__ = ["decode_message", "encode_message"]
 
 
 def encode_message(msg_type: str, meta: dict | None = None, tensors: dict | None = None) -> bytes:
-    """Serialize one protocol message."""
+    """Serialize one protocol message.
+
+    Tensors are forced contiguous before serialization: checkpoint
+    feeds are often views (slices of a batch, transposed weights) and
+    the framed payload must carry the *logical* array so it round-trips
+    identically across a process or network boundary.
+    """
     envelope = json.dumps({"type": msg_type, "meta": meta or {}}, sort_keys=True).encode()
     if tensors:
         buffer = io.BytesIO()
-        np.savez(buffer, **tensors)
+        np.savez(buffer, **{name: np.ascontiguousarray(t) for name, t in tensors.items()})
         payload = buffer.getvalue()
     else:
         payload = b""

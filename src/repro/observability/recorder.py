@@ -40,6 +40,9 @@ __all__ = [
     "KIND_REQUEST_TIMEOUT",
     "KIND_RESPONSE",
     "KIND_VARIANT_REPLACED",
+    "KIND_WORKER_EXITED",
+    "KIND_WORKER_RESTARTED",
+    "KIND_WORKER_STARTED",
 ]
 
 #: Chain anchor of the very first entry.
@@ -55,6 +58,9 @@ KIND_VARIANT_REPLACED = "variant-replaced"
 KIND_REQUEST_SHED = "request-shed"
 KIND_REQUEST_TIMEOUT = "request-timeout"
 KIND_HEALTH = "health-transition"
+KIND_WORKER_STARTED = "worker-started"
+KIND_WORKER_EXITED = "worker-exited"
+KIND_WORKER_RESTARTED = "worker-restarted"
 
 
 class AuditChainError(Exception):

@@ -204,15 +204,24 @@ class ServingEngine:
             registry=self.registry,
             clock=clock,
         )
-        self._executor = (
-            ParallelStageExecutor(
+        # Process-mode deployments get the cluster-aware dispatcher so a
+        # worker lost mid-batch is restarted promptly; same contract,
+        # same retry/deadline semantics.
+        cluster = getattr(system, "cluster", None)
+        if not self.policy.parallel_variants:
+            self._executor = None
+        elif cluster is not None:
+            self._executor = cluster.dispatcher(
+                max_workers=self.policy.max_workers,
+                retry_transient=self.policy.retry_transient,
+                clock=clock,
+            )
+        else:
+            self._executor = ParallelStageExecutor(
                 self.policy.max_workers,
                 retry_transient=self.policy.retry_transient,
                 clock=clock,
             )
-            if self.policy.parallel_variants
-            else None
-        )
         self._ids = itertools.count()
         self._worker: threading.Thread | None = None
         self._stopping = threading.Event()

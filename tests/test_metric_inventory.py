@@ -94,6 +94,24 @@ def exercised_registry():
         # Operational surfaces: adaptive scaling and the health verdict.
         AdaptiveController(system, metrics=registry).observe()
         service.healthz()
+        # A process-cluster pass: worker supervision + shm lane metrics.
+        cluster_system = MvteeSystem.deploy(
+            model,
+            num_partitions=2,
+            seed=0,
+            verify_partitions=False,
+            verify_variants=False,
+            execution="process",
+            metrics=registry,
+        )
+        try:
+            cluster_system.infer(feeds)
+            # Force the shm lane (tiny threshold) for one round trip.
+            for worker in cluster_system.cluster.workers().values():
+                worker.shm_threshold = 1
+            cluster_system.infer(feeds)
+        finally:
+            cluster_system.shutdown()
         yield registry
     finally:
         set_global_registry(saved)
