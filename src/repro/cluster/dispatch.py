@@ -33,9 +33,13 @@ class ProcessDispatcher(ParallelStageExecutor):
         super().__init__(max_workers, retry_transient=retry_transient, clock=clock)
         self.cluster = cluster
 
-    def dispatch(self, monitor, connections, batch_id, feeds) -> list:
+    def dispatch(
+        self, monitor, connections, batch_id, feeds, *, deadline: float | None = None
+    ) -> list:
         try:
-            return super().dispatch(monitor, connections, batch_id, feeds)
+            return super().dispatch(
+                monitor, connections, batch_id, feeds, deadline=deadline
+            )
         finally:
             # Promptly notice (and schedule the restart of) any worker
             # this stage just lost -- don't wait for the heartbeat.

@@ -290,33 +290,44 @@ class ClusterSupervisor:
 
         Also called synchronously by the dispatcher after each stage so
         a worker that died mid-batch is restarted without waiting for
-        the next heartbeat tick.
+        the next heartbeat tick.  Safe for any number of concurrent
+        callers (the serving engine overlaps batches, so several
+        dispatchers may tick at once): a tick that finds another one in
+        progress simply yields to it -- supervision work is idempotent
+        and the in-flight tick covers the whole fleet.
         """
+        if not self._lock.acquire(blocking=False):
+            return
+        try:
+            self._poll_locked()
+        finally:
+            self._lock.release()
+
+    def _poll_locked(self) -> None:
         now = time.monotonic()
         gauge = self._registry.gauge(
             "mvtee_worker_heartbeat_age_seconds",
             "Seconds since each worker's last successful round trip",
         )
-        with self._lock:
-            for slot in self._slots.values():
-                worker = slot.worker
-                if slot.abandoned:
-                    continue
-                if worker is not None:
-                    if worker.is_alive():
-                        age = now - worker.last_heartbeat
-                        if age >= self.heartbeat_interval_s:
-                            try:
-                                if worker.ping(timeout=self.heartbeat_interval_s):
-                                    age = now - worker.last_heartbeat
-                            except Exception:
-                                # Death is handled just below.
-                                pass
-                        gauge.set(max(0.0, age), variant=slot.variant_id)
-                    if not worker.is_alive():
-                        self._handle_death(slot, now)
-                if slot.restart_due_at is not None and now >= slot.restart_due_at:
-                    self._restart(slot)
+        for slot in self._slots.values():
+            worker = slot.worker
+            if slot.abandoned:
+                continue
+            if worker is not None:
+                if worker.is_alive():
+                    age = now - worker.last_heartbeat
+                    if age >= self.heartbeat_interval_s:
+                        try:
+                            if worker.ping(timeout=self.heartbeat_interval_s):
+                                age = now - worker.last_heartbeat
+                        except Exception:
+                            # Death is handled just below.
+                            pass
+                    gauge.set(max(0.0, age), variant=slot.variant_id)
+                if not worker.is_alive():
+                    self._handle_death(slot, now)
+            if slot.restart_due_at is not None and now >= slot.restart_due_at:
+                self._restart(slot)
 
     def _handle_death(self, slot: _Slot, now: float) -> None:
         worker = slot.worker

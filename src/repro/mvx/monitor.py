@@ -62,15 +62,21 @@ class VariantConnection:
     host: VariantHost
     measurement: str
     transport: "Transport | None" = None
+    #: Serializes round trips: the RA-TLS channel is strictly
+    #: sequence-numbered, so protect -> exchange -> open must never
+    #: interleave across threads (the serving engine overlaps batches,
+    #: and two batches may target the same variant concurrently).
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def request(self, msg_type: str, meta: dict, tensors: dict | None = None) -> tuple[str, dict, dict]:
         """Round-trip one protected request to the variant."""
-        record = self.channel.protect(encode_message(msg_type, meta, tensors))
-        if self.transport is not None:
-            response = self.transport.exchange(self.variant_id, record)
-        else:
-            response = self.host.handle_record(record)
-        return decode_message(self.channel.open(response))
+        with self._lock:
+            record = self.channel.protect(encode_message(msg_type, meta, tensors))
+            if self.transport is not None:
+                response = self.transport.exchange(self.variant_id, record)
+            else:
+                response = self.host.handle_record(record)
+            return decode_message(self.channel.open(response))
 
 
 @dataclass
@@ -123,6 +129,17 @@ class Monitor:
     #: Guards shared mutable detection state (events, deferred checks,
     #: connection lists) against concurrent replica dispatch threads.
     _state_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    #: Per-thread run-scoped dispatcher override.  The scheduler
+    #: installs a run's dispatcher here (not on ``dispatcher``) so
+    #: overlapping runs on different engine worker threads each see
+    #: their own per-batch deadline view.
+    _tls: threading.local = field(default_factory=threading.local, repr=False)
+    #: Refcounted install/restore of run-scoped sinks (config, tracer,
+    #: metrics, recorder): the first concurrent run installs, the last
+    #: restores.  Managed by :func:`repro.mvx.scheduler.run`.
+    _run_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _run_refs: int = field(default=0, repr=False)
+    _run_saved: tuple | None = field(default=None, repr=False)
 
     @property
     def partition_set(self) -> PartitionSet:
@@ -409,9 +426,27 @@ class Monitor:
             return self._slow_path_async(batch_id, index, connections, feeds)
         return self._slow_path_sync(batch_id, index, connections, feeds)
 
+    def _active_dispatcher(self):
+        """The dispatcher in effect on this thread.
+
+        A run-scoped dispatcher (installed thread-locally by the
+        scheduler so overlapping runs carry independent deadlines)
+        shadows the deployment-wide ``dispatcher`` field.
+        """
+        override = getattr(self._tls, "dispatcher", None)
+        return override if override is not None else self.dispatcher
+
     def _fast_path(self, batch_id, index, connections, feeds):
         connection = connections[0]
-        result = self._request_inference(connection, batch_id, feeds)
+        dispatcher = self._active_dispatcher()
+        if dispatcher is not None:
+            # Route single-replica stages through the installed
+            # dispatcher too: its deadline enforcement and retry-once
+            # semantics must cover the fast path, or a 1-replica stage
+            # could run unbounded past the batch deadline.
+            result = dispatcher.dispatch(self, [connection], batch_id, feeds)[0]
+        else:
+            result = self._request_inference(connection, batch_id, feeds)
         if result.outputs is None:
             self._record_crash(batch_id, index, connection, result.error)
             raise MonitorError(
@@ -425,8 +460,9 @@ class Monitor:
 
     def _dispatch(self, connections, batch_id, feeds) -> list[VariantOutput]:
         """Send one request to every connection, optionally in parallel."""
-        if self.dispatcher is not None and len(connections) > 1:
-            return self.dispatcher.dispatch(self, connections, batch_id, feeds)
+        dispatcher = self._active_dispatcher()
+        if dispatcher is not None:
+            return dispatcher.dispatch(self, connections, batch_id, feeds)
         if self.parallel_dispatch and len(connections) > 1:
             from concurrent.futures import ThreadPoolExecutor
 

@@ -86,6 +86,13 @@ class InferenceOptions:
     ``recorder`` installs a tamper-evident flight recorder on the
     monitor for the duration of the run; ``None`` keeps whatever
     recorder the deployment already has (possibly none).
+
+    ``batch_id_base`` offsets the monitor-facing batch ids of the run:
+    batch ``i`` of the stream is identified as ``batch_id_base + i`` in
+    spans, recorder entries and detection events.  Concurrent runs over
+    one deployment (the serving engine overlaps
+    ``ServingPolicy.num_workers`` of them) must use disjoint bases so
+    their batch ids never collide.
     """
 
     scheduling: SchedulingMode = SchedulingMode.SEQUENTIAL
@@ -95,6 +102,7 @@ class InferenceOptions:
     metrics: MetricsRegistry | None = None
     dispatcher: object | None = None
     recorder: FlightRecorder | None = None
+    batch_id_base: int = 0
 
 
 @dataclass
@@ -181,6 +189,66 @@ def _finalize(monitor: Monitor, env: dict) -> dict[str, np.ndarray]:
     return {spec.name: env[spec.name] for spec in monitor.partition_set.model.outputs}
 
 
+def _install_run_options(
+    monitor: Monitor,
+    options: InferenceOptions,
+    tracer: Tracer,
+    registry: MetricsRegistry,
+):
+    """Install run-scoped options on the monitor; returns restore state.
+
+    The dispatcher goes into the monitor's *thread-local* slot: each
+    overlapping run executes on its own thread and carries its own
+    per-batch deadline view, so the deployment-wide ``dispatcher``
+    field must not be clobbered.  The shared sinks (config overrides,
+    tracer, metrics, recorder) are refcounted -- the first concurrent
+    run installs them, the last restores the provisioned values.
+    Overlapping runs are expected to pass identical sink options (the
+    serving engine does); a run that joins with *different* sinks keeps
+    the first run's installation until the monitor goes idle.
+    """
+    prev_dispatcher = getattr(monitor._tls, "dispatcher", None)
+    if options.dispatcher is not None:
+        monitor._tls.dispatcher = options.dispatcher
+    with monitor._run_lock:
+        monitor._run_refs += 1
+        if monitor._run_refs == 1:
+            monitor._run_saved = (
+                monitor.config,
+                monitor.tracer,
+                monitor.metrics,
+                monitor.recorder,
+            )
+            overrides = {}
+            if options.mode is not None:
+                overrides["execution_mode"] = options.mode.value
+            if options.path_mode is not None:
+                overrides["path_mode"] = options.path_mode.value
+            if overrides and monitor.config is not None:
+                monitor.config = dataclasses.replace(monitor.config, **overrides)
+            monitor.tracer, monitor.metrics = tracer, registry
+            if options.recorder is not None:
+                monitor.recorder = options.recorder
+    return prev_dispatcher
+
+
+def _restore_run_options(
+    monitor: Monitor, options: InferenceOptions, prev_dispatcher
+) -> None:
+    if options.dispatcher is not None:
+        monitor._tls.dispatcher = prev_dispatcher
+    with monitor._run_lock:
+        monitor._run_refs -= 1
+        if monitor._run_refs == 0:
+            (
+                monitor.config,
+                monitor.tracer,
+                monitor.metrics,
+                monitor.recorder,
+            ) = monitor._run_saved
+            monitor._run_saved = None
+
+
 def run(
     monitor: Monitor,
     batches: list[dict[str, np.ndarray]],
@@ -192,6 +260,12 @@ def run(
     validates every batch at the trust boundary, applies the options'
     execution/path overrides to the provisioned config for the duration
     of the run, and emits the full span tree and stage metrics.
+
+    Safe to call concurrently from several threads against one monitor
+    (the serving engine overlaps batches this way): the dispatcher is
+    installed per thread, the remaining option sinks via refcounted
+    install/restore, and ``options.batch_id_base`` keeps monitor-facing
+    batch ids disjoint across overlapping runs.
     """
     options = options or InferenceOptions()
     for feeds in batches:
@@ -200,22 +274,7 @@ def run(
     registry = (
         options.metrics if options.metrics is not None else monitor.metrics_registry
     )
-    saved_config = monitor.config
-    saved_tracer, saved_metrics = monitor.tracer, monitor.metrics
-    saved_dispatcher = monitor.dispatcher
-    saved_recorder = monitor.recorder
-    overrides = {}
-    if options.mode is not None:
-        overrides["execution_mode"] = options.mode.value
-    if options.path_mode is not None:
-        overrides["path_mode"] = options.path_mode.value
-    if overrides and saved_config is not None:
-        monitor.config = dataclasses.replace(saved_config, **overrides)
-    monitor.tracer, monitor.metrics = tracer, registry
-    if options.dispatcher is not None:
-        monitor.dispatcher = options.dispatcher
-    if options.recorder is not None:
-        monitor.recorder = options.recorder
+    prev_dispatcher = _install_run_options(monitor, options, tracer, registry)
     try:
         stats = RunStats()
         config = monitor.config
@@ -227,17 +286,20 @@ def run(
             num_batches=len(batches),
         ) as root:
             if options.scheduling is SchedulingMode.PIPELINED:
-                results = _run_pipelined(monitor, batches, stats, tracer, registry, root)
+                results = _run_pipelined(
+                    monitor, batches, stats, tracer, registry, root,
+                    options.batch_id_base,
+                )
             else:
-                results = _run_sequential(monitor, batches, stats, tracer, registry, root)
+                results = _run_sequential(
+                    monitor, batches, stats, tracer, registry, root,
+                    options.batch_id_base,
+                )
         stats.divergences = len(monitor.divergence_events())
         stats.crashes = len(monitor.crash_events())
         return results, stats
     finally:
-        monitor.config = saved_config
-        monitor.tracer, monitor.metrics = saved_tracer, saved_metrics
-        monitor.dispatcher = saved_dispatcher
-        monitor.recorder = saved_recorder
+        _restore_run_options(monitor, options, prev_dispatcher)
 
 
 def _run_sequential(
@@ -247,11 +309,13 @@ def _run_sequential(
     tracer: Tracer,
     registry: MetricsRegistry,
     root: Span,
+    base: int = 0,
 ) -> list[dict[str, np.ndarray]]:
     results = []
     num_stages = len(monitor.partition_set)
     batch_counter = registry.counter("mvtee_batches_total", "Batches completed")
-    for batch_id, feeds in enumerate(batches):
+    for local_id, feeds in enumerate(batches):
+        batch_id = base + local_id
         env = dict(feeds)
         with tracer.span("batch", parent=root, batch=batch_id) as batch_span:
             for index in range(num_stages):
@@ -271,6 +335,7 @@ def _run_pipelined(
     tracer: Tracer,
     registry: MetricsRegistry,
     root: Span,
+    base: int = 0,
 ) -> list[dict[str, np.ndarray]]:
     """Overlapping pipeline: at tick ``t``, stage ``i`` handles batch ``t-i``.
 
@@ -290,22 +355,23 @@ def _run_pipelined(
         # Later stages first within a tick: drain the pipe end before
         # admitting new work, as a hardware pipeline would.
         for index in reversed(range(num_stages)):
-            batch_id = tick - index
-            if not 0 <= batch_id < len(batches):
+            local_id = tick - index
+            if not 0 <= local_id < len(batches):
                 continue
+            batch_id = base + local_id
             if index == 0:
-                envs[batch_id] = dict(batches[batch_id])
-                spans[batch_id] = tracer.start_span(
+                envs[local_id] = dict(batches[local_id])
+                spans[local_id] = tracer.start_span(
                     "batch", parent=root, batch=batch_id
                 )
-            env = envs[batch_id]
+            env = envs[local_id]
             _stage_once(
-                monitor, env, batch_id, index, stats, tracer, registry, spans[batch_id]
+                monitor, env, batch_id, index, stats, tracer, registry, spans[local_id]
             )
             if index == num_stages - 1:
-                results[batch_id] = _finalize(monitor, env)
-                del envs[batch_id]
-                tracer.end_span(spans.pop(batch_id))
+                results[local_id] = _finalize(monitor, env)
+                del envs[local_id]
+                tracer.end_span(spans.pop(local_id))
                 stats.batches += 1
                 batch_counter.inc(scheduling="pipelined")
     return [results[i] for i in range(len(batches))]

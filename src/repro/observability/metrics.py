@@ -116,18 +116,26 @@ class Counter(_Instrument):
 
     def value(self, **labels) -> float:
         """Current value of one label set (0 if never incremented)."""
-        return self._values.get(_labelkey(labels), 0.0)
+        with self._lock:
+            return self._values.get(_labelkey(labels), 0.0)
 
     def total(self) -> float:
         """Sum over every label set."""
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
 
     def samples(self):
-        for key in sorted(self._values):
-            yield self.name, _labelstr(key), self._values[key]
+        # Snapshot under the lock, yield outside it: a concurrent inc()
+        # may add a series mid-iteration otherwise.
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            yield self.name, _labelstr(key), value
 
     def to_json(self):
-        return {_labelstr(key) or "": value for key, value in sorted(self._values.items())}
+        with self._lock:
+            items = sorted(self._values.items())
+        return {_labelstr(key) or "": value for key, value in items}
 
 
 class Gauge(_Instrument):
@@ -156,14 +164,19 @@ class Gauge(_Instrument):
 
     def value(self, **labels) -> float:
         """Current value of one label set (0 if never set)."""
-        return self._values.get(_labelkey(labels), 0.0)
+        with self._lock:
+            return self._values.get(_labelkey(labels), 0.0)
 
     def samples(self):
-        for key in sorted(self._values):
-            yield self.name, _labelstr(key), self._values[key]
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            yield self.name, _labelstr(key), value
 
     def to_json(self):
-        return {_labelstr(key) or "": value for key, value in sorted(self._values.items())}
+        with self._lock:
+            items = sorted(self._values.items())
+        return {_labelstr(key) or "": value for key, value in items}
 
 
 class _HistogramSeries:
@@ -200,17 +213,21 @@ class Histogram(_Instrument):
 
     def sum(self, **labels) -> float:
         """Sum of observations in one label set."""
-        series = self._series.get(_labelkey(labels))
-        return series.sum if series else 0.0
+        with self._lock:
+            series = self._series.get(_labelkey(labels))
+            return series.sum if series else 0.0
 
     def count(self, **labels) -> int:
         """Number of observations in one label set."""
-        series = self._series.get(_labelkey(labels))
-        return series.count if series else 0
+        with self._lock:
+            series = self._series.get(_labelkey(labels))
+            return series.count if series else 0
 
     def label_sets(self) -> list[dict]:
         """The label sets that have received observations."""
-        return [dict(key) for key in sorted(self._series)]
+        with self._lock:
+            keys = sorted(self._series)
+        return [dict(key) for key in keys]
 
     def aggregate(self) -> tuple[tuple, list, int]:
         """(bounds, cumulative counts, count) summed over all label sets.
@@ -235,37 +252,47 @@ class Histogram(_Instrument):
         finite bound (the implicit +Inf bucket) clamp to that bound.
         Returns ``nan`` when the label set has no observations.
         """
-        series = self._series.get(_labelkey(labels))
-        if series is None or series.count == 0:
-            return float("nan")
-        return quantile_from_buckets(
-            self.buckets, series.bucket_counts, series.count, q
-        )
+        with self._lock:
+            series = self._series.get(_labelkey(labels))
+            if series is None or series.count == 0:
+                return float("nan")
+            counts = list(series.bucket_counts)
+            count = series.count
+        return quantile_from_buckets(self.buckets, counts, count, q)
+
+    def _snapshot(self) -> list[tuple[tuple, list, float, int]]:
+        """(key, bucket counts, sum, count) per series, lock-consistent.
+
+        Series objects mutate in place under ``observe``, so render
+        paths copy them under the lock instead of iterating live state.
+        """
+        with self._lock:
+            return [
+                (key, list(series.bucket_counts), series.sum, series.count)
+                for key, series in sorted(self._series.items())
+            ]
 
     def samples(self):
-        for key in sorted(self._series):
-            series = self._series[key]
+        for key, bucket_counts, total, count in self._snapshot():
             # observe() increments every bucket whose bound admits the
             # value, so the stored counts are already cumulative.
-            for bound, cumulative in zip(self.buckets, series.bucket_counts):
+            for bound, cumulative in zip(self.buckets, bucket_counts):
                 labels = key + (("le", _format_float(bound)),)
                 yield f"{self.name}_bucket", _labelstr(tuple(sorted(labels))), cumulative
             labels = key + (("le", "+Inf"),)
-            yield f"{self.name}_bucket", _labelstr(tuple(sorted(labels))), series.count
-            yield f"{self.name}_sum", _labelstr(key), series.sum
-            yield f"{self.name}_count", _labelstr(key), series.count
+            yield f"{self.name}_bucket", _labelstr(tuple(sorted(labels))), count
+            yield f"{self.name}_sum", _labelstr(key), total
+            yield f"{self.name}_count", _labelstr(key), count
 
     def to_json(self):
         out = {}
-        for key in sorted(self._series):
-            series = self._series[key]
+        for key, bucket_counts, total, count in self._snapshot():
             out[_labelstr(key) or ""] = {
                 "buckets": {
-                    _format_float(b): c
-                    for b, c in zip(self.buckets, series.bucket_counts)
+                    _format_float(b): c for b, c in zip(self.buckets, bucket_counts)
                 },
-                "sum": series.sum,
-                "count": series.count,
+                "sum": total,
+                "count": count,
             }
         return out
 
@@ -347,7 +374,8 @@ class MetricsRegistry:
 
     def names(self) -> list[str]:
         """Registered instrument names, sorted."""
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def reset(self) -> None:
         """Drop every instrument (test isolation)."""
@@ -356,9 +384,10 @@ class MetricsRegistry:
 
     def render_prometheus(self) -> str:
         """Prometheus text exposition of every instrument."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
         lines = []
-        for name in sorted(self._instruments):
-            instrument = self._instruments[name]
+        for name, instrument in instruments:
             if instrument.help:
                 lines.append(f"# HELP {name} {instrument.help}")
             lines.append(f"# TYPE {name} {instrument.kind}")
@@ -368,13 +397,15 @@ class MetricsRegistry:
 
     def render_json(self) -> dict:
         """JSON exposition: name -> {kind, help, values}."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
         return {
             name: {
                 "kind": instrument.kind,
                 "help": instrument.help,
                 "values": instrument.to_json(),
             }
-            for name, instrument in sorted(self._instruments.items())
+            for name, instrument in instruments
         }
 
 

@@ -35,6 +35,7 @@ __all__ = [
     "KIND_CHECKPOINT",
     "KIND_CRASH",
     "KIND_DIVERGENCE",
+    "KIND_ENGINE_ERROR",
     "KIND_HEALTH",
     "KIND_REQUEST_SHED",
     "KIND_REQUEST_TIMEOUT",
@@ -58,6 +59,7 @@ KIND_VARIANT_REPLACED = "variant-replaced"
 KIND_REQUEST_SHED = "request-shed"
 KIND_REQUEST_TIMEOUT = "request-timeout"
 KIND_HEALTH = "health-transition"
+KIND_ENGINE_ERROR = "engine-error"
 KIND_WORKER_STARTED = "worker-started"
 KIND_WORKER_EXITED = "worker-exited"
 KIND_WORKER_RESTARTED = "worker-restarted"

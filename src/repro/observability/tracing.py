@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import secrets
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -141,11 +142,16 @@ class JsonlSpanExporter:
 
     def __init__(self, path):
         self.path = path
+        self._lock = threading.Lock()
 
     def export(self, span: Span) -> None:
         """Serialize the finished tree as one JSONL line."""
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(span.to_json()) + "\n")
+        line = json.dumps(span.to_json()) + "\n"
+        # Concurrent engine workers export roots concurrently; one
+        # writer at a time keeps every JSONL line intact.
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
 
 
 class Tracer:
@@ -162,7 +168,21 @@ class Tracer:
     def __init__(self, exporters: list[SpanExporter] | None = None):
         self.exporters: list[SpanExporter] = list(exporters or [])
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._tls = threading.local()
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The open-span stack of the *calling* thread.
+
+        Per thread so concurrent runs (engine workers overlapping
+        batches on one tracer) each build their own span tree instead
+        of nesting under whichever span another thread happens to have
+        open.
+        """
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
 
     def current(self) -> Span | None:
         """The innermost open context-manager span, if any."""

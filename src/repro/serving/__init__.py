@@ -17,10 +17,13 @@ serving layer that makes that real under load.  A request travels
 - :mod:`repro.serving.executor` -- :class:`ParallelStageExecutor`, a
   persistent thread pool that dispatches the variant replicas of a stage
   concurrently (numpy kernels release the GIL, so replicated variants
-  genuinely overlap), with per-batch deadlines and retry-once on
-  transient variant faults.
+  genuinely overlap), with per-batch deadlines (carried by
+  :class:`BoundDispatcher` views, so the executor is re-entrant) and
+  retry-once on transient variant faults.
 - :mod:`repro.serving.engine` -- :class:`ServingEngine` tying the three
-  together behind ``submit() -> Ticket`` with a background worker.
+  together behind ``submit() -> Ticket`` with a pool of
+  ``ServingPolicy.num_workers`` worker threads overlapping that many
+  micro-batches in flight.
 - :mod:`repro.serving.loadgen` -- closed-loop and bursty open-loop load
   generators producing p50/p95/p99 latency, throughput and shed-rate
   reports for the serving benchmarks.
@@ -40,7 +43,7 @@ from repro.serving.errors import (
     Overloaded,
     ServingError,
 )
-from repro.serving.executor import ParallelStageExecutor
+from repro.serving.executor import BoundDispatcher, ParallelStageExecutor
 from repro.serving.loadgen import (
     ClosedLoopLoadGenerator,
     LoadReport,
@@ -52,6 +55,7 @@ from repro.serving.loadgen import (
 __all__ = [
     "AdmissionQueue",
     "BatchPolicy",
+    "BoundDispatcher",
     "ClosedLoopLoadGenerator",
     "DeadlineExceeded",
     "EngineStopped",

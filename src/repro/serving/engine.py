@@ -3,10 +3,18 @@
 :class:`ServingEngine` is the concurrent serving surface over a
 deployed :class:`~repro.mvx.system.MvteeSystem`.  Producers call
 :meth:`submit` from any thread and get a :class:`Ticket` (a future); a
-background worker coalesces admitted requests into micro-batches and
-drives them through :meth:`MvteeSystem.infer_batches`, with the variant
-replicas of each stage dispatched in parallel by a
-:class:`~repro.serving.executor.ParallelStageExecutor`.
+pool of ``ServingPolicy.num_workers`` engine worker threads coalesces
+admitted requests into micro-batches and drives them through
+:meth:`MvteeSystem.infer_batches` with up to ``num_workers`` batches in
+flight at once -- a slow batch no longer serializes the queue behind it
+(the paper's §4.3 pipelined execution model, applied across batches
+instead of within one).  The variant replicas of each stage are
+dispatched in parallel by a shared
+:class:`~repro.serving.executor.ParallelStageExecutor`; each in-flight
+batch carries its own deadline via a per-batch
+:class:`~repro.serving.executor.BoundDispatcher` view and its own
+disjoint monitor-facing batch-id range via
+``InferenceOptions.batch_id_base``.
 
 Failure semantics per batch:
 
@@ -15,8 +23,15 @@ Failure semantics per batch:
 - a missed deadline (``DeadlineExceeded``) times the batch's requests
   out; requests whose deadline already passed while queued are timed
   out without ever executing;
+- any other exception escaping the run fails the batch's requests with
+  that error, is counted in ``mvtee_requests_failed_total`` and
+  recorded in the flight recorder, and the worker keeps serving -- an
+  unexpected fault must never silently kill a worker and strand every
+  later ticket;
 - admission rejections (``Overloaded``) raise at ``submit`` and never
-  produce a ticket.
+  produce a ticket;
+- :meth:`stop` drains admitted requests, then fails anything still
+  unserved with :class:`EngineStopped` so no caller blocks forever.
 """
 
 from __future__ import annotations
@@ -34,6 +49,7 @@ from repro.mvx.monitor import MonitorError
 from repro.mvx.scheduler import InferenceOptions, SchedulingMode, validate_feeds
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.recorder import (
+    KIND_ENGINE_ERROR,
     KIND_REQUEST_SHED,
     KIND_REQUEST_TIMEOUT,
     FlightRecorder,
@@ -66,6 +82,15 @@ class ServingPolicy:
     retry_transient: bool = True
     #: Scheduling of the micro-batch through the pipeline stages.
     scheduling: SchedulingMode = SchedulingMode.PIPELINED
+    #: Engine worker threads, i.e. micro-batches in flight at once.
+    #: Each worker pulls its own batch and drives it through the
+    #: pipeline independently, so a slow batch does not serialize the
+    #: queue behind it.  1 restores strictly serial batch execution.
+    num_workers: int = 2
+
+    def __post_init__(self):
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
 
 
 class TicketState(enum.Enum):
@@ -192,6 +217,13 @@ class ServingEngine:
         self.registry.gauge(
             "mvtee_queue_depth", "Requests waiting in the admission queue"
         )
+        self.registry.gauge(
+            "mvtee_inflight_batches", "Micro-batches currently executing"
+        )
+        self.registry.histogram(
+            "mvtee_batch_queue_stall_seconds",
+            "Seconds a formed batch waited past max_wait_s for a free worker",
+        )
         self._queue = AdmissionQueue(
             self.policy.capacity, registry=self.registry, clock=clock
         )
@@ -223,8 +255,13 @@ class ServingEngine:
                 clock=clock,
             )
         self._ids = itertools.count()
-        self._worker: threading.Thread | None = None
+        self._workers: list[threading.Thread] = []
         self._stopping = threading.Event()
+        # Monotonic allocator of monitor-facing batch-id ranges: each
+        # in-flight run gets a disjoint [base, base + n) so concurrent
+        # batches never collide in spans, recorder entries or events.
+        self._batch_id_lock = threading.Lock()
+        self._next_batch_id = 0
 
     # ------------------------------------------------------------------
     # Client surface
@@ -268,26 +305,66 @@ class ServingEngine:
     # ------------------------------------------------------------------
 
     def start(self) -> "ServingEngine":
-        """Spawn the worker; idempotent while running."""
-        if self._worker is not None and self._worker.is_alive():
+        """Spawn the worker pool; idempotent while running."""
+        if any(worker.is_alive() for worker in self._workers):
             return self
         if self._stopping.is_set():
             raise EngineStopped("engine cannot be restarted after stop()")
-        self._worker = threading.Thread(
-            target=self._run, name="mvtee-serving", daemon=True
-        )
-        self._worker.start()
+        self._workers = [
+            threading.Thread(
+                target=self._run, name=f"mvtee-serving-{i}", daemon=True
+            )
+            for i in range(self.policy.num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
         return self
 
     def stop(self, *, timeout: float | None = 30.0) -> None:
-        """Refuse new requests, drain admitted ones, join the worker."""
+        """Refuse new requests, drain admitted ones, join the workers.
+
+        Any ticket the workers did not serve -- because the engine was
+        never started, a worker is wedged past ``timeout``, or the
+        worker died -- is failed with :class:`EngineStopped` so callers
+        blocked in :meth:`Ticket.result` always get an outcome.  A
+        worker that outlives ``timeout`` keeps its thread handle (a
+        later :meth:`stop` can re-join it); the shared executor is only
+        torn down once every worker has exited.
+        """
         self._stopping.set()
         self._queue.close()
-        if self._worker is not None:
-            self._worker.join(timeout)
-            self._worker = None
-        if self._executor is not None:
+        join_deadline = None if timeout is None else time.monotonic() + timeout
+        still_alive = []
+        for worker in self._workers:
+            remaining = (
+                None
+                if join_deadline is None
+                else max(0.0, join_deadline - time.monotonic())
+            )
+            worker.join(remaining)
+            if worker.is_alive():
+                still_alive.append(worker)
+        self._workers = still_alive
+        self._fail_pending()
+        if not still_alive and self._executor is not None:
             self._executor.shutdown()
+
+    def _fail_pending(self) -> None:
+        """Fail every ticket still sitting in the closed queue."""
+        failed = self.registry.counter(
+            "mvtee_requests_failed_total", "Requests failed by a detection"
+        )
+        while True:
+            ticket = self._queue.take(timeout=0)
+            if ticket is None:
+                return
+            failed.inc()
+            ticket._finish(
+                TicketState.FAILED,
+                error=EngineStopped(
+                    f"engine stopped before serving ticket {ticket.ticket_id}"
+                ),
+            )
 
     def __enter__(self) -> "ServingEngine":
         return self.start()
@@ -300,6 +377,12 @@ class ServingEngine:
     # ------------------------------------------------------------------
 
     def _run(self) -> None:
+        """One engine worker: pull a batch, execute, repeat until drained.
+
+        ``num_workers`` of these run concurrently; the admission queue
+        and batcher are shared, so each formed batch goes to exactly
+        one worker and up to ``num_workers`` batches overlap.
+        """
         while True:
             batch = self._batcher.next_batch(poll_s=0.02)
             if batch:
@@ -308,8 +391,23 @@ class ServingEngine:
             if self._stopping.is_set() and len(self._queue) == 0:
                 return
 
+    def _allocate_batch_ids(self, count: int) -> int:
+        with self._batch_id_lock:
+            base = self._next_batch_id
+            self._next_batch_id += count
+            return base
+
     def _execute(self, tickets: list[Ticket]) -> None:
         now = self._clock()
+        # How long the batch's oldest member waited past the coalescing
+        # budget: >0 means every worker was busy when the batch was
+        # ready -- the signal that in-flight capacity, not batching, is
+        # the bottleneck.
+        oldest = min(ticket.enqueued_at for ticket in tickets)
+        self.registry.histogram(
+            "mvtee_batch_queue_stall_seconds",
+            "Seconds a formed batch waited past max_wait_s for a free worker",
+        ).observe(max(0.0, now - (oldest + self.policy.max_wait_s)))
         live = []
         for ticket in tickets:
             if ticket.deadline is not None and now >= ticket.deadline:
@@ -326,15 +424,23 @@ class ServingEngine:
             return
         deadlines = [t.deadline for t in live if t.deadline is not None]
         deadline = min(deadlines) if deadlines else None
-        if self._executor is not None:
-            self._executor.deadline = deadline
         options = InferenceOptions(
             scheduling=self.policy.scheduling,
             tracer=self.tracer,
             metrics=self.registry,
-            dispatcher=self._executor,
+            # A per-batch view of the shared executor: the deadline
+            # travels with the dispatch calls, never through shared
+            # executor state, so overlapping batches cannot race.
+            dispatcher=(
+                self._executor.bind(deadline) if self._executor is not None else None
+            ),
             recorder=self.recorder,
+            batch_id_base=self._allocate_batch_ids(len(live)),
         )
+        inflight = self.registry.gauge(
+            "mvtee_inflight_batches", "Micro-batches currently executing"
+        )
+        inflight.inc()
         try:
             results = self.system.infer_batches([t.feeds for t in live], options)
         except DeadlineExceeded as exc:
@@ -350,6 +456,26 @@ class ServingEngine:
             for ticket in live:
                 ticket._finish(TicketState.FAILED, error=exc)
             return
+        except Exception as exc:
+            # Anything else escaping the run (a crash outliving retry, a
+            # shape bug, a broken dispatcher) must fail *this batch
+            # only* -- letting it propagate would kill the worker thread
+            # silently and strand every later ticket behind a dead loop.
+            self.registry.counter(
+                "mvtee_requests_failed_total", "Requests failed by a detection"
+            ).inc(len(live))
+            if self.recorder is not None:
+                self.recorder.record(
+                    KIND_ENGINE_ERROR,
+                    error=type(exc).__name__,
+                    detail=str(exc),
+                    tickets=len(live),
+                )
+            for ticket in live:
+                ticket._finish(TicketState.FAILED, error=exc)
+            return
+        finally:
+            inflight.dec()
         self.registry.counter(
             "mvtee_requests_served_total", "Requests served to completion"
         ).inc(len(live))

@@ -17,6 +17,15 @@ parallelism it enforces a per-batch deadline (raising
 answer in time) and retries one round trip once when a variant fails
 transiently -- the host is still alive, so a transport glitch or torn
 channel record should not cost the replica its vote.
+
+The executor is *re-entrant*: any number of batches may be in flight
+through one executor at once (the serving engine overlaps
+``ServingPolicy.num_workers`` of them).  The deadline therefore travels
+with each dispatch call -- either as the explicit ``deadline=``
+parameter or baked into the lightweight per-batch view returned by
+:meth:`ParallelStageExecutor.bind` -- never through shared mutable
+state.  The legacy ``executor.deadline`` attribute remains as a
+deprecated fallback for callers that still run one batch at a time.
 """
 
 from __future__ import annotations
@@ -28,7 +37,28 @@ from typing import Callable
 
 from repro.serving.errors import DeadlineExceeded
 
-__all__ = ["ParallelStageExecutor"]
+__all__ = ["BoundDispatcher", "ParallelStageExecutor"]
+
+
+class BoundDispatcher:
+    """A per-batch view of one executor with a fixed deadline.
+
+    The engine creates one per micro-batch and installs it as the run's
+    dispatcher; all views share the underlying executor's thread pool,
+    so concurrent batches overlap without racing on a shared deadline
+    field.
+    """
+
+    __slots__ = ("executor", "deadline")
+
+    def __init__(self, executor: "ParallelStageExecutor", deadline: float | None):
+        self.executor = executor
+        self.deadline = deadline
+
+    def dispatch(self, monitor, connections, batch_id, feeds) -> list:
+        return self.executor.dispatch(
+            monitor, connections, batch_id, feeds, deadline=self.deadline
+        )
 
 
 class ParallelStageExecutor:
@@ -36,9 +66,10 @@ class ParallelStageExecutor:
 
     One executor serves one serving engine (or one benchmark loop): the
     pool is persistent so per-batch thread startup never lands on the
-    latency path.  ``deadline`` is a monotonic timestamp applied to the
-    batch currently executing; the engine sets it before each batch
-    (batches execute one at a time per engine worker).
+    latency path, and it is shared by every in-flight batch.  Deadlines
+    are per dispatch call (``dispatch(..., deadline=)`` or a
+    :meth:`bind` view); the ``deadline`` attribute survives as a
+    deprecated single-batch fallback.
     """
 
     def __init__(
@@ -53,32 +84,47 @@ class ParallelStageExecutor:
         )
         self.retry_transient = retry_transient
         self._clock = clock
-        #: Monotonic deadline for the batch currently executing (None =
-        #: unbounded).  Set by the engine before each batch.
+        #: Deprecated: monotonic deadline applied when a dispatch call
+        #: carries none.  Only sound while batches execute one at a
+        #: time; concurrent callers must pass ``deadline=`` (or use
+        #: :meth:`bind`) instead.
         self.deadline: float | None = None
+
+    def bind(self, deadline: float | None) -> BoundDispatcher:
+        """A dispatcher view of this executor with ``deadline`` attached."""
+        return BoundDispatcher(self, deadline)
 
     # ------------------------------------------------------------------
     # Dispatcher contract (Monitor._dispatch)
     # ------------------------------------------------------------------
 
-    def dispatch(self, monitor, connections, batch_id, feeds) -> list:
+    def dispatch(
+        self, monitor, connections, batch_id, feeds, *, deadline: float | None = None
+    ) -> list:
         """Round-trip ``feeds`` to every connection concurrently.
 
         Results come back in connection order, exactly like the serial
-        path, so voting sees an identical input either way.
+        path, so voting sees an identical input either way.  The
+        deadline applies to every connection count -- a single-replica
+        stage goes through the same future-with-timeout path, so one
+        slow variant cannot blow through the batch budget unbounded.
         """
-        if len(connections) == 1:
-            return [self._request(monitor, connections[0], batch_id, feeds)]
+        if deadline is None:
+            deadline = self.deadline
+        if len(connections) == 1 and deadline is None:
+            # Unbounded single replica: no timeout to enforce, so skip
+            # the pool hop entirely.
+            return [self._request(monitor, connections[0], batch_id, feeds, deadline)]
         futures = [
-            self._pool.submit(self._request, monitor, c, batch_id, feeds)
+            self._pool.submit(self._request, monitor, c, batch_id, feeds, deadline)
             for c in connections
         ]
         results = []
         for connection, future in zip(connections, futures):
-            if self.deadline is None:
+            if deadline is None:
                 results.append(future.result())
                 continue
-            remaining = self.deadline - self._clock()
+            remaining = deadline - self._clock()
             try:
                 results.append(future.result(timeout=max(0.0, remaining)))
             except FutureTimeout:
@@ -88,13 +134,13 @@ class ParallelStageExecutor:
                 ) from None
         return results
 
-    def _request(self, monitor, connection, batch_id, feeds):
+    def _request(self, monitor, connection, batch_id, feeds, deadline=None):
         result = monitor.request_inference(connection, batch_id, feeds)
         if (
             result.outputs is None
             and self.retry_transient
             and not connection.host.crashed
-            and not self._past_deadline()
+            and not self._past_deadline(deadline)
         ):
             # Transient fault: the host is alive, so the failure came
             # from the path to it (transport glitch, torn record).  One
@@ -107,8 +153,10 @@ class ParallelStageExecutor:
             result = monitor.request_inference(connection, batch_id, feeds)
         return result
 
-    def _past_deadline(self) -> bool:
-        return self.deadline is not None and self._clock() >= self.deadline
+    def _past_deadline(self, deadline: float | None) -> bool:
+        if deadline is None:
+            deadline = self.deadline
+        return deadline is not None and self._clock() >= deadline
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -34,6 +34,7 @@ from repro.observability.recorder import (
     KIND_WORKER_STARTED,
     FlightRecorder,
 )
+from repro.serving import ServingPolicy, TicketState
 
 
 def fast_policy(**overrides) -> RestartPolicy:
@@ -416,3 +417,43 @@ class TestServingOverCluster:
             tickets = [engine.submit({"input": small_input}) for _ in range(4)]
             results = [t.result(timeout=60.0) for t in tickets]
         assert all(r for r in results)
+
+    def test_sigkill_mid_batch_with_overlapping_workers(
+        self, small_resnet, small_input
+    ):
+        """SIGKILL a worker while num_workers>1 batches are in flight:
+        the affected tickets fail with the typed monitor error, the
+        supervisor refills the slot, and the engine keeps serving."""
+        system = deploy_cluster(small_resnet)
+        try:
+            policy = ServingPolicy(capacity=64, max_batch_size=2, num_workers=2)
+            with system.serving_engine(policy=policy) as engine:
+                # Warm: the pipeline serves before the fault.
+                assert engine.submit({"input": small_input}).result(timeout=60.0)
+                victim = system.cluster.worker(
+                    next(
+                        v
+                        for v in system.cluster.workers()
+                        if v.startswith("p0-")
+                    )
+                )
+                # Slow the doomed stage so batches are mid-flight when
+                # the process dies.
+                victim.configure(simulated_latency=0.2, realtime_latency=True)
+                tickets = [engine.submit({"input": small_input}) for _ in range(6)]
+                time.sleep(0.1)  # let the first batch reach the worker
+                os.kill(victim.pid, signal.SIGKILL)
+                outcomes = [t.exception(timeout=60.0) for t in tickets]
+                failures = [e for e in outcomes if e is not None]
+                # Typed failures only -- nothing hangs, nothing leaks an
+                # untyped error to a caller.
+                assert failures
+                assert all(isinstance(e, MonitorError) for e in failures)
+                # The supervisor restarts the dead worker...
+                assert wait_until(lambda: system.cluster.live_worker_count() == 5)
+                # ...and the same engine serves again, no restart of its own.
+                fresh = engine.submit({"input": small_input})
+                assert fresh.result(timeout=60.0)
+                assert fresh.state is TicketState.DONE
+        finally:
+            system.shutdown()

@@ -565,3 +565,126 @@ class TestTracerErrorPaths:
                 assert tracer.trace_id() == root.span_id
                 assert tracer.current_span_id() == child.span_id
         assert tracer.trace_id() is None
+
+
+class TestConcurrentInstruments:
+    """Read-side thread safety: render while writers mutate.
+
+    Regression for torn reads / ``dictionary changed size during
+    iteration`` once several engine workers write one registry while an
+    operator scrape renders it.
+    """
+
+    def test_histogram_hammered_by_writers_and_renderers(self):
+        import threading
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("mvtee_test_hammer_seconds", "hammer")
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer(worker: int) -> None:
+            n = 0
+            try:
+                while not stop.is_set():
+                    # Rotating label sets force new series to appear
+                    # mid-render, the exact torn-iteration hazard.
+                    hist.observe(0.0001 * (n % 64), worker=worker, shard=n % 13)
+                    n += 1
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def renderer() -> None:
+            try:
+                while not stop.is_set():
+                    hist.to_json()
+                    list(hist.samples())
+                    hist.quantile(0.95)
+                    hist.sum()
+                    hist.count()
+                    hist.label_sets()
+                    registry.render_prometheus()
+                    registry.render_json()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(2)]
+        threads += [threading.Thread(target=renderer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors, errors
+        assert hist.count(worker=0, shard=0) > 0
+
+    def test_counter_and_gauge_reads_are_locked_snapshots(self):
+        import threading
+
+        counter = Counter("mvtee_test_total")
+        gauge = Gauge("mvtee_test_gauge")
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer() -> None:
+            n = 0
+            try:
+                while not stop.is_set():
+                    counter.inc(label=n % 31)
+                    gauge.set(n, label=n % 31)
+                    n += 1
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    counter.total()
+                    counter.value(label=3)
+                    list(counter.samples())
+                    counter.to_json()
+                    gauge.value(label=3)
+                    list(gauge.samples())
+                    gauge.to_json()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.2)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors, errors
+        assert counter.total() > 0
+
+
+class TestThreadLocalTracer:
+    def test_span_stacks_are_per_thread(self):
+        import threading
+
+        tracer = Tracer()
+        inner_parents: dict[str, str | None] = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name: str) -> None:
+            with tracer.span(name) as root:
+                barrier.wait(timeout=10.0)
+                # Each thread's implicit parent must be its own root,
+                # not whichever span the other thread has open.
+                with tracer.span(f"{name}-child"):
+                    pass
+                inner_parents[name] = (
+                    root.children[0].name if root.children else None
+                )
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert inner_parents == {"a": "a-child", "b": "b-child"}
+        assert len(tracer.roots) == 2

@@ -16,12 +16,14 @@ from repro.mvx import (
 )
 from repro.mvx.voting import VariantOutput
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import KIND_ENGINE_ERROR, FlightRecorder
 from repro.runtime.faults import FaultInjector
 from repro.serving import (
     DeadlineExceeded,
     EngineStopped,
     Overloaded,
     ParallelStageExecutor,
+    ServingEngine,
     ServingPolicy,
     TicketState,
     open_loop_burst,
@@ -168,6 +170,178 @@ class TestServingEngine:
         assert all(t.state is TicketState.DONE for t in tickets)
 
 
+class _ProxySystem:
+    """Duck-typed system wrapper: a real deployment behind a hook."""
+
+    def __init__(self, system):
+        self._system = system
+        self.monitor = system.monitor
+
+    def infer_batches(self, batches, options=None):
+        return self._system.infer_batches(batches, options)
+
+
+class _GatedSystem(_ProxySystem):
+    """Rendezvous inside infer_batches: proves batches truly overlap."""
+
+    def __init__(self, system, parties):
+        super().__init__(system)
+        self.barrier = threading.Barrier(parties)
+        self.engine = None
+        self.inflight_seen: list[float] = []
+        self._lock = threading.Lock()
+
+    def infer_batches(self, batches, options=None):
+        # Blocks until `parties` batches are simultaneously in flight;
+        # with fewer engine workers than parties this times out and the
+        # batch fails, so a passing test is proof of overlap.
+        self.barrier.wait(timeout=10.0)
+        if self.engine is not None:
+            with self._lock:
+                self.inflight_seen.append(
+                    self.engine.registry.gauge("mvtee_inflight_batches").value()
+                )
+        return super().infer_batches(batches, options)
+
+
+class _BlockingSystem(_ProxySystem):
+    """Holds every batch until released (a wedged pipeline stand-in)."""
+
+    def __init__(self, system):
+        super().__init__(system)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def infer_batches(self, batches, options=None):
+        self.entered.set()
+        assert self.release.wait(timeout=30.0)
+        return super().infer_batches(batches, options)
+
+
+class _FlakyDispatcher(ParallelStageExecutor):
+    """Raises an unexpected error on the first stage dispatch only."""
+
+    def __init__(self):
+        super().__init__(2)
+        self._fired = False
+
+    def dispatch(self, monitor, connections, batch_id, feeds, *, deadline=None):
+        if not self._fired:
+            self._fired = True
+            raise RuntimeError("injected dispatcher fault")
+        return super().dispatch(
+            monitor, connections, batch_id, feeds, deadline=deadline
+        )
+
+
+class TestInflightOverlap:
+    def test_num_workers_overlap_batches(self, system):
+        gated = _GatedSystem(system, parties=2)
+        engine = ServingEngine(
+            gated, policy=ServingPolicy(max_batch_size=1, num_workers=2)
+        )
+        gated.engine = engine
+        tickets = [engine.submit(feeds_for(i)) for i in range(2)]
+        engine.start()
+        for ticket in tickets:
+            ticket.result(timeout=30.0)
+        engine.stop()
+        assert all(t.state is TicketState.DONE for t in tickets)
+        # Both workers were inside infer_batches at the rendezvous.
+        assert max(gated.inflight_seen) == 2
+
+    def test_ordered_equivalence_across_worker_counts(self, system):
+        inputs = [feeds_for(i) for i in range(12)]
+
+        def serve(num_workers):
+            policy = ServingPolicy(
+                capacity=64, max_batch_size=2, num_workers=num_workers
+            )
+            with system.serving_engine(policy=policy) as engine:
+                tickets = [engine.submit(dict(feeds)) for feeds in inputs]
+                return [t.result(timeout=60.0) for t in tickets]
+
+        serial = serve(1)
+        overlapped = serve(4)
+        assert len(serial) == len(overlapped) == len(inputs)
+        for reference, result in zip(serial, overlapped):
+            assert set(reference) == set(result)
+            for name in reference:
+                # Bit-identical per ticket, not merely close: overlap
+                # must not change what any caller receives.
+                assert np.array_equal(reference[name], result[name])
+
+    def test_inflight_metrics_preregistered(self, system):
+        engine = system.serving_engine()
+        exposition = engine.render_prometheus()
+        assert "mvtee_inflight_batches" in exposition
+        assert "mvtee_batch_queue_stall_seconds" in exposition
+
+
+class TestWorkerFaultContainment:
+    def test_unexpected_error_fails_batch_but_worker_survives(self, system):
+        recorder = FlightRecorder()
+        engine = system.serving_engine(
+            policy=ServingPolicy(max_batch_size=8, num_workers=1),
+            recorder=recorder,
+        )
+        engine._executor = _FlakyDispatcher()
+        with engine:
+            doomed = engine.submit(feeds_for(0))
+            with pytest.raises(RuntimeError, match="injected dispatcher fault"):
+                doomed.result(timeout=30.0)
+            assert doomed.state is TicketState.FAILED
+            # The worker thread survived the unexpected error and the
+            # very next batch serves normally.
+            healthy = engine.submit(feeds_for(1))
+            assert healthy.result(timeout=30.0)
+        assert healthy.state is TicketState.DONE
+        assert engine.registry.counter("mvtee_requests_failed_total").total() == 1
+        events = recorder.events(KIND_ENGINE_ERROR)
+        assert len(events) == 1
+        assert events[0].data["error"] == "RuntimeError"
+
+    def test_deadline_applies_to_single_variant_stage(self, system):
+        # Partition 0 is single-variant: before routing the fast path
+        # through the dispatcher its stage ignored the batch deadline.
+        for connection in system.monitor.stage_connections(0):
+            connection.host.simulated_latency = 0.2
+            connection.host.realtime_latency = True
+        with system.serving_engine() as engine:
+            ticket = engine.submit(feeds_for(0), deadline_s=0.05)
+            with pytest.raises(DeadlineExceeded):
+                ticket.result(timeout=30.0)
+        assert ticket.state is TicketState.TIMED_OUT
+
+
+class TestStopLifecycle:
+    def test_stop_without_start_fails_queued_tickets(self, system):
+        engine = system.serving_engine()
+        tickets = [engine.submit(feeds_for(i)) for i in range(3)]
+        engine.stop()
+        for ticket in tickets:
+            with pytest.raises(EngineStopped):
+                ticket.result(timeout=1.0)
+        assert all(t.state is TicketState.FAILED for t in tickets)
+        assert engine.registry.counter("mvtee_requests_failed_total").total() == 3
+
+    def test_stop_join_timeout_keeps_worker_handle(self, system):
+        blocking = _BlockingSystem(system)
+        engine = ServingEngine(
+            blocking, policy=ServingPolicy(max_batch_size=8, num_workers=1)
+        )
+        ticket = engine.submit(feeds_for(0))
+        engine.start()
+        assert blocking.entered.wait(timeout=10.0)
+        engine.stop(timeout=0.05)  # worker is wedged inside the batch
+        assert engine._workers, "wedged worker handle must be kept for re-join"
+        blocking.release.set()
+        assert ticket.result(timeout=30.0)
+        engine.stop(timeout=10.0)
+        assert not engine._workers
+        assert ticket.state is TicketState.DONE
+
+
 class _StubHost:
     def __init__(self, crashed=False):
         self.crashed = crashed
@@ -248,6 +422,31 @@ class TestParallelStageExecutor:
         with ParallelStageExecutor(4) as executor:
             results = executor.dispatch(monitor, [_StubConnection("a")], 0, {})
         assert results[0].outputs is not None
+
+    def test_single_connection_deadline_enforced(self):
+        # Regression: the 1-connection fast path used to bypass the
+        # deadline entirely and run the slow variant to completion.
+        good = {"t": np.ones((1,), dtype=np.float32)}
+        monitor = _StubMonitor({"a": [good]}, delay_s=0.2)
+        with ParallelStageExecutor(2) as executor:
+            with pytest.raises(DeadlineExceeded):
+                executor.dispatch(
+                    monitor,
+                    [_StubConnection("a")],
+                    0,
+                    {},
+                    deadline=time.monotonic() + 0.02,
+                )
+
+    def test_bound_dispatcher_carries_deadline_without_shared_state(self):
+        good = {"t": np.ones((1,), dtype=np.float32)}
+        monitor = _StubMonitor({"a": [good], "b": [good]}, delay_s=0.2)
+        connections = [_StubConnection("a"), _StubConnection("b")]
+        with ParallelStageExecutor(4) as executor:
+            bound = executor.bind(time.monotonic() + 0.02)
+            with pytest.raises(DeadlineExceeded):
+                bound.dispatch(monitor, connections, 0, {})
+            assert executor.deadline is None  # shared field never written
 
     def test_dispatcher_threads_run_concurrently(self, system):
         # Three replicas sleeping 30ms each: serial floor is 90ms, the
