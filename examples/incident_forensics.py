@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.mvx import MvteeSystem, ResponseAction
 from repro.mvx.service import InferenceService
-from repro.observability import FlightRecorder, Tracer
+from repro.observability import FlightRecorder, Sinks, Tracer
 from repro.observability.recorder import AuditChainError
 from repro.runtime.faults import FaultInjector
 from repro.zoo import build_model
@@ -44,8 +44,7 @@ def main() -> None:
         num_partitions=3,
         mvx_partitions={1: 3},
         seed=1,
-        recorder=recorder,
-        tracer=tracer,
+        sinks=Sinks(tracer=tracer, recorder=recorder),
     )
     system.monitor.response_action = ResponseAction.DROP_VARIANT
     print(f"live variants: {system.live_variants()}")

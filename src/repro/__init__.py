@@ -20,6 +20,9 @@ Top-level subpackages:
 - :mod:`repro.offline` -- the offline ML MVX tool (Figure 2).
 - :mod:`repro.attacks` -- attack harness for the security analysis (Table 1).
 - :mod:`repro.simulation` -- discrete-event performance simulator (Figures 9-14).
+- :mod:`repro.serving` -- the concurrent serving engine over one deployment.
+- :mod:`repro.cluster` -- per-variant worker processes with supervised restarts.
+- :mod:`repro.fleet` -- multi-tenant fleet serving behind one front door.
 """
 
 __version__ = "1.0.0"

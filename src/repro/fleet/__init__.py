@@ -1,0 +1,30 @@
+"""Multi-tenant model-fleet serving behind one front door.
+
+Composition:
+
+- :mod:`repro.fleet.spec` -- :class:`TenantSpec` (model, MVX shape,
+  SLO class, weighted-fair share, engine policy, autoscale bounds).
+- :mod:`repro.fleet.quota` -- per-tenant :class:`TokenBucket`
+  admission budgets.
+- :mod:`repro.fleet.fleet` -- :class:`ModelFleet` (one deployment +
+  engine per tenant, fleet metrics, shared flight recorder, rolling
+  updates) and the client-facing :class:`FleetFrontDoor`.
+- :mod:`repro.fleet.autoscaler` -- :class:`FleetAutoscaler`
+  (queue/health-driven worker-pool elasticity).
+"""
+
+from repro.fleet.autoscaler import FleetAutoscaler
+from repro.fleet.fleet import FleetFrontDoor, FleetHealth, ModelFleet, QuotaExceeded
+from repro.fleet.quota import TokenBucket
+from repro.fleet.spec import SLOClass, TenantSpec
+
+__all__ = [
+    "FleetAutoscaler",
+    "FleetFrontDoor",
+    "FleetHealth",
+    "ModelFleet",
+    "QuotaExceeded",
+    "SLOClass",
+    "TenantSpec",
+    "TokenBucket",
+]

@@ -1,0 +1,122 @@
+"""Queue- and health-driven worker-pool elasticity for the fleet.
+
+Each tenant engine runs ``num_workers`` micro-batches in flight;
+:class:`FleetAutoscaler` periodically walks the fleet and resizes every
+engine within its spec's ``[min_workers, max_workers]`` bounds:
+
+- **scale up** when the tenant's admission queue is deeper than
+  ``scale_up_depth`` -- requests are waiting on in-flight capacity;
+- **scale down** when the queue has been empty for
+  ``idle_steps_to_shrink`` consecutive steps *and* the tenant's health
+  watchdog grades OK -- a degraded tenant keeps its capacity while the
+  operator investigates.
+
+The loop is a daemon thread (:meth:`start`/:meth:`stop`); :meth:`step`
+is the synchronous single-pass used by tests and by operators who
+prefer to drive scaling from their own control loop.  Every resize
+increments ``mvtee_autoscale_actions_total`` with the tenant and
+direction labels.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.observability.health import HealthStatus
+
+__all__ = ["FleetAutoscaler"]
+
+
+class FleetAutoscaler:
+    """Background resize loop over one fleet's tenant engines."""
+
+    def __init__(
+        self,
+        fleet,
+        *,
+        interval_s: float = 0.5,
+        scale_up_depth: int = 8,
+        idle_steps_to_shrink: int = 4,
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if scale_up_depth < 1:
+            raise ValueError(
+                f"scale_up_depth must be >= 1, got {scale_up_depth}"
+            )
+        if idle_steps_to_shrink < 1:
+            raise ValueError(
+                f"idle_steps_to_shrink must be >= 1, got {idle_steps_to_shrink}"
+            )
+        self.fleet = fleet
+        self.interval_s = interval_s
+        self.scale_up_depth = scale_up_depth
+        self.idle_steps_to_shrink = idle_steps_to_shrink
+        self._idle_steps: dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> list[tuple[str, int]]:
+        """One synchronous pass; returns ``(tenant, new_target)`` resizes."""
+        actions = []
+        counter = self.fleet.registry.counter(
+            "mvtee_autoscale_actions_total", "Worker-pool resizes per tenant"
+        )
+        for name in self.fleet.tenants():
+            try:
+                entry = self.fleet.tenant(name)
+            except KeyError:
+                continue  # unregistered between listing and lookup
+            engine, spec = entry.engine, entry.spec
+            depth = engine.queue_depth
+            self.fleet._sample_queue_depth(name, entry)
+            workers = engine.num_workers
+            if depth >= self.scale_up_depth and workers < spec.max_workers:
+                self._idle_steps[name] = 0
+                engine.resize(workers + 1)
+                counter.inc(tenant=name, direction="up")
+                actions.append((name, workers + 1))
+                continue
+            if depth == 0 and workers > spec.min_workers:
+                idle = self._idle_steps.get(name, 0) + 1
+                self._idle_steps[name] = idle
+                if idle >= self.idle_steps_to_shrink:
+                    healthy = entry.health.evaluate().status is HealthStatus.OK
+                    if healthy:
+                        self._idle_steps[name] = 0
+                        engine.resize(workers - 1)
+                        counter.inc(tenant=name, direction="down")
+                        actions.append((name, workers - 1))
+                continue
+            self._idle_steps[name] = 0
+        return actions
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.step()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "FleetAutoscaler":
+        """Spawn the daemon loop (idempotent while running)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="mvtee-fleet-autoscaler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, timeout: float | None = 5.0) -> None:
+        """Stop the loop and join the thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None

@@ -1,0 +1,411 @@
+"""Multi-tenant model-fleet serving behind one front door.
+
+:class:`ModelFleet` owns one full MVTEE deployment -- a
+:class:`~repro.mvx.system.MvteeSystem` plus a started
+:class:`~repro.serving.ServingEngine` -- per registered
+:class:`~repro.fleet.spec.TenantSpec`, and multiplexes them behind a
+single :class:`FleetFrontDoor.submit` surface:
+
+- **weighted-fair admission**: each tenant holds a
+  :class:`~repro.fleet.quota.TokenBucket` sized by its spec weight; a
+  tenant bursting past its own budget is shed with
+  :class:`QuotaExceeded` *before* touching any shared resource, so its
+  burst can never starve a neighbor;
+- **isolation**: every tenant gets its own metrics registry and
+  :class:`~repro.observability.health.HealthMonitor`; the fleet keeps a
+  separate registry for the ``tenant=``-labeled fleet metrics and one
+  shared :class:`~repro.observability.recorder.FlightRecorder` so all
+  tenants' audit events land in a single hash chain;
+- **elasticity**: a :class:`~repro.fleet.autoscaler.FleetAutoscaler`
+  resizes each tenant engine's worker pool within the spec's bounds
+  from queue-depth and health signals;
+- **zero-downtime updates**: :meth:`ModelFleet.rolling_update` quiesces
+  one tenant's engine (in-flight batches finish, admission stays open),
+  replaces its variant group partition by partition through the
+  existing re-attestation path, verifies the binding ledger, and
+  resumes -- no in-flight ticket is dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.fleet.quota import TokenBucket
+from repro.fleet.spec import TenantSpec
+from repro.mvx.system import MvteeSystem
+from repro.observability.health import HealthMonitor, HealthReport, HealthStatus
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import (
+    KIND_REQUEST_SHED,
+    KIND_ROLLING_UPDATE,
+    FlightRecorder,
+)
+from repro.observability.sinks import Sinks
+from repro.serving.engine import ServingEngine, ServingPolicy, Ticket
+from repro.serving.errors import Overloaded
+from repro.zoo.registry import build_model
+
+__all__ = ["FleetFrontDoor", "FleetHealth", "ModelFleet", "QuotaExceeded"]
+
+
+class QuotaExceeded(Overloaded):
+    """A tenant burst past its own weighted-fair admission budget."""
+
+
+@dataclass(frozen=True)
+class FleetHealth:
+    """Aggregated fleet verdict: the worst tenant wins."""
+
+    status: HealthStatus
+    tenants: dict[str, HealthReport]
+
+    def to_json(self) -> dict:
+        return {
+            "status": self.status.value,
+            "tenants": {
+                name: report.to_json() for name, report in self.tenants.items()
+            },
+        }
+
+
+@dataclass
+class _Tenant:
+    """One registered tenant's full serving stack."""
+
+    spec: TenantSpec
+    system: MvteeSystem
+    engine: ServingEngine
+    registry: MetricsRegistry
+    health: HealthMonitor
+    bucket: TokenBucket
+    #: Guards rolling updates: one at a time per tenant.
+    update_lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class ModelFleet:
+    """Tenant registry + shared front door + fleet operations."""
+
+    def __init__(
+        self,
+        *,
+        quota_rps_per_weight: float = 50.0,
+        burst_s: float = 1.0,
+        registry: MetricsRegistry | None = None,
+        recorder: FlightRecorder | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        #: Requests/second one unit of tenant weight buys.
+        self.quota_rps_per_weight = quota_rps_per_weight
+        #: Seconds of sustained rate a tenant may save up as burst.
+        self.burst_s = burst_s
+        #: Fleet-level registry: only ``tenant=``-labeled aggregates
+        #: live here; per-tenant engine metrics stay in each tenant's
+        #: own registry so unlabeled gauges never collide.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: One shared hash chain for all tenants' audit events.
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        self._clock = clock
+        self._tenants: dict[str, _Tenant] = {}
+        self._lock = threading.Lock()
+        self._autoscaler = None
+        # Pre-register the fleet metric surface so the documented
+        # inventory is verifiable before the first request arrives.
+        self.registry.gauge(
+            "mvtee_fleet_tenants", "Tenants registered with the fleet"
+        ).set(0)
+        self.registry.gauge(
+            "mvtee_tenant_queue_depth", "Admission-queue depth per tenant"
+        )
+        self.registry.gauge(
+            "mvtee_tenant_p95_seconds", "Rolling p95 request latency per tenant"
+        )
+        self.registry.counter(
+            "mvtee_tenant_requests_total", "Requests admitted per tenant"
+        )
+        self.registry.counter(
+            "mvtee_tenant_requests_shed_total",
+            "Requests shed per tenant (quota or engine overload)",
+        )
+        self.registry.histogram(
+            "mvtee_tenant_latency_seconds",
+            "End-to-end request latency per tenant",
+        )
+        self.registry.counter(
+            "mvtee_autoscale_actions_total", "Worker-pool resizes per tenant"
+        )
+        self.registry.counter(
+            "mvtee_rolling_updates_total", "Rolling variant updates per tenant"
+        )
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self, spec: TenantSpec) -> "ModelFleet":
+        """Deploy and start serving one tenant; returns the fleet.
+
+        Runs the tenant's full offline + bootstrap phase (zoo build,
+        partition search, variant diversification, attestation) and
+        starts its serving engine.  The tenant is admitting traffic
+        when this returns.
+        """
+        with self._lock:
+            if spec.name in self._tenants:
+                raise ValueError(f"tenant {spec.name!r} is already registered")
+        model = build_model(spec.model, **spec.model_kwargs)
+        tenant_registry = MetricsRegistry()
+        system = MvteeSystem.deploy(
+            model,
+            num_partitions=spec.num_partitions,
+            mvx_partitions=dict(spec.mvx_partitions),
+            seed=spec.seed,
+            verify_partitions=spec.verify_partitions,
+            verify_variants=spec.verify_variants,
+            sinks=Sinks(metrics=tenant_registry, recorder=self.recorder),
+        )
+        policy = spec.policy if spec.policy is not None else ServingPolicy()
+        workers = min(
+            max(policy.num_workers, spec.min_workers), spec.max_workers
+        )
+        if workers != policy.num_workers:
+            policy = replace(policy, num_workers=workers)
+        engine = ServingEngine(
+            system,
+            policy=policy,
+            sinks=Sinks(metrics=tenant_registry, recorder=self.recorder),
+            clock=self._clock,
+        )
+        tenant = _Tenant(
+            spec=spec,
+            system=system,
+            engine=engine,
+            registry=tenant_registry,
+            health=HealthMonitor(tenant_registry, recorder=self.recorder),
+            bucket=TokenBucket(
+                rate=spec.weight * self.quota_rps_per_weight,
+                burst=max(1.0, spec.weight * self.quota_rps_per_weight * self.burst_s),
+                clock=self._clock,
+            ),
+        )
+        with self._lock:
+            if spec.name in self._tenants:
+                raise ValueError(f"tenant {spec.name!r} is already registered")
+            self._tenants[spec.name] = tenant
+            self.registry.gauge(
+                "mvtee_fleet_tenants", "Tenants registered with the fleet"
+            ).set(len(self._tenants))
+        engine.start()
+        return self
+
+    def tenant(self, name: str) -> _Tenant:
+        """The registered tenant (raises ``KeyError`` when unknown)."""
+        with self._lock:
+            try:
+                return self._tenants[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown tenant {name!r}; registered: {sorted(self._tenants)}"
+                ) from None
+
+    def tenants(self) -> list[str]:
+        """Registered tenant names."""
+        with self._lock:
+            return sorted(self._tenants)
+
+    # ------------------------------------------------------------------
+    # Front door
+    # ------------------------------------------------------------------
+
+    @property
+    def front_door(self) -> "FleetFrontDoor":
+        """The single client-facing submission surface."""
+        return FleetFrontDoor(self)
+
+    def submit(
+        self,
+        tenant: str,
+        feeds: dict[str, np.ndarray],
+        *,
+        deadline_s: float | None = None,
+    ) -> Ticket:
+        """Admit one request for ``tenant`` through quota + engine.
+
+        The tenant's token bucket is charged first: an empty bucket
+        sheds with :class:`QuotaExceeded` without touching the tenant's
+        queue (and without touching any other tenant's anything).  Past
+        the quota, the tenant engine's own admission control applies --
+        a full queue sheds with :class:`~repro.serving.errors.Overloaded`.
+        ``deadline_s`` defaults to the spec's SLO-derived deadline.
+        """
+        entry = self.tenant(tenant)
+        shed = self.registry.counter(
+            "mvtee_tenant_requests_shed_total",
+            "Requests shed per tenant (quota or engine overload)",
+        )
+        if not entry.bucket.try_acquire():
+            shed.inc(tenant=tenant)
+            self.recorder.record(
+                KIND_REQUEST_SHED,
+                tenant=tenant,
+                reason="quota",
+                rate=entry.bucket.rate,
+            )
+            raise QuotaExceeded(
+                f"tenant {tenant!r} exceeded its admission quota "
+                f"({entry.bucket.rate:g} req/s)"
+            )
+        if deadline_s is None:
+            deadline_s = entry.spec.effective_deadline_s()
+        start = self._clock()
+        try:
+            ticket = entry.engine.submit(feeds, deadline_s=deadline_s)
+        except Overloaded:
+            shed.inc(tenant=tenant)
+            raise
+        self.registry.counter(
+            "mvtee_tenant_requests_total", "Requests admitted per tenant"
+        ).inc(tenant=tenant)
+        self._sample_queue_depth(tenant, entry)
+        ticket.add_done_callback(
+            lambda t, name=tenant, start=start: self._observe_done(name, start)
+        )
+        return ticket
+
+    def _sample_queue_depth(self, name: str, entry: _Tenant) -> None:
+        self.registry.gauge(
+            "mvtee_tenant_queue_depth", "Admission-queue depth per tenant"
+        ).set(entry.engine.queue_depth, tenant=name)
+
+    def _observe_done(self, name: str, start: float) -> None:
+        latency = self._clock() - start
+        histogram = self.registry.histogram(
+            "mvtee_tenant_latency_seconds",
+            "End-to-end request latency per tenant",
+        )
+        histogram.observe(latency, tenant=name)
+        self.registry.gauge(
+            "mvtee_tenant_p95_seconds", "Rolling p95 request latency per tenant"
+        ).set(histogram.quantile(0.95, tenant=name), tenant=name)
+        with self._lock:
+            entry = self._tenants.get(name)
+        if entry is not None:
+            self._sample_queue_depth(name, entry)
+
+    # ------------------------------------------------------------------
+    # Fleet operations
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> FleetHealth:
+        """Evaluate every tenant's health watchdog; worst verdict wins."""
+        with self._lock:
+            entries = dict(self._tenants)
+        reports = {name: t.health.evaluate() for name, t in entries.items()}
+        worst = HealthStatus.OK
+        for report in reports.values():
+            if report.status.severity > worst.severity:
+                worst = report.status
+        return FleetHealth(status=worst, tenants=reports)
+
+    def rolling_update(self, tenant: str, *, seed: int = 1) -> list[int]:
+        """Replace one tenant's entire variant group with zero drops.
+
+        Quiesces the tenant's engine (in-flight batches complete,
+        admission keeps queueing), replaces every partition's variants
+        through :meth:`MvteeSystem.update_partition` -- the full
+        re-attestation bootstrap, each replacement appending
+        ``variant-replaced`` evidence to the shared recorder and fresh
+        bindings to the monitor's ledger -- verifies the ledger chain,
+        records one ``rolling-update`` audit event, and resumes.
+        Returns the partition indexes updated.
+        """
+        entry = self.tenant(tenant)
+        with entry.update_lock:
+            updated = []
+            with entry.engine.quiesce():
+                for claim in entry.system.config.claims:
+                    entry.system.update_partition(
+                        claim.partition_index, seed=seed
+                    )
+                    updated.append(claim.partition_index)
+                entry.system.monitor.ledger.verify_chain()
+            self.recorder.record(
+                KIND_ROLLING_UPDATE,
+                tenant=tenant,
+                seed=seed,
+                partitions=updated,
+                ledger_entries=len(entry.system.monitor.ledger.entries),
+            )
+            self.registry.counter(
+                "mvtee_rolling_updates_total", "Rolling variant updates per tenant"
+            ).inc(tenant=tenant)
+            return updated
+
+    def start_autoscaler(self, *, interval_s: float = 0.5, **kwargs):
+        """Start the background autoscaler thread (idempotent)."""
+        from repro.fleet.autoscaler import FleetAutoscaler
+
+        if self._autoscaler is None:
+            self._autoscaler = FleetAutoscaler(
+                self, interval_s=interval_s, **kwargs
+            ).start()
+        return self._autoscaler
+
+    def shutdown(self) -> None:
+        """Stop the autoscaler, every engine, and every deployment."""
+        if self._autoscaler is not None:
+            self._autoscaler.stop()
+            self._autoscaler = None
+        with self._lock:
+            entries = list(self._tenants.values())
+            self._tenants.clear()
+            self.registry.gauge(
+                "mvtee_fleet_tenants", "Tenants registered with the fleet"
+            ).set(0)
+        for entry in entries:
+            entry.engine.stop()
+            entry.system.shutdown()
+
+    def __enter__(self) -> "ModelFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def render_prometheus(self) -> str:
+        """The fleet registry's full text exposition."""
+        return self.registry.render_prometheus()
+
+
+class FleetFrontDoor:
+    """The one client-facing surface of a fleet.
+
+    A deliberately thin facade: clients hold this instead of the fleet
+    so the operational surface (register/rolling_update/shutdown) stays
+    out of their reach.
+    """
+
+    def __init__(self, fleet: ModelFleet):
+        self._fleet = fleet
+
+    def submit(
+        self,
+        tenant: str,
+        feeds: dict[str, np.ndarray],
+        *,
+        deadline_s: float | None = None,
+    ) -> Ticket:
+        """Submit one request for ``tenant`` (see :meth:`ModelFleet.submit`)."""
+        return self._fleet.submit(tenant, feeds, deadline_s=deadline_s)
+
+    def tenants(self) -> list[str]:
+        """Tenant names accepting traffic."""
+        return self._fleet.tenants()
+
+    def healthz(self) -> FleetHealth:
+        """Aggregated fleet health (readiness-probe endpoint)."""
+        return self._fleet.healthz()

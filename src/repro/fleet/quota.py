@@ -1,0 +1,63 @@
+"""Per-tenant token-bucket admission quotas.
+
+The fleet's fairness invariant -- a bursting tenant is shed at *its own*
+quota, never by starving its neighbors -- needs per-tenant budgets
+enforced before a request can touch any shared resource.  A token
+bucket gives each tenant a sustained rate plus a bounded burst: tokens
+accrue at ``rate`` per second up to ``burst`` capacity, and each
+admission spends one.  An empty bucket means the tenant (and only the
+tenant) exceeded its share.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Thread-safe token bucket with an injectable clock."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        #: Sustained refill rate (tokens/second).
+        self.rate = rate
+        #: Bucket capacity (maximum saved-up burst).
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; False means over quota."""
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Tokens currently spendable (refilled to now)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens

@@ -1,0 +1,95 @@
+"""Tenant declarations for the model fleet.
+
+A :class:`TenantSpec` is everything the fleet needs to stand one tenant
+up: which zoo model to deploy, how to partition and replicate it (the
+MVX shape), which SLO class its traffic belongs to, its weighted-fair
+share of the fleet's admission budget, and the serving-engine policy
+overrides.  The spec is frozen -- re-registering a tenant means a new
+spec, which keeps the fleet's audit trail honest about what changed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.serving.engine import ServingPolicy
+
+__all__ = ["SLOClass", "TenantSpec"]
+
+
+class SLOClass(enum.Enum):
+    """What a tenant's traffic optimizes for.
+
+    LATENCY tenants get a default per-request deadline (their tickets
+    time out rather than queue unboundedly) and the autoscaler treats
+    queue growth as urgent; THROUGHPUT tenants run without a default
+    deadline and tolerate deeper queues before scaling.
+    """
+
+    LATENCY = "latency"
+    THROUGHPUT = "throughput"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the fleet, fully declared."""
+
+    #: Unique tenant name; becomes the ``tenant=`` label on every fleet
+    #: metric and the routing key of :meth:`FleetFrontDoor.submit`.
+    name: str
+    #: Zoo model name (see :func:`repro.zoo.available_models`).
+    model: str
+    #: Extra kwargs for the zoo builder (batch, input_size, seed, ...).
+    model_kwargs: dict = field(default_factory=dict)
+    #: Pipeline partition count for this tenant's deployment.
+    num_partitions: int = 3
+    #: Partition index -> variant count (selective MVX); empty means
+    #: every partition runs a single variant (fast path everywhere).
+    mvx_partitions: dict[int, int] = field(default_factory=dict)
+    #: Latency-bound or throughput-bound traffic.
+    slo: SLOClass = SLOClass.THROUGHPUT
+    #: Weighted-fair share: the tenant's admission budget is
+    #: ``weight * ModelFleet.quota_rps_per_weight`` requests/second.
+    weight: float = 1.0
+    #: Default per-request deadline (seconds).  None defers to the SLO
+    #: class: LATENCY tenants get :data:`DEFAULT_LATENCY_DEADLINE_S`,
+    #: THROUGHPUT tenants run unbounded.
+    deadline_s: float | None = None
+    #: Serving-engine policy overrides; None takes the stock policy.
+    policy: ServingPolicy | None = None
+    #: Offline-phase seed (variant diversification, partition search).
+    seed: int = 0
+    #: Offline verification toggles (exhaustive equivalence checks are
+    #: expensive for the bigger zoo models; the fleet defaults them on).
+    verify_partitions: bool = True
+    verify_variants: bool = True
+    #: Autoscaler bounds on the tenant engine's worker pool.
+    min_workers: int = 1
+    max_workers: int = 4
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {self.min_workers}")
+        if self.max_workers < self.min_workers:
+            raise ValueError(
+                f"max_workers ({self.max_workers}) must be >= "
+                f"min_workers ({self.min_workers})"
+            )
+
+    #: Stock deadline for LATENCY tenants that do not declare one.
+    DEFAULT_LATENCY_DEADLINE_S = 2.0
+
+    def effective_deadline_s(self) -> float | None:
+        """The per-request deadline this tenant's tickets carry."""
+        if self.deadline_s is not None:
+            return self.deadline_s
+        if self.slo is SLOClass.LATENCY:
+            return self.DEFAULT_LATENCY_DEADLINE_S
+        return None

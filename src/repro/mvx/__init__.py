@@ -42,8 +42,6 @@ from repro.mvx.scheduler import (
     PathMode,
     SchedulingMode,
     run,
-    run_pipelined,
-    run_sequential,
     validate_feeds,
 )
 from repro.mvx.service import InferenceService, RequestState, ServiceMetrics
@@ -84,8 +82,6 @@ __all__ = [
     "VoteResult",
     "bootstrap_deployment",
     "run",
-    "run_pipelined",
-    "run_sequential",
     "validate_feeds",
     "vote",
 ]

@@ -188,8 +188,7 @@ def bootstrap_deployment(
     handover; a :class:`repro.mvx.transport.FabricTransport` = records
     through the untrusted network).  Returns (owner, monitor,
     orchestrator, hosts) fully initialized and ready for
-    :func:`repro.mvx.scheduler.run_sequential` /
-    :func:`~repro.mvx.scheduler.run_pipelined`.
+    :func:`repro.mvx.scheduler.run`.
     """
     cpus = [SimulatedCpu(f"platform-{i}") for i in range(num_platforms)]
     orchestrator = Orchestrator(cpus=cpus)

@@ -9,12 +9,11 @@ the monitor (correctness, detection); wall-clock performance of the two
 modes is reproduced by :mod:`repro.simulation`.
 
 The single entry point is :func:`run` with an :class:`InferenceOptions`
-bundle (scheduling mode, checkpoint discipline, path mode, tracer and
-metrics registry); :func:`run_sequential` / :func:`run_pipelined`
-remain as thin deprecated wrappers.  Every run produces an
-``infer -> batch -> stage`` span tree through the configured tracer
-(the monitor adds ``variant`` and ``checkpoint`` leaves) and stage
-latency histograms in the metrics registry.
+bundle (scheduling mode, checkpoint discipline, path mode and the
+observability :class:`~repro.observability.sinks.Sinks`).  Every run
+produces an ``infer -> batch -> stage`` span tree through the
+configured tracer (the monitor adds ``variant`` and ``checkpoint``
+leaves) and stage latency histograms in the metrics registry.
 """
 
 from __future__ import annotations
@@ -22,7 +21,6 @@ from __future__ import annotations
 import dataclasses
 import enum
 import time
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +28,7 @@ import numpy as np
 from repro.mvx.monitor import Monitor
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.recorder import FlightRecorder
+from repro.observability.sinks import Sinks, coerce_sinks
 from repro.observability.tracing import Span, Tracer
 
 __all__ = [
@@ -39,8 +38,6 @@ __all__ = [
     "RunStats",
     "SchedulingMode",
     "run",
-    "run_pipelined",
-    "run_sequential",
     "validate_feeds",
 ]
 
@@ -73,9 +70,12 @@ class InferenceOptions:
 
     ``mode`` / ``path_mode`` override the deployment's provisioned
     checkpoint discipline and Figure-7 path selection for the duration
-    of the run; ``None`` keeps the provisioned value.  ``tracer`` and
-    ``metrics`` direct the run's observability output; left unset, the
-    monitor's tracer and the process-wide registry are used.
+    of the run; ``None`` keeps the provisioned value.  ``sinks``
+    bundles the run's observability output (tracer, metrics registry,
+    flight recorder); unset sinks fall back to the monitor's tracer,
+    the process-wide registry and the deployment's recorder.  The
+    individual ``tracer=`` / ``metrics=`` / ``recorder=`` kwargs are
+    deprecated spellings of the same bundle.
 
     ``dispatcher`` installs a replica dispatcher on the monitor for the
     duration of the run -- an object with
@@ -83,7 +83,7 @@ class InferenceOptions:
     :class:`repro.serving.executor.ParallelStageExecutor`, which runs
     the variant replicas of a stage concurrently.
 
-    ``recorder`` installs a tamper-evident flight recorder on the
+    ``sinks.recorder`` installs a tamper-evident flight recorder on the
     monitor for the duration of the run; ``None`` keeps whatever
     recorder the deployment already has (possibly none).
 
@@ -98,11 +98,28 @@ class InferenceOptions:
     scheduling: SchedulingMode = SchedulingMode.SEQUENTIAL
     mode: ExecutionMode | None = None
     path_mode: PathMode | None = None
+    sinks: Sinks | None = None
     tracer: Tracer | None = None
     metrics: MetricsRegistry | None = None
     dispatcher: object | None = None
     recorder: FlightRecorder | None = None
     batch_id_base: int = 0
+
+    def __post_init__(self):
+        resolved = coerce_sinks(
+            self.sinks,
+            owner="InferenceOptions",
+            tracer=self.tracer,
+            metrics=self.metrics,
+            recorder=self.recorder,
+            stacklevel=4,
+        )
+        # The trio fields stay the canonical storage the scheduler and
+        # monitor read; the frozen dataclass is normalized in place.
+        object.__setattr__(self, "sinks", resolved)
+        object.__setattr__(self, "tracer", resolved.tracer)
+        object.__setattr__(self, "metrics", resolved.metrics)
+        object.__setattr__(self, "recorder", resolved.recorder)
 
 
 @dataclass
@@ -375,30 +392,3 @@ def _run_pipelined(
                 stats.batches += 1
                 batch_counter.inc(scheduling="pipelined")
     return [results[i] for i in range(len(batches))]
-
-
-def run_sequential(
-    monitor: Monitor, batches: list[dict[str, np.ndarray]]
-) -> tuple[list[dict[str, np.ndarray]], RunStats]:
-    """Deprecated: use :func:`run` with ``SchedulingMode.SEQUENTIAL``."""
-    warnings.warn(
-        "run_sequential is deprecated; use run(monitor, batches, InferenceOptions()) "
-        "or MvteeSystem.infer_batches",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return run(monitor, batches, InferenceOptions(scheduling=SchedulingMode.SEQUENTIAL))
-
-
-def run_pipelined(
-    monitor: Monitor, batches: list[dict[str, np.ndarray]]
-) -> tuple[list[dict[str, np.ndarray]], RunStats]:
-    """Deprecated: use :func:`run` with ``SchedulingMode.PIPELINED``."""
-    warnings.warn(
-        "run_pipelined is deprecated; use run(monitor, batches, "
-        "InferenceOptions(scheduling=SchedulingMode.PIPELINED)) "
-        "or MvteeSystem.infer_batches",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return run(monitor, batches, InferenceOptions(scheduling=SchedulingMode.PIPELINED))

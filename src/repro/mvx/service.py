@@ -42,6 +42,7 @@ from repro.mvx.system import MvteeSystem
 from repro.observability.health import HealthMonitor, HealthReport
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.recorder import FlightRecorder
+from repro.observability.sinks import Sinks
 from repro.observability.tracing import Tracer
 
 if TYPE_CHECKING:
@@ -247,9 +248,11 @@ class InferenceService:
             scheduling=SchedulingMode.PIPELINED
             if self.pipelined
             else SchedulingMode.SEQUENTIAL,
-            tracer=self.tracer,
-            metrics=self.registry,
-            recorder=self.recorder,
+            sinks=Sinks(
+                tracer=self.tracer,
+                metrics=self.registry,
+                recorder=self.recorder,
+            ),
         )
         batches = [r.feeds for r in pending]
         try:
@@ -326,9 +329,11 @@ class InferenceService:
                 parallel_variants=parallel_variants,
                 max_workers=max_workers,
             ),
-            registry=self.registry,
-            tracer=self.tracer,
-            recorder=self.recorder,
+            sinks=Sinks(
+                tracer=self.tracer,
+                metrics=self.registry,
+                recorder=self.recorder,
+            ),
         )
         engine.start()
         self._engine = engine

@@ -18,11 +18,12 @@ from repro.graph.model import ModelGraph
 from repro.mvx.bootstrap import ModelOwner, Orchestrator, bootstrap_deployment
 from repro.mvx.config import MvxConfig
 from repro.mvx.monitor import Monitor
-from repro.mvx.scheduler import InferenceOptions, RunStats, SchedulingMode, run
+from repro.mvx.scheduler import InferenceOptions, RunStats, run
 from repro.mvx.updates import partial_update, scale_partition
 from repro.mvx.variant_host import VariantHost
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.recorder import FlightRecorder
+from repro.observability.sinks import Sinks, coerce_sinks
 from repro.observability.tracing import Tracer
 from repro.partition.balance import find_balanced_partition
 from repro.partition.partition import PartitionSet
@@ -65,6 +66,7 @@ class MvteeSystem:
         verify_variants: bool = True,
         num_platforms: int = 2,
         transport=None,
+        sinks: Sinks | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         recorder: FlightRecorder | None = None,
@@ -77,12 +79,14 @@ class MvteeSystem:
         (selective MVX); omitted partitions run a single variant (fast
         path).  A full explicit :class:`MvxConfig` overrides it.
 
-        ``tracer`` / ``metrics`` install deployment-wide observability
-        sinks on the monitor: every inference run reports through them
-        unless a run's :class:`InferenceOptions` overrides either.
-        ``recorder`` attaches a tamper-evident flight recorder the same
-        way: checkpoints, detections, responses and variant replacements
-        are appended to its hash chain.
+        ``sinks`` installs deployment-wide observability sinks on the
+        monitor: every inference run reports through its tracer and
+        metrics registry unless a run's :class:`InferenceOptions`
+        overrides either, and its flight recorder receives checkpoints,
+        detections, responses and variant replacements in one hash
+        chain.  The individual ``tracer=`` / ``metrics=`` /
+        ``recorder=`` kwargs are deprecated spellings of the same
+        bundle.
 
         ``execution`` selects where variant runtimes live: the default
         ``"inprocess"`` keeps them in this process; ``"process"`` forks
@@ -93,6 +97,14 @@ class MvteeSystem:
         are restarted.  Call :meth:`shutdown` (or rely on the atexit
         sweep) to tear the worker fleet down.
         """
+        sinks = coerce_sinks(
+            sinks,
+            owner="MvteeSystem.deploy",
+            tracer=tracer,
+            metrics=metrics,
+            recorder=recorder,
+        )
+        tracer, metrics, recorder = sinks.tracer, sinks.metrics, sinks.recorder
         if execution not in ("inprocess", "process"):
             raise ValueError(
                 f"execution must be 'inprocess' or 'process', got {execution!r}"
@@ -188,25 +200,13 @@ class MvteeSystem:
         self,
         batches: list[dict[str, np.ndarray]],
         options: InferenceOptions | None = None,
-        *,
-        pipelined: bool | None = None,
     ) -> list[dict[str, np.ndarray]]:
         """Protected inference over a batch stream.
 
         The unified entry point: :class:`InferenceOptions` bundles the
         scheduling mode, checkpoint discipline and path-mode overrides,
-        the tracer and the metrics registry.  The legacy ``pipelined``
-        flag is honored when no options are given (deprecated spelling
-        of ``InferenceOptions(scheduling=SchedulingMode.PIPELINED)``).
+        and the observability sinks.
         """
-        if options is None:
-            options = InferenceOptions(
-                scheduling=SchedulingMode.PIPELINED
-                if pipelined
-                else SchedulingMode.SEQUENTIAL
-            )
-        elif pipelined is not None:
-            raise ValueError("pass scheduling via InferenceOptions, not pipelined=")
         results, stats = run(self.monitor, batches, options)
         self.last_stats = stats
         return results
@@ -215,6 +215,7 @@ class MvteeSystem:
         self,
         *,
         policy=None,
+        sinks: Sinks | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         recorder: FlightRecorder | None = None,
@@ -225,13 +226,20 @@ class MvteeSystem:
         admission with load shedding, dynamic micro-batching, parallel
         variant execution.  Call ``start()``/``stop()`` or use it as a
         context manager; :meth:`InferenceService.serve` wraps the same
-        engine behind the request-id surface.
+        engine behind the request-id surface.  ``sinks`` carries the
+        engine's observability bundle; the individual ``registry=`` /
+        ``tracer=`` / ``recorder=`` kwargs are deprecated.
         """
         from repro.serving.engine import ServingEngine
 
-        return ServingEngine(
-            self, policy=policy, registry=registry, tracer=tracer, recorder=recorder
+        sinks = coerce_sinks(
+            sinks,
+            owner="MvteeSystem.serving_engine",
+            tracer=tracer,
+            metrics=registry,
+            recorder=recorder,
         )
+        return ServingEngine(self, policy=policy, sinks=sinks)
 
     # ------------------------------------------------------------------
     # Updates

@@ -20,6 +20,9 @@ report through here instead of ad-hoc counters.
 - :mod:`repro.observability.health` -- :class:`HealthMonitor`
   evaluating rolling-window SLO rules (divergence/crash/shed/timeout
   rates, latency quantiles) to an OK/WARN/CRIT verdict.
+- :mod:`repro.observability.sinks` -- :class:`Sinks`, the
+  tracer/metrics/recorder bundle every serving surface accepts as
+  ``sinks=`` (the individual kwargs are deprecated).
 """
 
 from repro.observability.forensics import (
@@ -54,6 +57,7 @@ from repro.observability.recorder import (
     AuditEvent,
     FlightRecorder,
 )
+from repro.observability.sinks import Sinks
 from repro.observability.tracing import (
     InMemorySpanExporter,
     JsonlSpanExporter,
@@ -84,6 +88,7 @@ __all__ = [
     "QuantileRule",
     "RatioRule",
     "RuleResult",
+    "Sinks",
     "Span",
     "SpanExporter",
     "TensorSummary",

@@ -40,6 +40,7 @@ __all__ = [
     "KIND_REQUEST_SHED",
     "KIND_REQUEST_TIMEOUT",
     "KIND_RESPONSE",
+    "KIND_ROLLING_UPDATE",
     "KIND_VARIANT_REPLACED",
     "KIND_WORKER_EXITED",
     "KIND_WORKER_RESTARTED",
@@ -58,6 +59,7 @@ KIND_RESPONSE = "response"
 KIND_VARIANT_REPLACED = "variant-replaced"
 KIND_REQUEST_SHED = "request-shed"
 KIND_REQUEST_TIMEOUT = "request-timeout"
+KIND_ROLLING_UPDATE = "rolling-update"
 KIND_HEALTH = "health-transition"
 KIND_ENGINE_ERROR = "engine-error"
 KIND_WORKER_STARTED = "worker-started"

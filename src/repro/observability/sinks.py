@@ -1,0 +1,92 @@
+"""The observability sink bundle shared by every serving surface.
+
+Deployments, serving engines and per-run options all accept the same
+trio of observability sinks -- a span tracer, a metrics registry and a
+tamper-evident flight recorder.  :class:`Sinks` bundles the trio so the
+APIs take one ``sinks=`` argument instead of repeating three kwargs;
+the individual ``tracer=`` / ``metrics=`` / ``recorder=`` spellings are
+kept for one deprecation cycle (``registry=`` on the serving engine is
+the same sink under its historical name).
+
+``None`` fields mean "use the surface's default": the process-wide
+registry, the deployment's recorder, no tracer.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.recorder import FlightRecorder
+    from repro.observability.tracing import Tracer
+
+__all__ = ["Sinks", "coerce_sinks"]
+
+
+@dataclass(frozen=True)
+class Sinks:
+    """One bundle of observability sinks: tracer + metrics + recorder."""
+
+    tracer: "Tracer | None" = None
+    metrics: "MetricsRegistry | None" = None
+    recorder: "FlightRecorder | None" = None
+
+    def merged_over(self, other: "Sinks | None") -> "Sinks":
+        """This bundle with ``other`` filling any ``None`` fields."""
+        if other is None:
+            return self
+        return Sinks(
+            tracer=self.tracer if self.tracer is not None else other.tracer,
+            metrics=self.metrics if self.metrics is not None else other.metrics,
+            recorder=(
+                self.recorder if self.recorder is not None else other.recorder
+            ),
+        )
+
+    def with_metrics(self, metrics: "MetricsRegistry | None") -> "Sinks":
+        """A copy with the metrics registry replaced."""
+        return replace(self, metrics=metrics)
+
+
+def coerce_sinks(
+    sinks: Sinks | None,
+    *,
+    owner: str,
+    tracer=None,
+    metrics=None,
+    recorder=None,
+    stacklevel: int = 3,
+) -> Sinks:
+    """Resolve a ``sinks=`` bundle against deprecated individual kwargs.
+
+    The legacy kwargs still work for one deprecation cycle but emit a
+    single :class:`DeprecationWarning` per call regardless of how many
+    of them are passed; combining them with an explicit ``sinks=``
+    bundle is ambiguous and raises ``ValueError``.
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("tracer", tracer),
+            ("metrics", metrics),
+            ("recorder", recorder),
+        )
+        if value is not None
+    }
+    if legacy:
+        if sinks is not None:
+            raise ValueError(
+                f"{owner}: pass sinks=Sinks(...) or the individual "
+                f"{sorted(legacy)} kwargs, not both"
+            )
+        warnings.warn(
+            f"{owner}: the {sorted(legacy)} kwargs are deprecated; pass "
+            f"sinks=Sinks({', '.join(f'{k}=...' for k in sorted(legacy))})",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return Sinks(**legacy)
+    return sinks if sinks is not None else Sinks()

@@ -40,6 +40,7 @@ import enum
 import itertools
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
 
@@ -54,6 +55,7 @@ from repro.observability.recorder import (
     KIND_REQUEST_TIMEOUT,
     FlightRecorder,
 )
+from repro.observability.sinks import Sinks, coerce_sinks
 from repro.observability.tracing import Tracer
 from repro.serving.admission import AdmissionQueue
 from repro.serving.batching import BatchPolicy, MicroBatcher
@@ -86,9 +88,21 @@ class ServingPolicy:
     #: Each worker pulls its own batch and drives it through the
     #: pipeline independently, so a slow batch does not serialize the
     #: queue behind it.  1 restores strictly serial batch execution.
+    #: This is the *initial* pool size; :meth:`ServingEngine.resize`
+    #: adjusts a live engine.
     num_workers: int = 2
 
     def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
         if self.num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
 
@@ -179,20 +193,32 @@ class ServingEngine:
         system,
         *,
         policy: ServingPolicy | None = None,
+        sinks: Sinks | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         recorder: FlightRecorder | None = None,
         clock: Callable[[], float] = time.monotonic,
     ):
+        sinks = coerce_sinks(
+            sinks,
+            owner="ServingEngine",
+            tracer=tracer,
+            metrics=registry,
+            recorder=recorder,
+        )
         self.system = system
         self.policy = policy if policy is not None else ServingPolicy()
-        self.registry = registry if registry is not None else MetricsRegistry()
-        self.tracer = tracer
+        self.registry = (
+            sinks.metrics if sinks.metrics is not None else MetricsRegistry()
+        )
+        self.tracer = sinks.tracer
         #: Flight recorder for shed/timeout audit events; defaults to
         #: the deployment's recorder so serving-layer rejections land in
         #: the same hash chain as the monitor's detections.
         self.recorder = (
-            recorder if recorder is not None else system.monitor.recorder
+            sinks.recorder
+            if sinks.recorder is not None
+            else system.monitor.recorder
         )
         self._clock = clock
         # Pre-register the engine's counters/histograms so the full
@@ -224,6 +250,9 @@ class ServingEngine:
             "mvtee_batch_queue_stall_seconds",
             "Seconds a formed batch waited past max_wait_s for a free worker",
         )
+        self.registry.gauge(
+            "mvtee_engine_workers", "Engine worker threads in the pool"
+        ).set(self.policy.num_workers)
         self._queue = AdmissionQueue(
             self.policy.capacity, registry=self.registry, clock=clock
         )
@@ -255,7 +284,15 @@ class ServingEngine:
                 clock=clock,
             )
         self._ids = itertools.count()
-        self._workers: list[threading.Thread] = []
+        #: Worker threads by pool index; indexes at or past
+        #: ``_target_workers`` retire themselves (resize-down).
+        self._workers: dict[int, threading.Thread] = {}
+        self._target_workers = self.policy.num_workers
+        #: Guards _target_workers/_busy/_paused; workers wait on it
+        #: while paused, quiesce() waits on it for _busy == 0.
+        self._pool_cond = threading.Condition()
+        self._busy = 0
+        self._paused = False
         self._stopping = threading.Event()
         # Monotonic allocator of monitor-facing batch-id ranges: each
         # in-flight run gets a disjoint [base, base + n) so concurrent
@@ -306,19 +343,95 @@ class ServingEngine:
 
     def start(self) -> "ServingEngine":
         """Spawn the worker pool; idempotent while running."""
-        if any(worker.is_alive() for worker in self._workers):
+        if any(worker.is_alive() for worker in self._workers.values()):
             return self
         if self._stopping.is_set():
             raise EngineStopped("engine cannot be restarted after stop()")
-        self._workers = [
-            threading.Thread(
-                target=self._run, name=f"mvtee-serving-{i}", daemon=True
-            )
-            for i in range(self.policy.num_workers)
-        ]
-        for worker in self._workers:
-            worker.start()
+        self._spawn_missing()
         return self
+
+    def _spawn_missing(self) -> None:
+        """Start a thread for every pool index below the target."""
+        with self._pool_cond:
+            target = self._target_workers
+        for index in range(target):
+            worker = self._workers.get(index)
+            if worker is not None and worker.is_alive():
+                continue
+            worker = threading.Thread(
+                target=self._run,
+                args=(index,),
+                name=f"mvtee-serving-{index}",
+                daemon=True,
+            )
+            self._workers[index] = worker
+            worker.start()
+
+    @property
+    def num_workers(self) -> int:
+        """The current worker-pool target (micro-batches in flight)."""
+        with self._pool_cond:
+            return self._target_workers
+
+    def resize(self, num_workers: int) -> int:
+        """Adjust the worker pool of a live engine; returns the target.
+
+        Growing spawns fresh worker threads immediately (when the
+        engine is running); shrinking retires the highest-indexed
+        workers as soon as they finish their current batch.  The fleet
+        autoscaler drives this from queue-depth and health signals.
+        """
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        with self._pool_cond:
+            if self._stopping.is_set():
+                raise EngineStopped("cannot resize a stopped engine")
+            self._target_workers = num_workers
+            self._pool_cond.notify_all()
+        self.registry.gauge(
+            "mvtee_engine_workers", "Engine worker threads in the pool"
+        ).set(num_workers)
+        if any(worker.is_alive() for worker in self._workers.values()):
+            self._spawn_missing()
+        return num_workers
+
+    @contextmanager
+    def quiesce(self, *, timeout: float | None = 30.0):
+        """Pause batch pickup and wait until no batch is in flight.
+
+        Admission stays open -- requests keep queueing up to
+        ``capacity`` -- but no worker starts a new batch until the
+        context exits.  This is the drain step of a rolling variant
+        update: once quiesced, the variant group can be replaced with
+        zero in-flight tickets to drop.  Raises ``TimeoutError`` if the
+        in-flight batches do not finish within ``timeout``.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._pool_cond:
+            self._paused = True
+            try:
+                while self._busy > 0:
+                    remaining = (
+                        None if deadline is None else deadline - self._clock()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        raise TimeoutError(
+                            f"engine did not quiesce within {timeout}s "
+                            f"({self._busy} workers still busy)"
+                        )
+                    self._pool_cond.wait(
+                        0.1 if remaining is None else min(0.1, remaining)
+                    )
+            except BaseException:
+                self._paused = False
+                self._pool_cond.notify_all()
+                raise
+        try:
+            yield self
+        finally:
+            with self._pool_cond:
+                self._paused = False
+                self._pool_cond.notify_all()
 
     def stop(self, *, timeout: float | None = 30.0) -> None:
         """Refuse new requests, drain admitted ones, join the workers.
@@ -333,9 +446,13 @@ class ServingEngine:
         """
         self._stopping.set()
         self._queue.close()
+        with self._pool_cond:
+            # Stop overrides a pause: paused workers must wake up to
+            # drain the queue, and quiesce() waiters must not deadlock.
+            self._pool_cond.notify_all()
         join_deadline = None if timeout is None else time.monotonic() + timeout
-        still_alive = []
-        for worker in self._workers:
+        still_alive = {}
+        for index, worker in self._workers.items():
             remaining = (
                 None
                 if join_deadline is None
@@ -343,7 +460,7 @@ class ServingEngine:
             )
             worker.join(remaining)
             if worker.is_alive():
-                still_alive.append(worker)
+                still_alive[index] = worker
         self._workers = still_alive
         self._fail_pending()
         if not still_alive and self._executor is not None:
@@ -376,17 +493,38 @@ class ServingEngine:
     # Worker
     # ------------------------------------------------------------------
 
-    def _run(self) -> None:
+    def _run(self, index: int) -> None:
         """One engine worker: pull a batch, execute, repeat until drained.
 
         ``num_workers`` of these run concurrently; the admission queue
         and batcher are shared, so each formed batch goes to exactly
-        one worker and up to ``num_workers`` batches overlap.
+        one worker and up to ``num_workers`` batches overlap.  The
+        worker gates every pickup on the pool condition: while
+        :meth:`quiesce` holds the engine paused it waits instead of
+        pulling, and once its ``index`` falls at or past the resize
+        target it retires.  ``_busy`` is raised *before* touching the
+        batcher so a quiescer never observes zero in-flight workers
+        while a batch is being formed.
         """
         while True:
-            batch = self._batcher.next_batch(poll_s=0.02)
+            with self._pool_cond:
+                if not self._stopping.is_set():
+                    if index >= self._target_workers:
+                        return
+                    if self._paused:
+                        self._pool_cond.wait(0.05)
+                        continue
+                self._busy += 1
+            batch = None
+            try:
+                batch = self._batcher.next_batch(poll_s=0.02)
+                if batch:
+                    self._execute(batch)
+            finally:
+                with self._pool_cond:
+                    self._busy -= 1
+                    self._pool_cond.notify_all()
             if batch:
-                self._execute(batch)
                 continue
             if self._stopping.is_set() and len(self._queue) == 0:
                 return
@@ -426,15 +564,17 @@ class ServingEngine:
         deadline = min(deadlines) if deadlines else None
         options = InferenceOptions(
             scheduling=self.policy.scheduling,
-            tracer=self.tracer,
-            metrics=self.registry,
+            sinks=Sinks(
+                tracer=self.tracer,
+                metrics=self.registry,
+                recorder=self.recorder,
+            ),
             # A per-batch view of the shared executor: the deadline
             # travels with the dispatch calls, never through shared
             # executor state, so overlapping batches cannot race.
             dispatcher=(
                 self._executor.bind(deadline) if self._executor is not None else None
             ),
-            recorder=self.recorder,
             batch_id_base=self._allocate_batch_ids(len(live)),
         )
         inflight = self.registry.gauge(

@@ -24,8 +24,7 @@ through one executor at once (the serving engine overlaps
 with each dispatch call -- either as the explicit ``deadline=``
 parameter or baked into the lightweight per-batch view returned by
 :meth:`ParallelStageExecutor.bind` -- never through shared mutable
-state.  The legacy ``executor.deadline`` attribute remains as a
-deprecated fallback for callers that still run one batch at a time.
+state.
 """
 
 from __future__ import annotations
@@ -68,8 +67,7 @@ class ParallelStageExecutor:
     pool is persistent so per-batch thread startup never lands on the
     latency path, and it is shared by every in-flight batch.  Deadlines
     are per dispatch call (``dispatch(..., deadline=)`` or a
-    :meth:`bind` view); the ``deadline`` attribute survives as a
-    deprecated single-batch fallback.
+    :meth:`bind` view).
     """
 
     def __init__(
@@ -84,11 +82,6 @@ class ParallelStageExecutor:
         )
         self.retry_transient = retry_transient
         self._clock = clock
-        #: Deprecated: monotonic deadline applied when a dispatch call
-        #: carries none.  Only sound while batches execute one at a
-        #: time; concurrent callers must pass ``deadline=`` (or use
-        #: :meth:`bind`) instead.
-        self.deadline: float | None = None
 
     def bind(self, deadline: float | None) -> BoundDispatcher:
         """A dispatcher view of this executor with ``deadline`` attached."""
@@ -109,8 +102,6 @@ class ParallelStageExecutor:
         stage goes through the same future-with-timeout path, so one
         slow variant cannot blow through the batch budget unbounded.
         """
-        if deadline is None:
-            deadline = self.deadline
         if len(connections) == 1 and deadline is None:
             # Unbounded single replica: no timeout to enforce, so skip
             # the pool hop entirely.
@@ -154,8 +145,6 @@ class ParallelStageExecutor:
         return result
 
     def _past_deadline(self, deadline: float | None) -> bool:
-        if deadline is None:
-            deadline = self.deadline
         return deadline is not None and self._clock() >= deadline
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.cluster import (
 from repro.cluster import shm
 from repro.cluster.supervisor import _LIVE_SUPERVISORS, _atexit_shutdown_all
 from repro.mvx import MonitorError, MvteeSystem, ResponseAction
+from repro.observability import Sinks
 from repro.mvx.variant_host import VariantUnavailable
 from repro.mvx.wire import decode_message, encode_message
 from repro.observability.metrics import MetricsRegistry
@@ -53,8 +54,7 @@ def deploy_cluster(model, *, policy=None, recorder=None, metrics=None, mvx={1: 3
         verify_variants=False,
         execution="process",
         restart_policy=policy if policy is not None else fast_policy(),
-        recorder=recorder,
-        metrics=metrics,
+        sinks=Sinks(metrics=metrics, recorder=recorder),
     )
 
 

@@ -12,7 +12,7 @@ import pytest
 from repro.graph import GraphBuilder
 from repro.mvx.bootstrap import bootstrap_deployment
 from repro.mvx.config import MvxConfig
-from repro.mvx.scheduler import run_pipelined, run_sequential
+from repro.mvx.scheduler import InferenceOptions, SchedulingMode, run
 from repro.partition.partition import Partition, PartitionSet
 from repro.partition.verify import verify_partition_set
 from repro.runtime import RuntimeConfig
@@ -95,7 +95,7 @@ class TestDagScheduling:
 
     def test_sequential_on_dag(self, deployment, reference):
         feeds, expected = reference
-        results, stats = run_sequential(deployment, [feeds])
+        results, stats = run(deployment, [feeds])
         for name, value in expected.items():
             assert np.allclose(results[0][name], value, atol=1e-2)
         assert stats.checkpoints_evaluated == 2  # both MVX branches
@@ -107,10 +107,14 @@ class TestDagScheduling:
             {"input": rng.normal(size=(1, 3, 8, 8)).astype(np.float32)}
             for _ in range(3)
         ]
-        results, _ = run_pipelined(deployment, batches)
+        results, _ = run(
+            deployment,
+            batches,
+            InferenceOptions(scheduling=SchedulingMode.PIPELINED),
+        )
         for name, value in expected.items():
             assert np.allclose(results[0][name], value, atol=1e-2)
-        seq_results, _ = run_sequential(deployment, batches)
+        seq_results, _ = run(deployment, batches)
         for a, b in zip(results, seq_results):
             for name in a:
                 assert np.allclose(a[name], b[name], atol=1e-5)

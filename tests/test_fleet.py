@@ -1,0 +1,436 @@
+"""Multi-tenant fleet: quotas, isolation, health, scaling, updates."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    FleetAutoscaler,
+    ModelFleet,
+    QuotaExceeded,
+    SLOClass,
+    TenantSpec,
+    TokenBucket,
+)
+from repro.mvx import MvteeSystem
+from repro.observability.health import HealthStatus
+from repro.observability.recorder import (
+    KIND_ROLLING_UPDATE,
+    KIND_VARIANT_REPLACED,
+)
+from repro.serving import Overloaded, ServingPolicy
+from repro.zoo import build_model
+
+
+def mlp_feeds(seed: int = 0):
+    return {
+        "input": np.random.default_rng(seed)
+        .standard_normal((1, 32))
+        .astype(np.float32)
+    }
+
+
+def cnn_feeds(seed: int = 0):
+    return {
+        "input": np.random.default_rng(seed)
+        .standard_normal((1, 3, 16, 16))
+        .astype(np.float32)
+    }
+
+
+def quick_spec(name: str, **overrides) -> TenantSpec:
+    defaults = dict(
+        name=name,
+        model="tiny-mlp",
+        verify_partitions=False,
+        verify_variants=False,
+    )
+    defaults.update(overrides)
+    return TenantSpec(**defaults)
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        clock.advance(1.0)  # 2 tokens back
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_capacity_is_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestTenantSpec:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="name"):
+            quick_spec("")
+        with pytest.raises(ValueError, match="weight"):
+            quick_spec("t", weight=0.0)
+        with pytest.raises(ValueError, match="deadline_s"):
+            quick_spec("t", deadline_s=0.0)
+        with pytest.raises(ValueError, match="min_workers"):
+            quick_spec("t", min_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            quick_spec("t", min_workers=3, max_workers=2)
+
+    def test_effective_deadline_follows_slo_class(self):
+        assert quick_spec("t").effective_deadline_s() is None
+        latency = quick_spec("t", slo=SLOClass.LATENCY)
+        assert (
+            latency.effective_deadline_s()
+            == TenantSpec.DEFAULT_LATENCY_DEADLINE_S
+        )
+        explicit = quick_spec("t", slo=SLOClass.LATENCY, deadline_s=0.5)
+        assert explicit.effective_deadline_s() == 0.5
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    fleet = ModelFleet(quota_rps_per_weight=10_000.0)
+    fleet.register(quick_spec("alpha", mvx_partitions={1: 2}))
+    fleet.register(
+        quick_spec("bravo", model="tiny-cnn", slo=SLOClass.LATENCY, weight=2.0)
+    )
+    yield fleet
+    fleet.shutdown()
+
+
+class TestFrontDoor:
+    def test_serves_both_tenants(self, fleet):
+        door = fleet.front_door
+        assert door.tenants() == ["alpha", "bravo"]
+        a = door.submit("alpha", mlp_feeds())
+        b = door.submit("bravo", cnn_feeds())
+        assert a.result(timeout=30.0) and b.result(timeout=30.0)
+
+    def test_unknown_tenant_rejected(self, fleet):
+        with pytest.raises(KeyError, match="unknown tenant"):
+            fleet.front_door.submit("zulu", mlp_feeds())
+
+    def test_duplicate_registration_rejected(self, fleet):
+        with pytest.raises(ValueError, match="already registered"):
+            fleet.register(quick_spec("alpha"))
+
+    def test_fleet_metrics_flow(self, fleet):
+        fleet.front_door.submit("alpha", mlp_feeds()).result(timeout=30.0)
+        registry = fleet.registry
+        assert registry.counter("mvtee_tenant_requests_total").value(
+            tenant="alpha"
+        ) >= 1
+        assert registry.gauge("mvtee_fleet_tenants").value() == 2
+        assert (
+            registry.histogram("mvtee_tenant_latency_seconds").count(
+                tenant="alpha"
+            )
+            >= 1
+        )
+        text = fleet.render_prometheus()
+        assert 'mvtee_tenant_p95_seconds{tenant="alpha"}' in text
+
+    def test_healthz_aggregates_worst_tenant(self, fleet):
+        report = fleet.healthz()
+        assert set(report.tenants) == {"alpha", "bravo"}
+        assert report.status is HealthStatus.OK
+        assert report.to_json()["status"] == "ok"
+
+
+class TestWeightedFairAdmission:
+    def test_burst_shed_lands_only_on_the_bursting_tenant(self):
+        clock = FakeClock()
+        fleet = ModelFleet(
+            quota_rps_per_weight=5.0, burst_s=1.0, clock=clock
+        )
+        try:
+            fleet.register(quick_spec("steady"))
+            fleet.register(quick_spec("bursty"))
+            shed = {"steady": 0, "bursty": 0}
+            served = {"steady": 0, "bursty": 0}
+            # steady stays inside its 5 rps budget; bursty fires 4x.
+            for _ in range(20):
+                clock.advance(0.2)
+                offered = [("steady", 1), ("bursty", 4)]
+                for name, count in offered:
+                    for _ in range(count):
+                        try:
+                            fleet.submit(name, mlp_feeds())
+                            served[name] += 1
+                        except QuotaExceeded:
+                            shed[name] += 1
+            assert shed["steady"] == 0
+            assert shed["bursty"] > 0
+            assert served["steady"] == 20
+            registry = fleet.registry
+            assert registry.counter(
+                "mvtee_tenant_requests_shed_total"
+            ).value(tenant="steady") == 0
+            assert registry.counter(
+                "mvtee_tenant_requests_shed_total"
+            ).value(tenant="bursty") == shed["bursty"]
+        finally:
+            fleet.shutdown()
+
+    def test_quota_exceeded_is_an_overload(self):
+        assert issubclass(QuotaExceeded, Overloaded)
+
+    def test_engine_overload_counts_as_tenant_shed(self):
+        fleet = ModelFleet(quota_rps_per_weight=10_000.0)
+        try:
+            fleet.register(
+                quick_spec(
+                    "tight",
+                    policy=ServingPolicy(capacity=1, num_workers=1),
+                )
+            )
+            entry = fleet.tenant("tight")
+            with entry.engine.quiesce(timeout=30.0):
+                overloads = 0
+                for i in range(8):
+                    try:
+                        fleet.submit("tight", mlp_feeds(i))
+                    except Overloaded:
+                        overloads += 1
+                assert overloads > 0
+                assert fleet.registry.counter(
+                    "mvtee_tenant_requests_shed_total"
+                ).value(tenant="tight") == overloads
+        finally:
+            fleet.shutdown()
+
+
+class TestTenantIsolation:
+    def test_fleet_outputs_bit_identical_to_standalone(self):
+        """The fleet adds routing, not math: same model, same bits."""
+        spec = quick_spec("iso", mvx_partitions={1: 2}, seed=7)
+        fleet = ModelFleet(quota_rps_per_weight=10_000.0)
+        try:
+            fleet.register(spec)
+            fleet_out = fleet.front_door.submit("iso", mlp_feeds(5)).result(
+                timeout=30.0
+            )
+        finally:
+            fleet.shutdown()
+        standalone = MvteeSystem.deploy(
+            build_model(spec.model, **spec.model_kwargs),
+            num_partitions=spec.num_partitions,
+            mvx_partitions=dict(spec.mvx_partitions),
+            seed=spec.seed,
+            verify_partitions=False,
+            verify_variants=False,
+        )
+        solo_out = standalone.infer(mlp_feeds(5))
+        assert set(fleet_out) == set(solo_out)
+        for name in solo_out:
+            np.testing.assert_array_equal(fleet_out[name], solo_out[name])
+
+    def test_tenants_have_isolated_registries(self, fleet):
+        fleet.front_door.submit("alpha", mlp_feeds()).result(timeout=30.0)
+        alpha = fleet.tenant("alpha").registry
+        bravo = fleet.tenant("bravo").registry
+        assert alpha is not bravo
+        assert alpha is not fleet.registry
+        assert alpha.counter("mvtee_requests_served_total").total() >= 1
+
+
+class TestAutoscaler:
+    def test_scales_up_on_queue_depth_and_down_when_idle(self):
+        fleet = ModelFleet(quota_rps_per_weight=10_000.0)
+        try:
+            fleet.register(
+                quick_spec(
+                    "elastic",
+                    min_workers=1,
+                    max_workers=3,
+                    policy=ServingPolicy(num_workers=1, capacity=64),
+                )
+            )
+            scaler = FleetAutoscaler(
+                fleet, scale_up_depth=4, idle_steps_to_shrink=2
+            )
+            entry = fleet.tenant("elastic")
+            with entry.engine.quiesce(timeout=30.0):
+                tickets = [
+                    fleet.submit("elastic", mlp_feeds(i)) for i in range(8)
+                ]
+                actions = scaler.step()
+            assert actions == [("elastic", 2)]
+            assert entry.engine.num_workers == 2
+            assert fleet.registry.counter(
+                "mvtee_autoscale_actions_total"
+            ).value(tenant="elastic", direction="up") == 1
+            for ticket in tickets:
+                ticket.result(timeout=30.0)
+            # Draining + idle steps walk the pool back down to min.
+            down = []
+            for _ in range(10):
+                down += scaler.step()
+                if entry.engine.num_workers == 1:
+                    break
+            assert entry.engine.num_workers == 1
+            assert ("elastic", 1) in down
+        finally:
+            fleet.shutdown()
+
+    def test_respects_max_workers_bound(self):
+        fleet = ModelFleet(quota_rps_per_weight=10_000.0)
+        try:
+            fleet.register(
+                quick_spec(
+                    "capped",
+                    max_workers=1,
+                    policy=ServingPolicy(num_workers=1, capacity=64),
+                )
+            )
+            scaler = FleetAutoscaler(fleet, scale_up_depth=2)
+            entry = fleet.tenant("capped")
+            with entry.engine.quiesce(timeout=30.0):
+                tickets = [
+                    fleet.submit("capped", mlp_feeds(i)) for i in range(4)
+                ]
+                assert scaler.step() == []
+            assert entry.engine.num_workers == 1
+            for ticket in tickets:
+                ticket.result(timeout=30.0)
+        finally:
+            fleet.shutdown()
+
+    def test_thread_lifecycle(self):
+        fleet = ModelFleet(quota_rps_per_weight=10_000.0)
+        try:
+            scaler = fleet.start_autoscaler(interval_s=0.01)
+            assert fleet.start_autoscaler() is scaler  # idempotent
+            time.sleep(0.05)
+        finally:
+            fleet.shutdown()
+        assert fleet._autoscaler is None
+
+
+class TestRollingUpdate:
+    def test_zero_dropped_tickets_under_open_loop_load(self):
+        fleet = ModelFleet(quota_rps_per_weight=100_000.0)
+        try:
+            fleet.register(quick_spec("live", mvx_partitions={1: 2}))
+            entry = fleet.tenant("live")
+            variants_before = dict(entry.system.live_variants())
+            stop = threading.Event()
+            outcomes = {"done": 0, "failed": []}
+            lock = threading.Lock()
+
+            def open_loop():
+                i = 0
+                while not stop.is_set():
+                    try:
+                        ticket = fleet.submit("live", mlp_feeds(i))
+                    except Overloaded:
+                        time.sleep(0.002)
+                        continue
+
+                    def note(t):
+                        with lock:
+                            if t.exception(timeout=0) is None:
+                                outcomes["done"] += 1
+                            else:
+                                outcomes["failed"].append(
+                                    t.exception(timeout=0)
+                                )
+
+                    ticket.add_done_callback(note)
+                    i += 1
+                    time.sleep(0.002)
+
+            producer = threading.Thread(target=open_loop, daemon=True)
+            producer.start()
+            time.sleep(0.1)
+            updated = fleet.rolling_update("live", seed=11)
+            time.sleep(0.1)
+            stop.set()
+            producer.join(timeout=10.0)
+            with entry.engine.quiesce(timeout=30.0):
+                pass  # let in-flight batches settle before counting
+            assert updated == list(range(len(entry.system.partition_set)))
+            with lock:
+                assert outcomes["failed"] == []
+                assert outcomes["done"] > 0
+            # Every variant id was replaced by the update.
+            variants_after = entry.system.live_variants()
+            for index, before_ids in variants_before.items():
+                assert not set(before_ids) & set(variants_after[index])
+        finally:
+            fleet.shutdown()
+
+    def test_recorder_and_ledger_evidence(self):
+        fleet = ModelFleet(quota_rps_per_weight=10_000.0)
+        try:
+            fleet.register(quick_spec("audited", mvx_partitions={1: 2}))
+            fleet.front_door.submit("audited", mlp_feeds()).result(
+                timeout=30.0
+            )
+            fleet.rolling_update("audited", seed=5)
+            fleet.recorder.verify_chain()
+            replaced = fleet.recorder.events(KIND_VARIANT_REPLACED)
+            entry = fleet.tenant("audited")
+            assert len(replaced) >= entry.system.config.total_variants()
+            (update_event,) = fleet.recorder.events(KIND_ROLLING_UPDATE)
+            assert update_event.data["tenant"] == "audited"
+            assert update_event.data["partitions"] == list(
+                range(len(entry.system.partition_set))
+            )
+            entry.system.monitor.ledger.verify_chain()
+            assert fleet.registry.counter(
+                "mvtee_rolling_updates_total"
+            ).value(tenant="audited") == 1
+            # Serving still works on the fresh variant group.
+            assert fleet.front_door.submit("audited", mlp_feeds()).result(
+                timeout=30.0
+            )
+        finally:
+            fleet.shutdown()
+
+
+class TestFleetLifecycle:
+    def test_context_manager_shuts_down(self):
+        with ModelFleet(quota_rps_per_weight=10_000.0) as fleet:
+            fleet.register(quick_spec("brief"))
+            assert fleet.front_door.submit("brief", mlp_feeds()).result(
+                timeout=30.0
+            )
+        assert fleet.tenants() == []
+
+    def test_fleet_deploys_with_sinks_not_legacy_kwargs(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with ModelFleet(quota_rps_per_weight=10_000.0) as fleet:
+                fleet.register(quick_spec("modern"))
+                fleet.front_door.submit("modern", mlp_feeds()).result(
+                    timeout=30.0
+                )

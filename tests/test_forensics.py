@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.mvx import MvteeSystem, ResponseAction
-from repro.observability import MetricsRegistry, Tracer
+from repro.observability import MetricsRegistry, Sinks, Tracer
 from repro.observability.forensics import (
     IncidentStore,
     analyze_mismatch,
@@ -145,9 +145,9 @@ class TestEndToEndForensics:
             seed=0,
             verify_partitions=False,
             verify_variants=False,
-            recorder=recorder,
-            tracer=tracer,
-            metrics=MetricsRegistry(),
+            sinks=Sinks(
+                tracer=tracer, metrics=MetricsRegistry(), recorder=recorder
+            ),
         )
         system.monitor.response_action = ResponseAction.DROP_VARIANT
         victim = system.monitor.stage_connections(1)[1]
@@ -216,7 +216,7 @@ class TestCrashForensics:
             seed=0,
             verify_partitions=False,
             verify_variants=False,
-            recorder=FlightRecorder(),
+            sinks=Sinks(recorder=FlightRecorder()),
         )
         system.monitor.response_action = ResponseAction.DROP_VARIANT
         victim = system.monitor.stage_connections(1)[0]

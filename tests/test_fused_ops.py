@@ -89,9 +89,9 @@ class TestFusedAsMvxVariant:
         pool = build_pool(ps, specs, verify=True)
         config = MvxConfig.selective(2, {0: 2})
         _, monitor, _, _ = bootstrap_deployment(pool, config)
-        from repro.mvx.scheduler import run_sequential
+        from repro.mvx.scheduler import run
 
-        results, stats = run_sequential(monitor, [{"input": small_input}])
+        results, stats = run(monitor, [{"input": small_input}])
         name = next(iter(small_resnet_reference))
         assert np.allclose(results[0][name], small_resnet_reference[name], atol=1e-2)
         assert stats.divergences == 0

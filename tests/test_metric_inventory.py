@@ -16,12 +16,14 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.fleet import ModelFleet, SLOClass, TenantSpec
 from repro.mvx import FabricTransport, MvteeSystem, ResponseAction
 from repro.mvx.adaptive import AdaptiveController
 from repro.mvx.service import InferenceService
 from repro.observability import (
     FlightRecorder,
     MetricsRegistry,
+    Sinks,
     Tracer,
     get_global_registry,
     set_global_registry,
@@ -62,9 +64,11 @@ def exercised_registry():
             verify_partitions=False,
             verify_variants=False,
             transport=FabricTransport(),
-            tracer=Tracer(),
-            metrics=registry,
-            recorder=FlightRecorder(),
+            sinks=Sinks(
+                tracer=Tracer(),
+                metrics=registry,
+                recorder=FlightRecorder(),
+            ),
         )
         system.monitor.response_action = ResponseAction.DROP_VARIANT
         feeds = {
@@ -102,7 +106,7 @@ def exercised_registry():
             verify_partitions=False,
             verify_variants=False,
             execution="process",
-            metrics=registry,
+            sinks=Sinks(metrics=registry),
         )
         try:
             cluster_system.infer(feeds)
@@ -112,6 +116,33 @@ def exercised_registry():
             cluster_system.infer(feeds)
         finally:
             cluster_system.shutdown()
+        # A fleet pass: weighted-fair admission, tenant metrics, the
+        # autoscaler and a rolling update -- against the same registry
+        # so the mvtee_tenant_*/fleet names join the exercised set.
+        fleet = ModelFleet(quota_rps_per_weight=1000.0, registry=registry)
+        try:
+            fleet.register(
+                TenantSpec(
+                    name="inventory",
+                    model="tiny-mlp",
+                    slo=SLOClass.LATENCY,
+                    verify_partitions=False,
+                    verify_variants=False,
+                )
+            )
+            tenant_feeds = {
+                "input": np.random.default_rng(1)
+                .normal(size=(1, 32))
+                .astype(np.float32)
+            }
+            fleet.front_door.submit("inventory", tenant_feeds).result(
+                timeout=30.0
+            )
+            fleet.start_autoscaler(interval_s=60.0).step()
+            fleet.rolling_update("inventory", seed=3)
+            fleet.healthz()
+        finally:
+            fleet.shutdown()
         yield registry
     finally:
         set_global_registry(saved)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graph.dtypes import DataType
-from repro.mvx.scheduler import run_sequential
+from repro.mvx.scheduler import run
 from repro.simulation import CostModel
 from repro.simulation.pipeline import StagePlan, VariantSim
 
@@ -54,7 +54,7 @@ class TestDataTypes:
 
 class TestRunStatsTimings:
     def test_stage_timings_recorded(self, deployed_system, small_input):
-        results, stats = run_sequential(deployed_system.monitor, [{"input": small_input}])
+        results, stats = run(deployed_system.monitor, [{"input": small_input}])
         timings = stats.extra["stage_seconds"]
         assert set(timings) == {0, 1, 2}
         assert all(t > 0 for t in timings.values())

@@ -9,7 +9,7 @@ import pytest
 
 from repro.attacks.cves import TABLE1_CVES, craft_malicious_input
 from repro.mvx import MonitorError, MvteeSystem, ResponseAction
-from repro.mvx.scheduler import run_pipelined, run_sequential
+from repro.mvx.scheduler import InferenceOptions, SchedulingMode, run
 from repro.mvx.wire import decode_message, encode_message
 from repro.runtime.faults import FaultInjector
 
@@ -92,8 +92,12 @@ class TestInference:
             {"input": rng.normal(size=(1, 3, 16, 16)).astype(np.float32)}
             for _ in range(4)
         ]
-        seq, _ = run_sequential(deployed_system.monitor, batches)
-        pipe, _ = run_pipelined(deployed_system.monitor, batches)
+        seq, _ = run(deployed_system.monitor, batches)
+        pipe, _ = run(
+            deployed_system.monitor,
+            batches,
+            InferenceOptions(scheduling=SchedulingMode.PIPELINED),
+        )
         for a, b in zip(seq, pipe):
             for name in a:
                 assert np.allclose(a[name], b[name], atol=1e-5)

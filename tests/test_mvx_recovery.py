@@ -80,9 +80,9 @@ class TestRecovery:
         snapshot_monitor(system.monitor, store)
         monitor = restart_monitor(system, store)
         assert monitor.config == system.monitor.config
-        from repro.mvx.scheduler import run_sequential
+        from repro.mvx.scheduler import run
 
-        results, stats = run_sequential(monitor, [{"input": small_input}])
+        results, stats = run(monitor, [{"input": small_input}])
         name = next(iter(reference))
         assert np.allclose(results[0][name], reference[name], atol=1e-5)
         assert stats.divergences == 0

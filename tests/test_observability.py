@@ -12,8 +12,6 @@ from repro.mvx import (
     InferenceService,
     SchedulingMode,
     run,
-    run_pipelined,
-    run_sequential,
     validate_feeds,
 )
 from repro.observability import (
@@ -24,6 +22,7 @@ from repro.observability import (
     JsonlSpanExporter,
     MetricsRegistry,
     NullTracer,
+    Sinks,
     Tracer,
     format_span_tree,
 )
@@ -284,8 +283,7 @@ class TestUnifiedInferenceApi:
         options = InferenceOptions(
             scheduling=SchedulingMode.PIPELINED,
             mode=ExecutionMode.ASYNC,
-            tracer=tracer,
-            metrics=registry,
+            sinks=Sinks(tracer=tracer, metrics=registry),
         )
         results = deployed_system.infer_batches(_batches(3, rng), options)
         stats = deployed_system.last_stats
@@ -311,7 +309,7 @@ class TestUnifiedInferenceApi:
         rng = np.random.default_rng(8)
         registry = MetricsRegistry()
         deployed_system.infer_batches(
-            _batches(2, rng), InferenceOptions(metrics=registry)
+            _batches(2, rng), InferenceOptions(sinks=Sinks(metrics=registry))
         )
         stats = deployed_system.last_stats
         hist = registry.histogram("mvtee_stage_seconds")
@@ -340,7 +338,9 @@ class TestUnifiedInferenceApi:
         victim = system.monitor.stage_connections(1)[0]
         FaultInjector(victim.host.runtime).arm_backend_bitflip(bit=30)
         rng = np.random.default_rng(9)
-        system.infer_batches(_batches(2, rng), InferenceOptions(metrics=registry))
+        system.infer_batches(
+            _batches(2, rng), InferenceOptions(sinks=Sinks(metrics=registry))
+        )
         assert registry.counter("mvtee_divergences_total").value(partition=1) >= 1
         assert (
             registry.counter("mvtee_recovery_actions_total").value(
@@ -350,24 +350,19 @@ class TestUnifiedInferenceApi:
         )
         assert registry.counter("mvtee_checkpoints_total").total() >= 1
 
-    def test_legacy_wrappers_are_deprecated_but_equivalent(self, deployed_system):
-        rng = np.random.default_rng(10)
-        batches = _batches(1, rng)
-        with pytest.warns(DeprecationWarning):
-            seq, _ = run_sequential(deployed_system.monitor, batches)
-        with pytest.warns(DeprecationWarning):
-            pipe, _ = run_pipelined(deployed_system.monitor, batches)
-        new, _ = run(deployed_system.monitor, batches)
-        (out_name,) = new[0]
-        np.testing.assert_allclose(seq[0][out_name], new[0][out_name])
-        np.testing.assert_allclose(pipe[0][out_name], new[0][out_name])
+    def test_legacy_entry_points_are_gone(self):
+        # PR 1's run_sequential/run_pipelined wrappers and the
+        # infer_batches(pipelined=) flag completed their deprecation
+        # cycle; the unified run(options) surface is the only spelling.
+        import repro.mvx.scheduler as scheduler
 
-    def test_options_and_pipelined_flag_are_exclusive(self, deployed_system):
+        assert not hasattr(scheduler, "run_sequential")
+        assert not hasattr(scheduler, "run_pipelined")
+
+    def test_infer_batches_rejects_pipelined_kwarg(self, deployed_system):
         rng = np.random.default_rng(11)
-        with pytest.raises(ValueError, match="InferenceOptions"):
-            deployed_system.infer_batches(
-                _batches(1, rng), InferenceOptions(), pipelined=True
-            )
+        with pytest.raises(TypeError):
+            deployed_system.infer_batches(_batches(1, rng), pipelined=True)
 
 
 class TestServiceReadThrough:

@@ -8,7 +8,7 @@ import pytest
 from repro.mvx import ResponseAction
 from repro.mvx.bootstrap import bootstrap_deployment
 from repro.mvx.config import MvxConfig
-from repro.mvx.scheduler import run_sequential
+from repro.mvx.scheduler import run
 from repro.offline import OfflineTool, ToolConfig
 from repro.offline.bundle import load_bundle, save_bundle
 from repro.runtime.faults import FaultInjector
@@ -63,7 +63,7 @@ class TestBundleRoundtrip:
         config = MvxConfig.selective(3, {1: 3})
         _, monitor, _, _ = bootstrap_deployment(loaded.pool, config)
         monitor.response_action = ResponseAction.DROP_VARIANT
-        results, stats = run_sequential(monitor, [{"input": small_input}])
+        results, stats = run(monitor, [{"input": small_input}])
         name = next(iter(small_resnet_reference))
         assert np.allclose(results[0][name], small_resnet_reference[name], atol=1e-2)
         assert stats.divergences == 0

@@ -51,7 +51,7 @@ class TestSensitivityPartition:
         from repro.mvx import MvteeSystem
         from repro.mvx.config import MvxConfig
         from repro.mvx.bootstrap import bootstrap_deployment
-        from repro.mvx.scheduler import run_sequential
+        from repro.mvx.scheduler import run
         from repro.variants.pool import build_pool, diversified_specs
 
         plan = sensitivity_partition(model, 4, tail_nodes, seed=0)
@@ -64,7 +64,7 @@ class TestSensitivityPartition:
         ]
         pool = build_pool(plan.partition_set, specs, verify=False)
         _, monitor, _, _ = bootstrap_deployment(pool, config)
-        results, stats = run_sequential(monitor, [{"input": small_input}])
+        results, stats = run(monitor, [{"input": small_input}])
         assert stats.checkpoints_evaluated == len(plan.sensitive_partitions)
 
     def test_unknown_sensitive_node_rejected(self, model):

@@ -17,6 +17,7 @@ from repro.mvx import (
 from repro.mvx.voting import VariantOutput
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.recorder import KIND_ENGINE_ERROR, FlightRecorder
+from repro.observability.sinks import Sinks
 from repro.runtime.faults import FaultInjector
 from repro.serving import (
     DeadlineExceeded,
@@ -283,7 +284,7 @@ class TestWorkerFaultContainment:
         recorder = FlightRecorder()
         engine = system.serving_engine(
             policy=ServingPolicy(max_batch_size=8, num_workers=1),
-            recorder=recorder,
+            sinks=Sinks(recorder=recorder),
         )
         engine._executor = _FlakyDispatcher()
         with engine:
@@ -412,9 +413,14 @@ class TestParallelStageExecutor:
         monitor = _StubMonitor({"a": [good], "b": [good]}, delay_s=0.2)
         connections = [_StubConnection("a"), _StubConnection("b")]
         with ParallelStageExecutor(4) as executor:
-            executor.deadline = time.monotonic() + 0.02
             with pytest.raises(DeadlineExceeded):
-                executor.dispatch(monitor, connections, 0, {})
+                executor.dispatch(
+                    monitor,
+                    connections,
+                    0,
+                    {},
+                    deadline=time.monotonic() + 0.02,
+                )
 
     def test_single_connection_stays_serial(self):
         good = {"t": np.ones((1,), dtype=np.float32)}
@@ -446,7 +452,7 @@ class TestParallelStageExecutor:
             bound = executor.bind(time.monotonic() + 0.02)
             with pytest.raises(DeadlineExceeded):
                 bound.dispatch(monitor, connections, 0, {})
-            assert executor.deadline is None  # shared field never written
+            assert not hasattr(executor, "deadline")  # no shared deadline state
 
     def test_dispatcher_threads_run_concurrently(self, system):
         # Three replicas sleeping 30ms each: serial floor is 90ms, the
@@ -464,3 +470,126 @@ class TestParallelStageExecutor:
         serial_wall = time.monotonic() - start
         assert serial_wall > 0.09
         assert parallel_wall < serial_wall
+
+
+class TestServingPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity": 0},
+            {"capacity": -1},
+            {"max_batch_size": 0},
+            {"max_wait_s": -0.001},
+            {"max_workers": 0},
+            {"num_workers": 0},
+        ],
+    )
+    def test_rejects_out_of_range_fields(self, kwargs):
+        (field,) = kwargs
+        with pytest.raises(ValueError, match=field):
+            ServingPolicy(**kwargs)
+
+    def test_boundary_values_accepted(self):
+        policy = ServingPolicy(
+            capacity=1, max_batch_size=1, max_wait_s=0.0, max_workers=1,
+            num_workers=1,
+        )
+        assert policy.capacity == 1
+
+
+class TestResizeAndQuiesce:
+    def test_resize_up_spawns_workers_and_updates_gauge(self, system):
+        engine = system.serving_engine(
+            policy=ServingPolicy(num_workers=1)
+        ).start()
+        try:
+            assert engine.num_workers == 1
+            engine.resize(3)
+            assert engine.num_workers == 3
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                alive = sum(w.is_alive() for w in engine._workers.values())
+                if alive == 3:
+                    break
+                time.sleep(0.01)
+            assert sum(w.is_alive() for w in engine._workers.values()) == 3
+            assert engine.registry.gauge("mvtee_engine_workers").value() == 3
+            assert engine.submit(feeds_for(0)).result(timeout=30.0)
+        finally:
+            engine.stop()
+
+    def test_resize_down_retires_extra_workers(self, system):
+        engine = system.serving_engine(
+            policy=ServingPolicy(num_workers=3)
+        ).start()
+        try:
+            engine.resize(1)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                alive = sum(w.is_alive() for w in engine._workers.values())
+                if alive == 1:
+                    break
+                time.sleep(0.01)
+            assert sum(w.is_alive() for w in engine._workers.values()) == 1
+            # The surviving worker still serves.
+            assert engine.submit(feeds_for(1)).result(timeout=30.0)
+        finally:
+            engine.stop()
+
+    def test_resize_validates_and_refuses_after_stop(self, system):
+        engine = system.serving_engine()
+        with pytest.raises(ValueError, match="num_workers"):
+            engine.resize(0)
+        engine.stop()
+        with pytest.raises(EngineStopped):
+            engine.resize(2)
+
+    def test_quiesce_drains_inflight_and_holds_admission_open(self, system):
+        engine = system.serving_engine(
+            policy=ServingPolicy(max_batch_size=1, num_workers=2)
+        ).start()
+        try:
+            before = engine.submit(feeds_for(0))
+            assert before.result(timeout=30.0)
+            with engine.quiesce(timeout=30.0):
+                # Nothing is in flight; submissions queue but do not run.
+                queued = engine.submit(feeds_for(1))
+                time.sleep(0.15)
+                assert not queued.done()
+                assert engine.queue_depth >= 1
+            # Released: the queued request now executes normally.
+            assert queued.result(timeout=30.0)
+            assert queued.state is TicketState.DONE
+        finally:
+            engine.stop()
+
+    def test_quiesce_times_out_when_batch_is_wedged(self, system):
+        blocking = _BlockingSystem(system)
+        engine = ServingEngine(
+            blocking, policy=ServingPolicy(max_batch_size=8, num_workers=1)
+        )
+        ticket = engine.submit(feeds_for(0))
+        engine.start()
+        try:
+            assert blocking.entered.wait(timeout=10.0)
+            with pytest.raises(TimeoutError, match="quiesce"):
+                with engine.quiesce(timeout=0.1):
+                    pass
+            blocking.release.set()
+            assert ticket.result(timeout=30.0)
+            # The failed quiesce left the engine unpaused.
+            assert engine.submit(feeds_for(1)).result(timeout=30.0)
+        finally:
+            engine.stop()
+
+    def test_stop_wakes_a_paused_engine_and_drains(self, system):
+        engine = system.serving_engine(
+            policy=ServingPolicy(num_workers=2)
+        ).start()
+        with engine.quiesce(timeout=10.0):
+            pending = engine.submit(feeds_for(0))
+            # Stop overrides the pause: workers wake, drain the admitted
+            # request, and exit -- nothing deadlocks, nothing is lost.
+            engine.stop(timeout=10.0)
+        assert not engine._workers
+        assert pending.state is TicketState.DONE

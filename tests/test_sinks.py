@@ -1,0 +1,170 @@
+"""The Sinks bundle and the one-cycle deprecation of the kwarg trio."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.mvx import InferenceOptions, MvteeSystem
+from repro.observability import (
+    FlightRecorder,
+    MetricsRegistry,
+    Sinks,
+    Tracer,
+)
+from repro.observability.sinks import coerce_sinks
+from repro.serving import ServingEngine
+
+
+@pytest.fixture()
+def system(small_resnet):
+    return MvteeSystem.deploy(
+        small_resnet,
+        num_partitions=3,
+        mvx_partitions={1: 2},
+        seed=0,
+        verify_partitions=False,
+        verify_variants=False,
+    )
+
+
+def _feeds(seed: int = 0):
+    return {
+        "input": np.random.default_rng(seed)
+        .normal(size=(1, 3, 16, 16))
+        .astype(np.float32)
+    }
+
+
+class TestSinksBundle:
+    def test_merged_over_fills_only_missing_fields(self):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        recorder = FlightRecorder()
+        partial = Sinks(tracer=tracer)
+        base = Sinks(tracer=Tracer(), metrics=metrics, recorder=recorder)
+        merged = partial.merged_over(base)
+        assert merged.tracer is tracer  # own field wins
+        assert merged.metrics is metrics
+        assert merged.recorder is recorder
+
+    def test_with_metrics_replaces_only_metrics(self):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        bundle = Sinks(tracer=tracer).with_metrics(metrics)
+        assert bundle.tracer is tracer
+        assert bundle.metrics is metrics
+
+    def test_coerce_rejects_mixing_bundle_and_legacy(self):
+        with pytest.raises(ValueError, match="not both"):
+            coerce_sinks(Sinks(), owner="test", metrics=MetricsRegistry())
+
+    def test_coerce_warns_exactly_once_for_any_legacy_mix(self):
+        with pytest.warns(DeprecationWarning) as record:
+            coerce_sinks(
+                None,
+                owner="test",
+                tracer=Tracer(),
+                metrics=MetricsRegistry(),
+                recorder=FlightRecorder(),
+            )
+        assert len(record) == 1
+        assert "test" in str(record[0].message)
+
+
+class TestBackCompatSpellings:
+    """Old kwarg spellings keep working for one deprecation cycle."""
+
+    def test_deploy_legacy_kwargs_warn_once_and_work(self, small_resnet):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder()
+        with pytest.warns(DeprecationWarning) as record:
+            system = MvteeSystem.deploy(
+                small_resnet,
+                num_partitions=3,
+                mvx_partitions={1: 2},
+                seed=0,
+                verify_partitions=False,
+                verify_variants=False,
+                metrics=registry,
+                recorder=recorder,
+            )
+        assert len(record) == 1
+        assert system.monitor.metrics is registry
+        assert system.monitor.recorder is recorder
+
+    def test_deploy_sinks_spelling_is_warning_free(self, small_resnet):
+        registry = MetricsRegistry()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            system = MvteeSystem.deploy(
+                small_resnet,
+                num_partitions=3,
+                mvx_partitions={1: 2},
+                seed=0,
+                verify_partitions=False,
+                verify_variants=False,
+                sinks=Sinks(metrics=registry),
+            )
+        assert system.monitor.metrics is registry
+
+    def test_inference_options_legacy_kwargs_warn_once_and_work(self, system):
+        registry = MetricsRegistry()
+        with pytest.warns(DeprecationWarning) as record:
+            options = InferenceOptions(metrics=registry, tracer=Tracer())
+        assert len(record) == 1
+        system.infer_batches([_feeds()], options)
+        assert registry.counter("mvtee_checkpoints_total").total() >= 1
+
+    def test_inference_options_sinks_normalizes_trio_fields(self, system):
+        registry, tracer = MetricsRegistry(), Tracer()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            options = InferenceOptions(
+                sinks=Sinks(tracer=tracer, metrics=registry)
+            )
+        # The bundle is the API; the trio stays readable for internals.
+        assert options.metrics is registry
+        assert options.tracer is tracer
+        system.infer_batches([_feeds()], options)
+        assert registry.counter("mvtee_checkpoints_total").total() >= 1
+
+    def test_serving_engine_legacy_registry_kwarg_warns_once(self, system):
+        registry = MetricsRegistry()
+        with pytest.warns(DeprecationWarning) as record:
+            engine = ServingEngine(system, registry=registry)
+        assert len(record) == 1
+        assert engine.registry is registry
+
+    def test_system_serving_engine_sinks_spelling(self, system):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = system.serving_engine(
+                sinks=Sinks(metrics=registry, recorder=recorder)
+            )
+        assert engine.registry is registry
+        assert engine.recorder is recorder
+        with engine:
+            assert engine.submit(_feeds()).result(timeout=30.0)
+
+    def test_system_serving_engine_legacy_kwargs_warn_once(self, system):
+        registry = MetricsRegistry()
+        with pytest.warns(DeprecationWarning) as record:
+            engine = system.serving_engine(
+                registry=registry, recorder=FlightRecorder()
+            )
+        assert len(record) == 1
+        assert engine.registry is registry
+
+    def test_legacy_and_sinks_equivalent_outputs(self, system):
+        feeds = _feeds(3)
+        with pytest.warns(DeprecationWarning):
+            legacy_opts = InferenceOptions(metrics=MetricsRegistry())
+        legacy = system.infer_batches([feeds], legacy_opts)[0]
+        modern = system.infer_batches(
+            [feeds], InferenceOptions(sinks=Sinks(metrics=MetricsRegistry()))
+        )[0]
+        (name,) = modern
+        np.testing.assert_array_equal(legacy[name], modern[name])
