@@ -133,6 +133,88 @@ def build_report() -> str:
             )
         lines.append("")
 
+    cluster = _load("BENCH_cluster")
+    if cluster:
+        lines += [
+            "## Serving — process cluster vs in-process",
+            "",
+            "| mode | rps | p50 | p95 |",
+            "|---|---|---|---|",
+        ]
+        for mode in ("inprocess", "process_cluster"):
+            r = cluster.get(mode)
+            if r:
+                lines.append(
+                    f"| {mode} | {r['rps']:.2f} | {r['p50_ms']:.0f} ms "
+                    f"| {r['p95_ms']:.0f} ms |"
+                )
+        lines += [
+            "",
+            f"- outputs bit-identical across modes: {cluster.get('outputs_equal')}",
+            "",
+        ]
+
+    inflight = _load("BENCH_inflight")
+    if inflight:
+        serial = inflight["serial"]
+        overlapped = inflight["overlapped"]
+        lines += [
+            "## Serving — concurrent micro-batches",
+            "",
+            f"- serial ({serial['num_workers']} worker): {serial['rps']:.2f} rps, "
+            f"p95 {serial['p95_ms']:.0f} ms",
+            f"- overlapped ({overlapped['num_workers']} workers): "
+            f"{overlapped['rps']:.2f} rps, p95 {overlapped['p95_ms']:.0f} ms",
+            f"- throughput speedup: {inflight['rps_speedup']:.2f}x, "
+            f"p95 improvement: {inflight['p95_improvement']:.2f}x",
+            "",
+        ]
+
+    fleet = _load("BENCH_fleet")
+    if fleet:
+        lines += [
+            "## Serving — multi-tenant isolation under burst",
+            "",
+            "| phase | tenant | offered rps | served | shed | p99 |",
+            "|---|---|---|---|---|---|",
+        ]
+        for phase in ("baseline", "burst"):
+            for tenant, r in sorted(fleet.get(phase, {}).items()):
+                lines.append(
+                    f"| {phase} | {tenant} | {r['offered_rps']:.0f} | {r['served']} "
+                    f"| {r['shed']} | {r['p99_ms']:.0f} ms |"
+                )
+        lines += [
+            "",
+            f"- victim-tenant p99 regression under neighbour burst: "
+            f"{fleet['alpha_p99_regression']:.2f}x",
+            "",
+        ]
+
+    chaos = _load("BENCH_chaos")
+    if chaos:
+        lines += [
+            "## Chaos — SLO floor under fault campaign",
+            "",
+            f"- campaign passed: {chaos['passed']} "
+            f"(seed {chaos['seed']}, {len(chaos['verdicts'])} injections, "
+            f"baseline p99 {(chaos.get('baseline_p99_s') or 0) * 1000:.0f} ms)",
+            "",
+            "| injection | class | outcome | culprit | recovery |",
+            "|---|---|---|---|---|",
+        ]
+        for v in chaos["verdicts"]:
+            recovery = (
+                f"{v['recovery_s']:.2f}s" if v.get("recovery_s") is not None else "—"
+            )
+            culprit = {True: "yes", False: "WRONG", None: "n/a"}[v.get("culprit_correct")]
+            lines.append(
+                f"| {v['name']} | {v['fault_class']} | {v['outcome']} "
+                f"| {culprit} | {recovery} |"
+            )
+        silent = sum(v["silent_corruptions"] for v in chaos["verdicts"])
+        lines += ["", f"- silent corruptions across the campaign: {silent}", ""]
+
     return "\n".join(lines)
 
 

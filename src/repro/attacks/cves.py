@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.graph.node import Node
 from repro.runtime.base import InferenceRuntime
-from repro.runtime.faults import FaultInjector
+from repro.runtime.faults import apply_fault_spec
 
 __all__ = ["CveCase", "Impact", "TABLE1_CVES", "VulnClass", "MALICIOUS_MARKER"]
 
@@ -78,6 +78,32 @@ class CveCase:
         """Whether this runtime contains the vulnerable implementation."""
         return runtime.config.engine == self.vulnerable_engine
 
+    def to_fault_spec(self) -> dict:
+        """The wire-safe spec arming this CVE (see ``apply_fault_spec``).
+
+        Crash CVEs kill the vulnerable kernel on the malicious path;
+        corruption CVEs return a deterministic wrong (but finite) result
+        on the malicious path only -- the uninitialized-memory /
+        overflowed-index read outcome.
+        """
+        if self.crashes:
+            return {
+                "kind": "op-crash",
+                "op": self.vulnerable_op,
+                "threshold": MALICIOUS_THRESHOLD,
+                "message": f"{self.cve_id} ({self.vuln_class.name}) triggered",
+            }
+        return {
+            "kind": "op-corrupt",
+            "op": self.vulnerable_op,
+            "threshold": MALICIOUS_THRESHOLD,
+            "value": 42.0,
+        }
+
+    def disarm_spec(self) -> dict:
+        """The spec reverting :meth:`to_fault_spec` on one runtime."""
+        return {"kind": "op-clear", "op": self.vulnerable_op}
+
     def arm(self, runtime: InferenceRuntime) -> bool:
         """Inject the vulnerability into a runtime if it is affected.
 
@@ -86,24 +112,20 @@ class CveCase:
         """
         if not self.affects(runtime):
             return False
-        injector = FaultInjector(runtime)
-        if self.crashes:
-            injector.arm_op_crash(
-                self.vulnerable_op,
-                _input_is_malicious,
-                message=f"{self.cve_id} ({self.vuln_class.name}) triggered",
-            )
-        else:
-            # Silent corruption: the buggy kernel returns a deterministic
-            # wrong (but finite) result on the malicious path only -- the
-            # uninitialized-memory / overflowed-index read outcome.
-            def corrupt(node, inputs, outputs, _case=self):
-                if _input_is_malicious(node, inputs):
-                    return [np.full_like(out, 42.0) for out in outputs]
-                return outputs
+        apply_fault_spec(runtime, self.to_fault_spec())
+        return True
 
-            assert runtime.kernel_context is not None
-            runtime.kernel_context.op_hooks[self.vulnerable_op] = corrupt
+    def disarm(self, runtime: InferenceRuntime) -> bool:
+        """Remove this CVE's fault from a runtime it was armed on.
+
+        Narrow by construction: only the vulnerable operator's hook is
+        cleared, so other armed faults survive.  Returns True when the
+        runtime was affected (mirror of :meth:`arm`); a never-armed
+        affected runtime is a harmless no-op.
+        """
+        if not self.affects(runtime):
+            return False
+        apply_fault_spec(runtime, self.disarm_spec())
         return True
 
 

@@ -53,10 +53,15 @@ class FrameFlipAttack:
         return list(self.affected_variants)
 
     def lift(self, monitor: Monitor) -> None:
-        """Remove the injected fault (for repeated experiments)."""
+        """Remove the injected fault (for repeated experiments).
+
+        Narrow restore: only the BLAS-level fault is cleared -- lifting
+        a FrameFlip must not wipe unrelated faults (e.g. an armed CVE
+        op hook) from the same runtime mid-campaign.
+        """
         for connections in monitor.connections.values():
             for connection in connections:
                 runtime = connection.host.runtime
                 if runtime is not None and connection.variant_id in self.affected_variants:
-                    FaultInjector(runtime).disarm()
+                    FaultInjector(runtime).disarm_backend()
         self.affected_variants.clear()

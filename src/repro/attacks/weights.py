@@ -58,3 +58,27 @@ class WeightBitFlipAttack:
                     flat[index] ^= np.uint32(1 << self.bit)
                     self.flipped.append((tensor, index))
         return list(self.flipped)
+
+    def revert(self, monitor: Monitor) -> int:
+        """Undo the launched flips (XOR is its own inverse).
+
+        Re-applies the recorded (tensor, index) flips to the same
+        variant's runtime, restoring the original weights bit-exactly.
+        Returns the number of flips reverted; 0 if the variant is no
+        longer deployed (a replacement variant was re-bootstrapped from
+        the clean artifact, so there is nothing to undo).
+        """
+        reverted = 0
+        for connections in monitor.connections.values():
+            for connection in connections:
+                if connection.variant_id != self.target_variant:
+                    continue
+                runtime = connection.host.runtime
+                if runtime is None or runtime.model is None:
+                    continue
+                for tensor, index in self.flipped:
+                    flat = runtime.model.initializers[tensor].reshape(-1).view(np.uint32)
+                    flat[index] ^= np.uint32(1 << self.bit)
+                    reverted += 1
+        self.flipped.clear()
+        return reverted

@@ -1,0 +1,87 @@
+"""Continuous chaos + attack campaigns against the live serving stack.
+
+The deployment's security story (§6.5) is a list of attacks the
+architecture defeats; the serving story (§6.4) is a latency SLO.  This
+package welds the two together into a *continuously asserted floor*:
+run the real attacks and real infrastructure faults against a live,
+loaded deployment and require -- per injection, not on average -- that
+
+- every fault is **detected** with correct culprit attribution (or
+  shows unambiguously in telemetry where no voting surface exists),
+- or better, **masked**: clients kept getting bit-correct answers,
+- **zero** wrong outputs are ever served (silent corruption fails the
+  whole campaign),
+- p99 latency recovers within the restart budget after every
+  worker-kill,
+- and the flight-recorder hash chain still verifies at every step.
+
+Layering:
+
+- :mod:`repro.chaos.injectors` -- every attack from
+  :mod:`repro.attacks` plus cluster-layer infrastructure faults
+  (SIGKILL, SIGSTOP wedge, slowloris latency, shm starvation) as
+  idempotent inject/restore pairs;
+- :mod:`repro.chaos.campaign` -- the seeded scheduler driving one
+  injection at a time under open-loop load, with settle windows,
+  healing, and recovery tracking;
+- :mod:`repro.chaos.verdict` -- the pure judgment layer
+  (detected / masked / missed / silent-corruption / error);
+- :mod:`repro.chaos.report` -- campaign aggregation and the
+  ``mvtee_chaos_*`` metric family.
+"""
+
+from repro.chaos.campaign import ChaosCampaign, PlannedInjection
+from repro.chaos.injectors import (
+    ChaosInjector,
+    CveInjector,
+    ForkInjector,
+    FrameFlipInjector,
+    InjectionError,
+    InjectionTarget,
+    RollbackInjector,
+    ShmStarvationInjector,
+    SlowVariantInjector,
+    WeightFlipInjector,
+    WorkerKillInjector,
+    WorkerWedgeInjector,
+)
+from repro.chaos.report import CampaignReport, register_chaos_metrics
+from repro.chaos.verdict import (
+    OUTCOME_DETECTED,
+    OUTCOME_ERROR,
+    OUTCOME_MASKED,
+    OUTCOME_MISSED,
+    OUTCOME_SILENT_CORRUPTION,
+    InjectionVerdict,
+    ProbeResult,
+    WindowObservation,
+    judge,
+)
+
+__all__ = [
+    "CampaignReport",
+    "ChaosCampaign",
+    "ChaosInjector",
+    "CveInjector",
+    "ForkInjector",
+    "FrameFlipInjector",
+    "InjectionError",
+    "InjectionTarget",
+    "InjectionVerdict",
+    "OUTCOME_DETECTED",
+    "OUTCOME_ERROR",
+    "OUTCOME_MASKED",
+    "OUTCOME_MISSED",
+    "OUTCOME_SILENT_CORRUPTION",
+    "PlannedInjection",
+    "ProbeResult",
+    "RollbackInjector",
+    "ShmStarvationInjector",
+    "SlowVariantInjector",
+    "WeightFlipInjector",
+    "WindowObservation",
+    "WorkerKillInjector",
+    "WorkerWedgeInjector",
+    "judge",
+    "register_chaos_metrics",
+]

@@ -1,0 +1,83 @@
+"""Campaign aggregation: the SLO floor as one assertable object.
+
+The floor is deliberately unforgiving (see :mod:`repro.chaos.verdict`):
+:attr:`CampaignReport.passed` is the conjunction of every individual
+verdict -- one missed fault, one silent corruption, one blown recovery
+budget anywhere fails the whole campaign.  The per-class breakdown
+exists for diagnosis, not for grading on a curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chaos.verdict import InjectionVerdict
+
+__all__ = ["CampaignReport", "register_chaos_metrics"]
+
+#: Outcome vocabulary every per-class breakdown reports, in order.
+_OUTCOMES = ("detected", "masked", "missed", "silent-corruption", "error")
+
+
+def register_chaos_metrics(registry) -> None:
+    """Pre-register the chaos metric family on a registry.
+
+    Campaigns also register lazily on first use; this exists so
+    dashboards (and the metric inventory) see the family at zero before
+    any injection has run.
+    """
+    registry.counter(
+        "mvtee_chaos_injections_total", "Chaos injections applied by fault class"
+    )
+    registry.counter(
+        "mvtee_chaos_verdicts_total", "Chaos injection verdicts by outcome"
+    )
+    registry.histogram(
+        "mvtee_chaos_recovery_seconds",
+        "Seconds from fault restore to p99 back under budget",
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign run produced, JSON-able for benchmarks."""
+
+    seed: int
+    #: The resolved plan (JSON) -- equality across runs is replay identity.
+    plan: list = field(default_factory=list)
+    verdicts: list = field(default_factory=list)
+    baseline_p99_s: float | None = None
+    #: Whole-campaign traffic report from the open-loop generator.
+    traffic: object | None = None
+    wall_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """The SLO floor: every single injection held, and some ran."""
+        return bool(self.verdicts) and all(v.passed for v in self.verdicts)
+
+    def per_class(self) -> dict[str, dict[str, int]]:
+        """Outcome histogram per fault class (diagnosis, not grading)."""
+        breakdown: dict[str, dict[str, int]] = {}
+        for verdict in self.verdicts:
+            row = breakdown.setdefault(
+                verdict.fault_class, {outcome: 0 for outcome in _OUTCOMES}
+            )
+            row[verdict.outcome] = row.get(verdict.outcome, 0) + 1
+        return breakdown
+
+    def failures(self) -> list[InjectionVerdict]:
+        """The verdicts that broke the floor (empty when passed)."""
+        return [v for v in self.verdicts if not v.passed]
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "passed": self.passed,
+            "plan": list(self.plan),
+            "verdicts": [v.to_json() for v in self.verdicts],
+            "per_class": self.per_class(),
+            "baseline_p99_s": self.baseline_p99_s,
+            "traffic": self.traffic.to_json() if self.traffic is not None else None,
+            "wall_s": self.wall_s,
+        }

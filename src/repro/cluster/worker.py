@@ -35,6 +35,7 @@ from repro.cluster import shm
 from repro.mvx.variant_host import VariantHost, VariantUnavailable
 from repro.mvx.wire import decode_message, encode_message
 from repro.observability.metrics import MetricsRegistry, set_global_registry
+from repro.runtime.faults import apply_fault_spec
 
 __all__ = ["EXIT_CRASHED", "WorkerCrashed", "WorkerProcess"]
 
@@ -125,6 +126,23 @@ def _worker_main(conn, host: VariantHost, threshold: int) -> None:
                 if attr in meta:
                     setattr(host, attr, meta[attr])
             conn.send_bytes(encode_message("configured", {"pid": os.getpid()}))
+        elif msg_type == "inject":
+            # Chaos harness seam: faults must be armed *inside* the
+            # worker -- the parent's runtime copy diverged at fork time,
+            # so arming there would never reach this process.
+            try:
+                result = apply_fault_spec(host.runtime, meta["spec"])
+            except Exception as exc:
+                conn.send_bytes(
+                    encode_message(
+                        "inject-failed",
+                        {"reason": str(exc), "pid": os.getpid()},
+                    )
+                )
+            else:
+                conn.send_bytes(
+                    encode_message("injected", {"pid": os.getpid(), **result})
+                )
         elif msg_type == "stop":
             conn.send_bytes(encode_message("stopping", {"pid": os.getpid()}))
             conn.close()
@@ -346,6 +364,22 @@ class WorkerProcess:
         if msg_type != "pong":
             return None
         self.last_heartbeat = self._clock()
+        return meta
+
+    def inject_fault(self, spec: dict) -> dict:
+        """Arm (or clear) one fault spec inside the child runtime.
+
+        The spec vocabulary is
+        :func:`repro.runtime.faults.apply_fault_spec`'s.  Raises
+        :class:`WorkerCrashed` when the child is dead and
+        :class:`VariantUnavailable` when the child rejected the spec.
+        """
+        msg_type, meta, _ = self._roundtrip(encode_message("inject", {"spec": spec}))
+        if msg_type != "injected":
+            raise VariantUnavailable(
+                f"variant {self.variant_id} fault injection failed: "
+                f"{meta.get('reason')}"
+            )
         return meta
 
     def configure(self, **attrs) -> None:

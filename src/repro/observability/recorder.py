@@ -32,6 +32,8 @@ __all__ = [
     "AuditEvent",
     "FlightRecorder",
     "GENESIS_DIGEST",
+    "KIND_CHAOS_INJECTED",
+    "KIND_CHAOS_RESTORED",
     "KIND_CHECKPOINT",
     "KIND_CRASH",
     "KIND_DIVERGENCE",
@@ -65,6 +67,8 @@ KIND_ENGINE_ERROR = "engine-error"
 KIND_WORKER_STARTED = "worker-started"
 KIND_WORKER_EXITED = "worker-exited"
 KIND_WORKER_RESTARTED = "worker-restarted"
+KIND_CHAOS_INJECTED = "chaos-injected"
+KIND_CHAOS_RESTORED = "chaos-restored"
 
 
 class AuditChainError(Exception):

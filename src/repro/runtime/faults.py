@@ -27,9 +27,11 @@ from repro.runtime.base import InferenceRuntime, RuntimeCrash
 
 __all__ = [
     "FaultInjector",
+    "apply_fault_spec",
     "backend_bitflip_fault",
     "crash_on_trigger",
     "flip_weight_bit",
+    "magnitude_trigger",
     "output_corruption_fault",
 ]
 
@@ -79,6 +81,26 @@ def output_corruption_fault(
         return [out * scale for out in outputs]
 
     return hook
+
+
+def magnitude_trigger(
+    threshold: float,
+) -> Callable[[Node, list[np.ndarray]], bool]:
+    """Predicate matching crafted inputs carrying a magnitude marker.
+
+    Models the "malicious input reached the buggy kernel" condition: any
+    floating-point input whose magnitude reaches ``threshold`` counts as
+    having taken the vulnerable code path.
+    """
+
+    def predicate(node: Node, inputs: list[np.ndarray]) -> bool:
+        return any(
+            np.issubdtype(arr.dtype, np.floating)
+            and bool(np.any(np.abs(arr) >= threshold))
+            for arr in inputs
+        )
+
+    return predicate
 
 
 def crash_on_trigger(
@@ -149,7 +171,97 @@ class FaultInjector:
             install(None)
         self._armed.clear()
 
+    def disarm_op(self, op_type: str) -> None:
+        """Remove the fault on one operator, leaving others armed."""
+        assert self.runtime.kernel_context is not None
+        self.runtime.kernel_context.op_hooks.pop(op_type, None)
+        self._armed = [a for a in self._armed if f"({op_type})" not in a]
+
+    def disarm_backend(self) -> None:
+        """Remove the BLAS-level fault only, leaving op faults armed."""
+        assert self.runtime.kernel_context is not None
+        self.runtime.kernel_context.blas.fault_hook = None
+        install = getattr(self.runtime, "install_backend_fault", None)
+        if install is not None:
+            install(None)
+        self._armed = [a for a in self._armed if not a.startswith("backend-bitflip")]
+
     @property
     def armed(self) -> list[str]:
         """Descriptions of currently armed faults."""
         return list(self._armed)
+
+
+# ----------------------------------------------------------------------
+# Wire-safe fault specs
+# ----------------------------------------------------------------------
+#
+# A fault spec is a plain-JSON description of one injection (or its
+# reversal) that can cross a process boundary: the chaos harness sends
+# specs to forked variant workers, whose runtimes are *copies* of the
+# parent's -- arming a fault on the parent-side runtime after the fork
+# would not reach the worker at all.
+
+
+def apply_fault_spec(runtime: InferenceRuntime, spec: dict) -> dict:
+    """Apply one JSON fault spec to a prepared runtime.
+
+    Spec kinds (all fields JSON scalars/lists so a spec survives the
+    worker pipe):
+
+    - ``op-crash``: ``{op, threshold, message?}`` -- crash the kernel of
+      ``op`` when an input magnitude reaches ``threshold``.
+    - ``op-corrupt``: ``{op, threshold, value?}`` -- return a constant
+      wrong result from ``op`` on the malicious path only.
+    - ``op-clear``: ``{op}`` -- remove the fault on one operator.
+    - ``backend-bitflip``: ``{index?, bit?}`` -- corrupt the BLAS
+      backend (FrameFlip style).
+    - ``backend-clear``: remove the BLAS fault.
+    - ``weight-flips``: ``{flips: [[tensor, flat_index], ...], bit?}`` --
+      XOR one bit of each listed weight element; applying the same spec
+      twice restores the weights (XOR involution).
+    - ``disarm-all``: remove every op and backend fault.
+
+    Returns a small JSON-able acknowledgment.  Raises ``ValueError`` on
+    an unknown kind and whatever the underlying helper raises on bad
+    targets (missing tensor, out-of-range index).
+    """
+    kind = spec.get("kind")
+    injector = FaultInjector(runtime)
+    if kind == "op-crash":
+        injector.arm_op_crash(
+            str(spec["op"]),
+            magnitude_trigger(float(spec["threshold"])),
+            message=str(spec.get("message", "injected memory-safety crash")),
+        )
+    elif kind == "op-corrupt":
+        threshold = float(spec["threshold"])
+        value = float(spec.get("value", 42.0))
+        trigger = magnitude_trigger(threshold)
+
+        def corrupt(node, inputs, outputs, _trigger=trigger, _value=value):
+            if _trigger(node, inputs):
+                return [np.full_like(out, _value) for out in outputs]
+            return outputs
+
+        assert runtime.kernel_context is not None
+        runtime.kernel_context.op_hooks[str(spec["op"])] = corrupt
+    elif kind == "op-clear":
+        injector.disarm_op(str(spec["op"]))
+    elif kind == "backend-bitflip":
+        injector.arm_backend_bitflip(
+            flat_index=int(spec.get("index", 0)), bit=int(spec.get("bit", 30))
+        )
+    elif kind == "backend-clear":
+        injector.disarm_backend()
+    elif kind == "weight-flips":
+        if runtime.model is None:
+            raise ValueError("runtime holds no model to flip weights in")
+        bit = int(spec.get("bit", 30))
+        for tensor, flat_index in spec["flips"]:
+            flip_weight_bit(runtime.model, str(tensor), int(flat_index), bit)
+    elif kind == "disarm-all":
+        injector.disarm()
+    else:
+        raise ValueError(f"unknown fault spec kind {kind!r}")
+    return {"applied": kind}

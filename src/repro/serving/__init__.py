@@ -47,6 +47,8 @@ from repro.serving.executor import BoundDispatcher, ParallelStageExecutor
 from repro.serving.loadgen import (
     ClosedLoopLoadGenerator,
     LoadReport,
+    OpenLoopLoadGenerator,
+    TrafficSample,
     open_loop_burst,
     percentile,
     settle_burst,
@@ -61,6 +63,7 @@ __all__ = [
     "EngineStopped",
     "LoadReport",
     "MicroBatcher",
+    "OpenLoopLoadGenerator",
     "Overloaded",
     "ParallelStageExecutor",
     "ServingEngine",
@@ -68,6 +71,7 @@ __all__ = [
     "ServingPolicy",
     "Ticket",
     "TicketState",
+    "TrafficSample",
     "open_loop_burst",
     "percentile",
     "settle_burst",

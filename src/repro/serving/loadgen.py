@@ -9,8 +9,12 @@ Two driving disciplines:
 - :func:`open_loop_burst` -- fire a burst of submissions without
   waiting (open loop; offered load is independent of service rate, so
   it exercises admission control and load shedding).
+- :class:`OpenLoopLoadGenerator` -- a *paced* background submitter
+  (fixed offered rate, fire-and-record) keeping a timestamped outcome
+  trace; the traffic harness chaos campaigns observe the SLO floor
+  through.
 
-Both produce a :class:`LoadReport` with p50/p95/p99 latency, throughput
+All produce a :class:`LoadReport` with p50/p95/p99 latency, throughput
 and shed rate -- the numbers the serving benchmark records.
 """
 
@@ -25,11 +29,13 @@ import numpy as np
 
 from repro.mvx.monitor import MonitorError
 from repro.serving.engine import ServingEngine, Ticket
-from repro.serving.errors import DeadlineExceeded, Overloaded
+from repro.serving.errors import DeadlineExceeded, EngineStopped, Overloaded
 
 __all__ = [
     "ClosedLoopLoadGenerator",
     "LoadReport",
+    "OpenLoopLoadGenerator",
+    "TrafficSample",
     "open_loop_burst",
     "percentile",
     "settle_burst",
@@ -194,3 +200,212 @@ def settle_burst(
         else:
             report.failed += 1
     return report
+
+
+# ----------------------------------------------------------------------
+# Paced open-loop driving (the chaos-campaign traffic harness)
+# ----------------------------------------------------------------------
+
+#: Outcome labels carried by :class:`TrafficSample`.
+OUTCOME_OK = "ok"
+OUTCOME_CORRUPT = "corrupt"
+OUTCOME_FAILED = "failed"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_SHED = "shed"
+
+
+@dataclass(frozen=True)
+class TrafficSample:
+    """One request's fate in an open-loop trace (monotonic timestamps)."""
+
+    submitted_at: float
+    finished_at: float
+    outcome: str
+    latency_s: float
+
+
+class OpenLoopLoadGenerator:
+    """Background submitter offering a fixed rate regardless of service rate.
+
+    Every request's outcome lands in a timestamped trace, so a caller
+    can correlate an *injection window* with exactly the requests that
+    flew through it (:meth:`mark` / :meth:`samples_since`) and compute
+    rolling percentiles for recovery tracking (:meth:`p99_since`).
+
+    ``expect`` is an output acceptor: called with each completed
+    result's outputs, returning False marks the sample ``corrupt`` --
+    the silent-corruption net of a chaos campaign (a wrong answer
+    *served to a client* with no detection is the one unforgivable
+    outcome).
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        feeds_factory: Callable[[int], dict[str, np.ndarray]],
+        *,
+        rate_rps: float = 50.0,
+        deadline_s: float | None = None,
+        expect: Callable[[dict[str, np.ndarray]], bool] | None = None,
+    ):
+        if rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+        self.engine = engine
+        self.feeds_factory = feeds_factory
+        self.rate_rps = rate_rps
+        self.deadline_s = deadline_s
+        self.expect = expect
+        self._samples: list[TrafficSample] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "OpenLoopLoadGenerator":
+        """Begin submitting; idempotent while running."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="openloop-loadgen", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, drain_s: float = 2.0) -> None:
+        """Stop submitting and give in-flight tickets time to settle."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self._thread = None
+        deadline = time.monotonic() + drain_s
+        while time.monotonic() < deadline:
+            depth = getattr(self.engine, "queue_depth", None)
+            if not callable(depth) or depth() == 0:
+                break
+            time.sleep(0.02)
+
+    def __enter__(self) -> "OpenLoopLoadGenerator":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- submission loop ------------------------------------------------
+
+    def _run(self) -> None:
+        period = 1.0 / self.rate_rps
+        next_at = time.monotonic()
+        sequence = 0
+        while not self._stop.is_set():
+            now = time.monotonic()
+            if now < next_at:
+                self._stop.wait(min(next_at - now, 0.05))
+                continue
+            # A long stall (engine quiesced, machine paged out) must not
+            # turn into a catch-up burst that floods the queue.
+            if next_at < now - 1.0:
+                next_at = now
+            next_at += period
+            feeds = self.feeds_factory(sequence)
+            sequence += 1
+            submitted = time.monotonic()
+            try:
+                ticket = self.engine.submit(feeds, deadline_s=self.deadline_s)
+            except Overloaded:
+                self._append(
+                    TrafficSample(submitted, time.monotonic(), OUTCOME_SHED, 0.0)
+                )
+                continue
+            except EngineStopped:
+                return
+            ticket.add_done_callback(
+                lambda t, _submitted=submitted: self._settle(t, _submitted)
+            )
+
+    def _settle(self, ticket: Ticket, submitted: float) -> None:
+        finished = time.monotonic()
+        try:
+            result = ticket.result(0)
+        except DeadlineExceeded:
+            outcome = OUTCOME_TIMEOUT
+        except Exception:
+            outcome = OUTCOME_FAILED
+        else:
+            try:
+                ok = self.expect is None or bool(self.expect(result))
+            except Exception:
+                ok = False
+            outcome = OUTCOME_OK if ok else OUTCOME_CORRUPT
+        self._append(TrafficSample(submitted, finished, outcome, finished - submitted))
+
+    def _append(self, sample: TrafficSample) -> None:
+        with self._lock:
+            self._samples.append(sample)
+
+    # -- trace access ---------------------------------------------------
+
+    def mark(self) -> int:
+        """An opaque position in the trace; pass to ``*_since``."""
+        with self._lock:
+            return len(self._samples)
+
+    def samples_since(
+        self, mark: int = 0, *, outcome: str | None = None
+    ) -> list[TrafficSample]:
+        """Samples recorded after ``mark``, optionally one outcome only."""
+        with self._lock:
+            samples = self._samples[mark:]
+        if outcome is not None:
+            samples = [s for s in samples if s.outcome == outcome]
+        return samples
+
+    def counts_since(self, mark: int = 0) -> dict[str, int]:
+        """Outcome histogram of the trace after ``mark``."""
+        counts = {
+            OUTCOME_OK: 0,
+            OUTCOME_CORRUPT: 0,
+            OUTCOME_FAILED: 0,
+            OUTCOME_TIMEOUT: 0,
+            OUTCOME_SHED: 0,
+        }
+        for sample in self.samples_since(mark):
+            counts[sample.outcome] = counts.get(sample.outcome, 0) + 1
+        return counts
+
+    def p99_since(self, mark: int = 0, *, last: int | None = None) -> float | None:
+        """p99 latency of completed-ok samples after ``mark``.
+
+        ``last`` keeps only the most recent N such samples (a rolling
+        recovery window).  None when no sample qualifies yet.
+        """
+        latencies = [
+            s.latency_s for s in self.samples_since(mark, outcome=OUTCOME_OK)
+        ]
+        if last is not None:
+            latencies = latencies[-last:]
+        if not latencies:
+            return None
+        return percentile(latencies, 99)
+
+    def report(self, mark: int = 0) -> LoadReport:
+        """Fold the trace after ``mark`` into a :class:`LoadReport`."""
+        samples = self.samples_since(mark)
+        report = LoadReport(submitted=len(samples))
+        for sample in samples:
+            if sample.outcome in (OUTCOME_OK, OUTCOME_CORRUPT):
+                report.completed += 1
+                report.latencies_s.append(sample.latency_s)
+            elif sample.outcome == OUTCOME_SHED:
+                report.shed += 1
+            elif sample.outcome == OUTCOME_TIMEOUT:
+                report.timed_out += 1
+            else:
+                report.failed += 1
+        if samples:
+            report.wall_s = max(s.finished_at for s in samples) - min(
+                s.submitted_at for s in samples
+            )
+        return report

@@ -19,8 +19,10 @@ from repro.attacks import (
     run_persistent_attack,
 )
 from repro.attacks.cves import Impact, craft_malicious_input
+from repro.chaos import InjectionTarget, SlowVariantInjector
 from repro.mvx import MvteeSystem, ResponseAction
 from repro.runtime import RuntimeConfig, create_runtime
+from repro.runtime.faults import FaultInjector
 
 
 def deploy(small_resnet, mvx, seed=0):
@@ -166,3 +168,89 @@ class TestWeightBitFlip:
         system = deploy(small_resnet, {1: 3}, seed=2)
         attack = WeightBitFlipAttack(target_variant="ghost")
         assert attack.launch(system.monitor) == []
+
+
+class TestRestoreAudit:
+    """Every attack must come with a faithful, narrow undo.
+
+    The chaos campaign re-uses the attacks as revertible injections, so
+    each restore path is audited here: it must return the runtime to its
+    pre-attack state bit-exactly, touch only its own fault, and stay
+    safe to call twice.
+    """
+
+    def test_cve_disarm_restores_clean_outputs(self, small_resnet):
+        case = next(c for c in TABLE1_CVES if c.cve_id == "CVE-2022-41883")
+        runtime = create_runtime(RuntimeConfig(engine=case.vulnerable_engine))
+        runtime.prepare(small_resnet)
+        evil = craft_malicious_input((1, 3, 16, 16))
+        clean = runtime.run({"input": np.array(evil, copy=True)})
+        name = next(iter(clean))
+        assert case.arm(runtime)
+        corrupted = runtime.run({"input": np.array(evil, copy=True)})
+        assert not np.allclose(corrupted[name], clean[name], equal_nan=True)
+        assert case.disarm(runtime)
+        restored = runtime.run({"input": np.array(evil, copy=True)})
+        assert np.array_equal(restored[name], clean[name])
+        # Disarming twice (or before arming) is a harmless no-op.
+        assert case.disarm(runtime)
+        again = runtime.run({"input": np.array(evil, copy=True)})
+        assert np.array_equal(again[name], clean[name])
+
+    def test_frameflip_lift_leaves_armed_op_faults(self, small_resnet):
+        # Lifting a FrameFlip must clear only the BLAS-level fault: an
+        # unrelated op fault armed on the same runtime survives, so
+        # overlapping chaos windows cannot erase each other's state.
+        system = deploy(small_resnet, {1: 3}, seed=1)
+        attack = FrameFlipAttack(target_backend="openblas-sim")
+        affected = attack.launch(system.monitor)
+        assert affected
+        runtime = next(
+            c.host.runtime
+            for conns in system.monitor.connections.values()
+            for c in conns
+            if c.variant_id == affected[0]
+        )
+        assert runtime.kernel_context.blas.fault_hook is not None
+        FaultInjector(runtime).arm_op_corruption("Relu")
+        attack.lift(system.monitor)
+        assert runtime.kernel_context.blas.fault_hook is None
+        assert "Relu" in runtime.kernel_context.op_hooks
+        FaultInjector(runtime).disarm_op("Relu")
+
+    def test_weight_flip_revert_is_bit_exact(self, small_resnet):
+        system = deploy(small_resnet, {1: 3}, seed=2)
+        connection = system.monitor.stage_connections(1)[0]
+        runtime = connection.host.runtime
+        before = {
+            k: np.array(v, copy=True) for k, v in runtime.model.initializers.items()
+        }
+        attack = WeightBitFlipAttack(target_variant=connection.variant_id, num_flips=3)
+        flips = attack.launch(system.monitor)
+        assert flips
+        assert any(
+            not np.array_equal(runtime.model.initializers[k], v)
+            for k, v in before.items()
+        )
+        assert attack.revert(system.monitor) == len(flips)
+        for k, v in before.items():
+            assert np.array_equal(runtime.model.initializers[k], v)
+        # Reverting again finds the recorded flips already cancelled out
+        # -- XOR twice restores, so a double revert would re-corrupt; the
+        # attack guards by clearing its flip log on the first revert.
+        assert attack.revert(system.monitor) == 0
+        for k, v in before.items():
+            assert np.array_equal(runtime.model.initializers[k], v)
+
+    def test_injector_context_restores_on_exception(self, small_resnet):
+        system = deploy(small_resnet, {1: 3}, seed=1)
+        target = InjectionTarget(system=system, engine=system.serving_engine())
+        injector = SlowVariantInjector(added_latency_s=0.05)
+        injector.resolve(target, np.random.default_rng(0))
+        host = target.connection(injector.targets[0]).host
+        with pytest.raises(RuntimeError, match="window blew up"):
+            with injector.on(target):
+                assert host.simulated_latency == 0.05
+                raise RuntimeError("window blew up")
+        assert host.simulated_latency == 0.0
+        assert not host.realtime_latency

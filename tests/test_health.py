@@ -168,6 +168,56 @@ class TestWindowing:
         assert transitions[1].data["previous"] == "ok"
         assert transitions[1].data["reasons"]
 
+    def test_shed_and_timeout_storm_without_flapping(self):
+        # A serving-layer overload storm: a burst of shed + timed-out
+        # requests drives the watchdog to CRIT, a quiet period recovers
+        # it to OK, and the rolling window never flaps in between --
+        # exactly one ok -> crit -> ok arc in the flight recorder.
+        registry = MetricsRegistry()
+        recorder = FlightRecorder()
+        clock = FakeClock()
+        monitor = HealthMonitor(
+            registry,
+            default_rules(),
+            window_s=60.0,
+            recorder=recorder,
+            clock=clock,
+        )
+        served = registry.counter("mvtee_requests_served_total", "h")
+        shed = registry.counter("mvtee_requests_shed_total", "h")
+        timeout = registry.counter("mvtee_requests_timeout_total", "h")
+        assert monitor.evaluate().status is HealthStatus.OK
+        # The storm: for 20s the engine sheds or times out most arrivals.
+        for _ in range(10):
+            served.inc(2)
+            shed.inc(5)
+            timeout.inc(3)
+            clock.advance(2.0)
+            assert monitor.evaluate().status is HealthStatus.CRIT
+        # Storm ends; healthy traffic resumes.  Within the rolling window
+        # the storm samples still dominate the ratio, so the status must
+        # hold (no premature OK flap) until they age out.
+        statuses = []
+        for _ in range(40):
+            served.inc(5)
+            clock.advance(5.0)
+            statuses.append(monitor.evaluate().status)
+        assert statuses[-1] is HealthStatus.OK
+        # Monotone recovery: once the grade improves it never falls back.
+        order = {HealthStatus.OK: 0, HealthStatus.WARN: 1, HealthStatus.CRIT: 2}
+        ranks = [order[s] for s in statuses]
+        assert ranks == sorted(ranks, reverse=True)
+        transitions = [t.data["status"] for t in recorder.events(KIND_HEALTH)]
+        assert transitions[0] == "ok" and transitions[1] == "crit"
+        assert transitions[-1] == "ok"
+        # No flapping: each status appears in one contiguous run.
+        deduped = [transitions[0]]
+        for status in transitions[1:]:
+            if status != deduped[-1]:
+                deduped.append(status)
+        assert deduped == transitions
+        assert registry.gauge("mvtee_health_status", "h").value() == 0
+
     def test_transition_recorded_only_on_change(self):
         registry = MetricsRegistry()
         recorder = FlightRecorder()

@@ -16,6 +16,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.chaos import register_chaos_metrics
 from repro.fleet import ModelFleet, SLOClass, TenantSpec
 from repro.mvx import FabricTransport, MvteeSystem, ResponseAction
 from repro.mvx.adaptive import AdaptiveController
@@ -143,6 +144,10 @@ def exercised_registry():
             fleet.healthz()
         finally:
             fleet.shutdown()
+        # The chaos campaign family: a full campaign is live-exercised in
+        # tests/test_chaos.py; here the registration pass is enough to
+        # keep the inventory honest in both directions.
+        register_chaos_metrics(registry)
         yield registry
     finally:
         set_global_registry(saved)
